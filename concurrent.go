@@ -1,0 +1,101 @@
+package rsmi
+
+import (
+	"sync"
+)
+
+// Concurrent wraps an Index for concurrent use: queries take a shared
+// (read) lock and may run in parallel; updates take an exclusive lock.
+//
+// The underlying RSMI's query paths are read-only apart from atomic
+// block-access counters and the per-prediction scratch buffers, which are
+// allocation-local, so shared-lock parallel queries are safe. The paper
+// benchmarks single-threaded (§6.1); this wrapper is a library convenience,
+// not part of the reproduction.
+type Concurrent struct {
+	mu  sync.RWMutex
+	idx *Index
+}
+
+// NewConcurrent builds an RSMI and wraps it for concurrent use.
+func NewConcurrent(pts []Point, opts Options) *Concurrent {
+	return &Concurrent{idx: New(pts, opts)}
+}
+
+// WrapConcurrent wraps an existing index. The caller must not use idx
+// directly afterwards.
+func WrapConcurrent(idx *Index) *Concurrent {
+	return &Concurrent{idx: idx}
+}
+
+// PointQuery reports whether a point with q's exact coordinates is indexed.
+func (c *Concurrent) PointQuery(q Point) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.PointQuery(q)
+}
+
+// WindowQuery returns the indexed points inside the window (approximate, no
+// false positives).
+func (c *Concurrent) WindowQuery(q Rect) []Point {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.WindowQuery(q)
+}
+
+// ExactWindow returns the exact window answer (RSMIa traversal).
+func (c *Concurrent) ExactWindow(q Rect) []Point {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.ExactWindow(q)
+}
+
+// KNN returns up to k approximate nearest neighbours, closest first.
+func (c *Concurrent) KNN(q Point, k int) []Point {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.KNN(q, k)
+}
+
+// ExactKNN returns the exact k nearest neighbours (best-first traversal).
+func (c *Concurrent) ExactKNN(q Point, k int) []Point {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.ExactKNN(q, k)
+}
+
+// Insert adds a point.
+func (c *Concurrent) Insert(p Point) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.idx.Insert(p)
+}
+
+// Delete removes the point with p's exact coordinates.
+func (c *Concurrent) Delete(p Point) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.idx.Delete(p)
+}
+
+// Rebuild reconstructs the index from its live points (§5's periodic
+// rebuild), blocking all other operations for the duration.
+func (c *Concurrent) Rebuild() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.idx.Rebuild()
+}
+
+// Len returns the number of live points.
+func (c *Concurrent) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.Len()
+}
+
+// Stats returns structural statistics.
+func (c *Concurrent) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.Stats()
+}

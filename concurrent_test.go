@@ -1,0 +1,129 @@
+package rsmi_test
+
+import (
+	"sync"
+	"testing"
+
+	"rsmi"
+	"rsmi/internal/dataset"
+	"rsmi/internal/workload"
+)
+
+func buildConcurrent(t testing.TB) (*rsmi.Concurrent, []rsmi.Point) {
+	t.Helper()
+	pts := dataset.Generate(dataset.Skewed, 4000, 21)
+	c := rsmi.NewConcurrent(pts, rsmi.Options{
+		BlockCapacity:      50,
+		PartitionThreshold: 1000,
+		Epochs:             15,
+		LearningRate:       0.1,
+		Seed:               1,
+	})
+	return c, pts
+}
+
+func TestConcurrentParallelQueries(t *testing.T) {
+	c, pts := buildConcurrent(t)
+	qs := workload.KNNPoints(pts, 200, 22)
+	ws := workload.Windows(pts, 200, 0.01, 1, 23)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if !c.PointQuery(pts[(g*997+i)%len(pts)]) {
+					errs <- "point query false negative under concurrency"
+					return
+				}
+				w := ws[(g+i)%len(ws)]
+				for _, p := range c.WindowQuery(w) {
+					if !w.Contains(p) {
+						errs <- "window false positive under concurrency"
+						return
+					}
+				}
+				if got := c.KNN(qs[(g+i)%len(qs)], 5); len(got) != 5 {
+					errs <- "kNN wrong cardinality under concurrency"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestConcurrentMixedReadWrite(t *testing.T) {
+	c, pts := buildConcurrent(t)
+	ins := workload.InsertPoints(pts, 2000, 24)
+	var wg sync.WaitGroup
+	// Writer goroutine.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, p := range ins {
+			c.Insert(p)
+			if i%3 == 0 {
+				c.Delete(pts[i])
+			}
+		}
+	}()
+	// Reader goroutines.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.PointQuery(pts[(g*31+i)%len(pts)])
+				c.Len()
+				if i%50 == 0 {
+					c.ExactWindow(rsmi.RectAround(rsmi.Pt(0.5, 0.2), 0.1, 0.1))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every inserted point must now be present.
+	for _, p := range ins {
+		if !c.PointQuery(p) {
+			t.Fatalf("inserted point %v lost under concurrent load", p)
+		}
+	}
+}
+
+func TestConcurrentRebuild(t *testing.T) {
+	c, pts := buildConcurrent(t)
+	for _, p := range workload.InsertPoints(pts, 500, 25) {
+		c.Insert(p)
+	}
+	before := c.Len()
+	c.Rebuild()
+	if c.Len() != before {
+		t.Fatalf("rebuild changed Len: %d -> %d", before, c.Len())
+	}
+	if !c.PointQuery(pts[0]) {
+		t.Fatal("point lost after rebuild")
+	}
+	if s := c.Stats(); s.Name != "RSMI" {
+		t.Errorf("Stats.Name = %q", s.Name)
+	}
+}
+
+func TestWrapConcurrent(t *testing.T) {
+	pts := dataset.Generate(dataset.Uniform, 500, 26)
+	idx := rsmi.New(pts, rsmi.Options{BlockCapacity: 50, PartitionThreshold: 1000, Epochs: 10, LearningRate: 0.1, Seed: 1})
+	c := rsmi.WrapConcurrent(idx)
+	if c.Len() != 500 || !c.PointQuery(pts[0]) {
+		t.Fatal("wrapped index misbehaves")
+	}
+	got := c.ExactKNN(rsmi.Pt(0.5, 0.5), 3)
+	if len(got) != 3 {
+		t.Fatalf("ExactKNN returned %d", len(got))
+	}
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"rsmi/internal/core"
+	"rsmi/internal/dataset"
+	"rsmi/internal/workload"
+	"rsmi/internal/zm"
+)
+
+// Table 3: impact of the RSMI partition threshold N on construction time,
+// height, index size, and point query cost (§6.2.1).
+func init() {
+	register(Experiment{
+		ID:    "table3",
+		Title: "Table 3: Impact of RSMI partition threshold N",
+		Run: func(cfg Config, w io.Writer) {
+			cfg = cfg.Defaults()
+			pts := dataset.Generate(cfg.Dist, cfg.N, cfg.Seed)
+			queries := workload.PointQueries(pts, cfg.Queries, cfg.Seed+1)
+
+			// The paper sweeps N ∈ {2500 … 40000} at n = 64M; the sweep is
+			// scaled so the ratios N/n cover the same regime.
+			ns := []int{cfg.N / 16, cfg.N / 8, cfg.N / 4, cfg.N / 2, cfg.N}
+			tb := newTable("Table 3 (harness scale): impact of N on "+
+				fmt.Sprintf("%s n=%d", cfg.Dist, cfg.N),
+				"metric")
+			for _, nv := range ns {
+				tb.header = append(tb.header, fmt.Sprintf("N=%d", nv))
+			}
+
+			var build, height, size, blocks, qtime []float64
+			for _, nv := range ns {
+				opts := cfg.rsmiOptions()
+				opts.PartitionThreshold = nv
+				idx := core.New(pts, opts)
+				s := idx.Stats()
+				build = append(build, s.BuildTime.Seconds())
+				height = append(height, float64(s.Height))
+				size = append(size, mb(s.SizeBytes))
+				idx.ResetAccesses()
+				us := timeQueriesUS(len(queries), func(i int) { idx.PointQuery(queries[i]) })
+				blocks = append(blocks, float64(idx.Accesses())/float64(len(queries)))
+				qtime = append(qtime, us)
+			}
+			tb.addf("Construction time (s)", "%.2f", build...)
+			tb.addf("Height", "%.0f", height...)
+			tb.addf("Index size (MB)", "%.2f", size...)
+			tb.addf("Query # block accesses", "%.2f", blocks...)
+			tb.addf("Query time (us)", "%.2f", qtime...)
+			tb.write(w)
+		},
+	})
+}
+
+// Table 4: prediction error bounds (M.err_l, M.err_a) of ZM and RSMI across
+// the five distributions (§6.2.2).
+func init() {
+	register(Experiment{
+		ID:    "table4",
+		Title: "Table 4: Prediction error bounds (err_l, err_a)",
+		Run: func(cfg Config, w io.Writer) {
+			cfg = cfg.Defaults()
+			tb := newTable(fmt.Sprintf("Table 4: prediction error bounds in blocks (n=%d)", cfg.N),
+				"index")
+			kinds := dataset.All()
+			for _, k := range kinds {
+				tb.header = append(tb.header, k.String())
+			}
+			zmRow := []string{"ZM"}
+			rsRow := []string{"RSMI"}
+			for _, k := range kinds {
+				pts := dataset.Generate(k, cfg.N, cfg.Seed)
+				z := zm.New(pts, cfg.zmOptions())
+				zl, zh := z.ErrorBounds()
+				zmRow = append(zmRow, fmt.Sprintf("(%d, %d)", zl, zh))
+				r := core.New(pts, cfg.rsmiOptions())
+				rl, rh := r.ErrorBounds()
+				rsRow = append(rsRow, fmt.Sprintf("(%d, %d)", rl, rh))
+			}
+			tb.add(zmRow...)
+			tb.add(rsRow...)
+			tb.write(w)
+		},
+	})
+}

@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"rsmi/internal/core"
+	"rsmi/internal/dataset"
+	"rsmi/internal/geom"
+	"rsmi/internal/index"
+	"rsmi/internal/workload"
+)
+
+// updateStages inserts successive 10% batches into every index, measuring
+// per-insertion time at each stage, and calls probe after each stage to
+// measure query performance on the updated indices.
+func updateStages(cfg Config, w io.Writer, includeRSMIr bool,
+	probe func(stage int, fraction float64, all []geom.Point, indices []built)) []built {
+	pts := dataset.Generate(cfg.Dist, cfg.N, cfg.Seed)
+	totalIns := int(0.5 * float64(cfg.N))
+	ins := workload.InsertPoints(pts, totalIns, cfg.Seed+4)
+
+	indices := buildAll(cfg, pts, true)
+	if includeRSMIr {
+		opts := cfg.rsmiOptions()
+		opts.Seed += 7 // independent models from the plain RSMI instance
+		indices = append(indices, built{"RSMIr", core.New(pts, opts).AsRebuilder()})
+	}
+
+	insTb := newTable(fmt.Sprintf("Fig. 17a: insertion time (us), %s n=%d", cfg.Dist, cfg.N), "index")
+	for _, f := range workload.UpdateFractions {
+		insTb.header = append(insTb.header, fmt.Sprintf("%.0f%%", f*100))
+	}
+	insTimes := map[string][]float64{}
+
+	all := append([]geom.Point(nil), pts...)
+	batch := totalIns / len(workload.UpdateFractions)
+	for stage, f := range workload.UpdateFractions {
+		lo, hi := stage*batch, (stage+1)*batch
+		if hi > len(ins) {
+			hi = len(ins)
+		}
+		chunk := ins[lo:hi]
+		for _, b := range indices {
+			if b.name == "RSMIa" {
+				continue // shares storage with RSMI; do not double-insert
+			}
+			us := timeQueriesUS(len(chunk), func(i int) { b.idx.Insert(chunk[i]) })
+			insTimes[b.name] = append(insTimes[b.name], us)
+		}
+		all = append(all, chunk...)
+		probe(stage, f, all, indices)
+	}
+	for _, b := range indices {
+		if b.name == "RSMIa" {
+			continue
+		}
+		insTb.addf(b.name, "%.2f", insTimes[b.name]...)
+	}
+	if w != nil {
+		insTb.write(w)
+	}
+	return indices
+}
+
+// Fig. 17: insertion time and point queries after insertions (§6.2.5).
+func init() {
+	register(Experiment{
+		ID:    "fig17",
+		Title: "Fig. 17: Insertions and point queries after insertions",
+		Run: func(cfg Config, w io.Writer) {
+			cfg = cfg.Defaults()
+			qTb := newTable("Fig. 17b: point query time (us) after insertions", "index")
+			for _, f := range workload.UpdateFractions {
+				qTb.header = append(qTb.header, fmt.Sprintf("%.0f%%", f*100))
+			}
+			qTimes := map[string][]float64{}
+			var order []string
+			indices := updateStages(cfg, w, true, func(stage int, f float64, all []geom.Point, indices []built) {
+				queries := workload.PointQueries(all, cfg.Queries, cfg.Seed+5)
+				for _, b := range indices {
+					if b.name == "RSMIa" {
+						continue
+					}
+					if stage == 0 {
+						order = append(order, b.name)
+					}
+					us := timeQueriesUS(len(queries), func(i int) { b.idx.PointQuery(queries[i]) })
+					qTimes[b.name] = append(qTimes[b.name], us)
+				}
+			})
+			_ = indices
+			for _, name := range order {
+				qTb.addf(name, "%.2f", qTimes[name]...)
+			}
+			qTb.write(w)
+		},
+	})
+}
+
+// Fig. 18: window queries after insertions.
+func init() {
+	register(Experiment{
+		ID:    "fig18",
+		Title: "Fig. 18: Window queries after insertions",
+		Run: func(cfg Config, w io.Writer) {
+			cfg = cfg.Defaults()
+			tTb := newTable(fmt.Sprintf("Fig. 18a: window query time (ms) after insertions, %s n=%d", cfg.Dist, cfg.N), "index")
+			rTb := newTable("Fig. 18b: window query recall after insertions", "index")
+			for _, f := range workload.UpdateFractions {
+				tTb.header = append(tTb.header, fmt.Sprintf("%.0f%%", f*100))
+				rTb.header = append(rTb.header, fmt.Sprintf("%.0f%%", f*100))
+			}
+			times := map[string][]float64{}
+			recalls := map[string][]float64{}
+			var order []string
+			updateStages(cfg, nil, false, func(stage int, f float64, all []geom.Point, indices []built) {
+				ws := workload.Windows(all, cfg.Queries/2, workload.DefaultWindowSize, workload.DefaultAspectRatio, cfg.Seed+6)
+				oracle := index.NewLinear(all)
+				truth := make([][]geom.Point, len(ws))
+				for i, q := range ws {
+					truth[i] = oracle.WindowQuery(q)
+				}
+				for _, b := range indices {
+					if stage == 0 {
+						order = append(order, b.name)
+					}
+					us := timeQueriesUS(len(ws), func(i int) { b.idx.WindowQuery(ws[i]) })
+					var rec float64
+					for i, q := range ws {
+						rec += index.Recall(b.idx.WindowQuery(q), truth[i])
+					}
+					times[b.name] = append(times[b.name], us/1000)
+					recalls[b.name] = append(recalls[b.name], rec/float64(len(ws)))
+				}
+			})
+			for _, name := range order {
+				tTb.addf(name, "%.4f", times[name]...)
+				rTb.addf(name, "%.3f", recalls[name]...)
+			}
+			tTb.write(w)
+			rTb.write(w)
+		},
+	})
+}
+
+// Fig. 19: kNN queries after insertions.
+func init() {
+	register(Experiment{
+		ID:    "fig19",
+		Title: "Fig. 19: kNN queries after insertions",
+		Run: func(cfg Config, w io.Writer) {
+			cfg = cfg.Defaults()
+			tTb := newTable(fmt.Sprintf("Fig. 19a: kNN query time (ms) after insertions, k=%d", workload.DefaultK), "index")
+			rTb := newTable("Fig. 19b: kNN query recall after insertions", "index")
+			for _, f := range workload.UpdateFractions {
+				tTb.header = append(tTb.header, fmt.Sprintf("%.0f%%", f*100))
+				rTb.header = append(rTb.header, fmt.Sprintf("%.0f%%", f*100))
+			}
+			times := map[string][]float64{}
+			recalls := map[string][]float64{}
+			var order []string
+			updateStages(cfg, nil, false, func(stage int, f float64, all []geom.Point, indices []built) {
+				qs := workload.KNNPoints(all, cfg.Queries/2, cfg.Seed+7)
+				oracle := index.NewLinear(all)
+				truth := make([][]geom.Point, len(qs))
+				for i, q := range qs {
+					truth[i] = oracle.KNN(q, workload.DefaultK)
+				}
+				for _, b := range indices {
+					if stage == 0 {
+						order = append(order, b.name)
+					}
+					us := timeQueriesUS(len(qs), func(i int) { b.idx.KNN(qs[i], workload.DefaultK) })
+					var rec float64
+					for i, q := range qs {
+						rec += index.KNNRecall(b.idx.KNN(q, workload.DefaultK), truth[i], q)
+					}
+					times[b.name] = append(times[b.name], us/1000)
+					recalls[b.name] = append(recalls[b.name], rec/float64(len(qs)))
+				}
+			})
+			for _, name := range order {
+				tTb.addf(name, "%.4f", times[name]...)
+				rTb.addf(name, "%.3f", recalls[name]...)
+			}
+			tTb.write(w)
+			rTb.write(w)
+		},
+	})
+}
+
+// Deletions: §6.2.5 notes deletions "replicate the performance figures of
+// insertions"; this experiment verifies that claim at harness scale.
+func init() {
+	register(Experiment{
+		ID:    "deletions",
+		Title: "Deletions: point query time after deletions (§6.2.5 text)",
+		Run: func(cfg Config, w io.Writer) {
+			cfg = cfg.Defaults()
+			pts := dataset.Generate(cfg.Dist, cfg.N, cfg.Seed)
+			totalDel := int(0.5 * float64(cfg.N))
+			dels := workload.DeleteSample(pts, totalDel, cfg.Seed+8)
+
+			delTb := newTable(fmt.Sprintf("Deletion time (us), %s n=%d", cfg.Dist, cfg.N), "index")
+			qTb := newTable("Point query time (us) after deletions", "index")
+			for _, f := range workload.UpdateFractions {
+				delTb.header = append(delTb.header, fmt.Sprintf("%.0f%%", f*100))
+				qTb.header = append(qTb.header, fmt.Sprintf("%.0f%%", f*100))
+			}
+			delTimes := map[string][]float64{}
+			qTimes := map[string][]float64{}
+			indices := buildAll(cfg, pts, false)
+
+			gone := make(map[geom.Point]struct{}, totalDel)
+			batch := totalDel / len(workload.UpdateFractions)
+			for stage := range workload.UpdateFractions {
+				lo, hi := stage*batch, (stage+1)*batch
+				chunk := dels[lo:hi]
+				for _, b := range indices {
+					us := timeQueriesUS(len(chunk), func(i int) { b.idx.Delete(chunk[i]) })
+					delTimes[b.name] = append(delTimes[b.name], us)
+				}
+				for _, p := range chunk {
+					gone[p] = struct{}{}
+				}
+				var live []geom.Point
+				for _, p := range pts {
+					if _, g := gone[p]; !g {
+						live = append(live, p)
+					}
+				}
+				queries := workload.PointQueries(live, cfg.Queries, cfg.Seed+9)
+				for _, b := range indices {
+					us := timeQueriesUS(len(queries), func(i int) { b.idx.PointQuery(queries[i]) })
+					qTimes[b.name] = append(qTimes[b.name], us)
+				}
+			}
+			for _, b := range indices {
+				delTb.addf(b.name, "%.2f", delTimes[b.name]...)
+				qTb.addf(b.name, "%.2f", qTimes[b.name]...)
+			}
+			delTb.write(w)
+			qTb.write(w)
+		},
+	})
+}

@@ -1,0 +1,268 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortedKeys(n int, seed int64) ([]float64, []uint32) {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = rng.Float64()
+	}
+	sort.Float64s(keys)
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = uint32(i)
+	}
+	return keys, vals
+}
+
+func TestBulkGet(t *testing.T) {
+	keys, vals := sortedKeys(5000, 1)
+	tr := Bulk(keys, vals, 16)
+	if tr.Len() != 5000 {
+		t.Fatalf("Len = %d, want 5000", tr.Len())
+	}
+	for i, k := range keys {
+		v, ok := tr.Get(k)
+		if !ok {
+			t.Fatalf("Get(%v) not found", k)
+		}
+		// Duplicate float keys are vanishingly unlikely here, so values
+		// must match ranks exactly.
+		if v != vals[i] {
+			t.Fatalf("Get(%v) = %d, want %d", k, v, vals[i])
+		}
+	}
+	if _, ok := tr.Get(-1); ok {
+		t.Error("Get of absent key returned ok")
+	}
+	if _, ok := tr.Get(2); ok {
+		t.Error("Get of absent key returned ok")
+	}
+}
+
+func TestBulkEmpty(t *testing.T) {
+	tr := Bulk(nil, nil, 8)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Errorf("empty bulk: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if _, ok := tr.Get(0.5); ok {
+		t.Error("Get on empty tree returned ok")
+	}
+	if r := tr.Rank(0.5); r != 0 {
+		t.Errorf("Rank on empty tree = %d", r)
+	}
+}
+
+func TestBulkPanicsOnBadInput(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"mismatched": func() { Bulk([]float64{1, 2}, []uint32{1}, 8) },
+		"unsorted":   func() { Bulk([]float64{2, 1}, []uint32{1, 2}, 8) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// Rank is the operation HRR depends on: it must equal the number of keys
+// strictly below the probe for bulk-loaded trees of any shape.
+func TestRankMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(3000)
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = rng.Float64()
+		}
+		sort.Float64s(keys)
+		vals := make([]uint32, n)
+		tr := Bulk(keys, vals, 4+rng.Intn(60))
+		for probe := 0; probe < 20; probe++ {
+			q := rng.Float64()*1.2 - 0.1
+			want := sort.SearchFloat64s(keys, q)
+			if got := tr.Rank(q); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankExistingKeyExcludesSelf(t *testing.T) {
+	keys := []float64{0.1, 0.2, 0.3, 0.4}
+	tr := Bulk(keys, []uint32{0, 1, 2, 3}, 4)
+	for i, k := range keys {
+		if got := tr.Rank(k); got != i {
+			t.Errorf("Rank(%v) = %d, want %d", k, got, i)
+		}
+	}
+}
+
+func TestInsertThenGet(t *testing.T) {
+	tr := New(8)
+	rng := rand.New(rand.NewSource(2))
+	keys := make([]float64, 3000)
+	for i := range keys {
+		keys[i] = rng.Float64()
+		tr.Insert(keys[i], uint32(i))
+	}
+	if tr.Len() != 3000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i, k := range keys {
+		v, ok := tr.Get(k)
+		if !ok {
+			t.Fatalf("Get(%v) not found after insert", k)
+		}
+		_ = i
+		_ = v
+	}
+	if tr.Height() < 3 {
+		t.Errorf("3000 keys at fanout 8 should be height >= 3, got %d", tr.Height())
+	}
+}
+
+// Mixed bulk + insert must keep Rank exact.
+func TestInsertRankProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var all []float64
+		tr := New(4 + rng.Intn(28))
+		n := 200 + rng.Intn(800)
+		for i := 0; i < n; i++ {
+			k := rng.Float64()
+			all = append(all, k)
+			tr.Insert(k, uint32(i))
+		}
+		sort.Float64s(all)
+		for probe := 0; probe < 10; probe++ {
+			q := rng.Float64()
+			if tr.Rank(q) != sort.SearchFloat64s(all, q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	keys, vals := sortedKeys(2000, 3)
+	tr := Bulk(keys, vals, 32)
+	lo, hi := 0.25, 0.75
+	var got []float64
+	tr.Scan(lo, hi, func(k float64, v uint32) bool {
+		got = append(got, k)
+		return true
+	})
+	var want []float64
+	for _, k := range keys {
+		if k >= lo && k <= hi {
+			want = append(want, k)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Scan returned %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Scan order mismatch at %d", i)
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	keys, vals := sortedKeys(100, 4)
+	tr := Bulk(keys, vals, 8)
+	count := 0
+	tr.Scan(0, 1, func(k float64, v uint32) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop visited %d, want 5", count)
+	}
+}
+
+func TestScanEmptyRange(t *testing.T) {
+	keys, vals := sortedKeys(100, 5)
+	tr := Bulk(keys, vals, 8)
+	tr.Scan(2, 3, func(k float64, v uint32) bool {
+		t.Errorf("unexpected visit of %v", k)
+		return true
+	})
+}
+
+func TestNewClampsFanout(t *testing.T) {
+	tr := New(1)
+	for i := 0; i < 100; i++ {
+		tr.Insert(float64(i), uint32(i))
+	}
+	if tr.Len() != 100 {
+		t.Error("tiny fanout tree lost entries")
+	}
+	if New(0).fanout != DefaultFanout {
+		t.Error("zero fanout must select default")
+	}
+}
+
+func TestSizeBytesAndHeightGrow(t *testing.T) {
+	small := Bulk([]float64{0.5}, []uint32{0}, 16)
+	keys, vals := sortedKeys(10000, 6)
+	big := Bulk(keys, vals, 16)
+	if big.SizeBytes() <= small.SizeBytes() {
+		t.Error("bigger tree must take more space")
+	}
+	if big.Height() <= small.Height() {
+		t.Error("bigger tree must be taller")
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	keys := []float64{1, 1, 1, 2, 2, 3}
+	vals := []uint32{0, 1, 2, 3, 4, 5}
+	tr := Bulk(keys, vals, 4)
+	if got := tr.Rank(1); got != 0 {
+		t.Errorf("Rank(1) = %d, want 0", got)
+	}
+	if got := tr.Rank(2); got != 3 {
+		t.Errorf("Rank(2) = %d, want 3", got)
+	}
+	if got := tr.Rank(4); got != 6 {
+		t.Errorf("Rank(4) = %d, want 6", got)
+	}
+	if _, ok := tr.Get(1); !ok {
+		t.Error("Get(dup key) must find an entry")
+	}
+	var seen int
+	tr.Scan(1, 1, func(k float64, v uint32) bool { seen++; return true })
+	if seen != 3 {
+		t.Errorf("Scan over dup run saw %d, want 3", seen)
+	}
+}
+
+func BenchmarkRank(b *testing.B) {
+	keys, vals := sortedKeys(100000, 7)
+	tr := Bulk(keys, vals, 100)
+	rng := rand.New(rand.NewSource(8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Rank(rng.Float64())
+	}
+}

@@ -1,0 +1,48 @@
+package cdf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// WriteTo serialises the PMF's knots and cumulative fractions. It
+// implements io.WriterTo.
+func (f *PMF) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	if err := binary.Write(w, binary.LittleEndian, int32(len(f.knots))); err != nil {
+		return written, fmt.Errorf("cdf: write header: %w", err)
+	}
+	written += 4
+	for _, s := range [][]float64{f.knots, f.cum} {
+		if err := binary.Write(w, binary.LittleEndian, s); err != nil {
+			return written, fmt.Errorf("cdf: write knots: %w", err)
+		}
+		written += int64(8 * len(s))
+	}
+	return written, nil
+}
+
+// ReadPMF deserialises a PMF written by WriteTo.
+func ReadPMF(r io.Reader) (*PMF, error) {
+	var n int32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("cdf: read header: %w", err)
+	}
+	const maxKnots = 1 << 24
+	if n < 2 || n > maxKnots {
+		return nil, fmt.Errorf("cdf: implausible knot count %d", n)
+	}
+	f := &PMF{knots: make([]float64, n), cum: make([]float64, n)}
+	for _, dst := range [][]float64{f.knots, f.cum} {
+		if err := binary.Read(r, binary.LittleEndian, dst); err != nil {
+			return nil, fmt.Errorf("cdf: read knots: %w", err)
+		}
+	}
+	for i := 1; i < int(n); i++ {
+		if f.knots[i] < f.knots[i-1] || f.cum[i] < f.cum[i-1] {
+			return nil, fmt.Errorf("cdf: non-monotone data at knot %d", i)
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,417 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"rsmi/internal/cdf"
+	"rsmi/internal/geom"
+	"rsmi/internal/mlp"
+	"rsmi/internal/sfc"
+	"rsmi/internal/store"
+)
+
+// The paper's RSMI takes hours to train at scale (§6.2.2: 16 h for OSM on a
+// CPU), so a production deployment builds once and serves many restarts.
+// This file provides a complete binary serialisation of a built index:
+// options, blocks (including overflow chains and deleted slots), model
+// weights, MBRs, error bounds, and the kNN PMFs. A loaded index answers
+// queries identically to the original.
+
+// serialMagic identifies the index file format.
+var serialMagic = [8]byte{'R', 'S', 'M', 'I', 'v', '1', 0, 0}
+
+// WriteTo serialises the index. It implements io.WriterTo.
+func (t *RSMI) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	if err := t.encode(cw); err != nil {
+		return cw.n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, fmt.Errorf("core: flush: %w", err)
+	}
+	return cw.n, nil
+}
+
+// Load deserialises an index written by WriteTo.
+func Load(r io.Reader) (*RSMI, error) {
+	br := bufio.NewReader(r)
+	return decode(br)
+}
+
+// countWriter tracks bytes written.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (t *RSMI) encode(w io.Writer) error {
+	put := func(v interface{}) error {
+		return binary.Write(w, binary.LittleEndian, v)
+	}
+	if _, err := w.Write(serialMagic[:]); err != nil {
+		return fmt.Errorf("core: write magic: %w", err)
+	}
+	// Options.
+	o := t.opts
+	raw := uint8(0)
+	if o.RawGridLeafOrder {
+		raw = 1
+	}
+	for _, v := range []interface{}{
+		int64(o.BlockCapacity), int64(o.PartitionThreshold), int64(o.Curve),
+		o.LearningRate, int64(o.Epochs), o.TargetLoss,
+		int64(o.Gamma), o.Delta, o.Seed, raw,
+	} {
+		if err := put(v); err != nil {
+			return fmt.Errorf("core: write options: %w", err)
+		}
+	}
+	// Scalars.
+	for _, v := range []interface{}{
+		int64(t.n), int64(t.baseBlocks), int64(t.models), int64(t.leaves),
+		int64(t.height), t.depthSum, t.seedSerial, int64(t.inserted),
+		int64(t.lastTail), int64(t.buildTime),
+	} {
+		if err := put(v); err != nil {
+			return fmt.Errorf("core: write scalars: %w", err)
+		}
+	}
+	// Store.
+	if _, err := t.store.WriteTo(w); err != nil {
+		return err
+	}
+	// Block MBRs.
+	if err := put(int64(len(t.blockMBR))); err != nil {
+		return err
+	}
+	for _, r := range t.blockMBR {
+		if err := putRect(w, r); err != nil {
+			return err
+		}
+	}
+	// PMFs.
+	if _, err := t.pmfX.WriteTo(w); err != nil {
+		return err
+	}
+	if _, err := t.pmfY.WriteTo(w); err != nil {
+		return err
+	}
+	// Model tree.
+	return encodeNode(w, t.root)
+}
+
+// Node tags in the tree stream.
+const (
+	tagNil      = uint8(0)
+	tagLeaf     = uint8(1)
+	tagInternal = uint8(2)
+)
+
+func encodeNode(w io.Writer, n *node) error {
+	put := func(v interface{}) error {
+		return binary.Write(w, binary.LittleEndian, v)
+	}
+	if n == nil {
+		return put(tagNil)
+	}
+	tag := tagInternal
+	if n.leaf {
+		tag = tagLeaf
+	}
+	if err := put(tag); err != nil {
+		return err
+	}
+	if err := putRect(w, n.norm); err != nil {
+		return err
+	}
+	if err := putRect(w, n.mbr); err != nil {
+		return err
+	}
+	hasModel := uint8(0)
+	if n.model != nil {
+		hasModel = 1
+	}
+	if err := put(hasModel); err != nil {
+		return err
+	}
+	if n.model != nil {
+		if _, err := n.model.WriteTo(w); err != nil {
+			return err
+		}
+	}
+	for _, v := range []interface{}{
+		int64(n.cells), int64(n.firstBlock), int64(n.numBlocks),
+		int64(n.errUp), int64(n.errDown), int64(n.points),
+	} {
+		if err := put(v); err != nil {
+			return err
+		}
+	}
+	if n.leaf {
+		return nil
+	}
+	if err := put(int64(len(n.children))); err != nil {
+		return err
+	}
+	for _, c := range n.children {
+		if err := encodeNode(w, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func putRect(w io.Writer, r geom.Rect) error {
+	for _, f := range []float64{r.MinX, r.MinY, r.MaxX, r.MaxY} {
+		if err := binary.Write(w, binary.LittleEndian, math.Float64bits(f)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func getRect(r io.Reader) (geom.Rect, error) {
+	var bits [4]uint64
+	for i := range bits {
+		if err := binary.Read(r, binary.LittleEndian, &bits[i]); err != nil {
+			return geom.Rect{}, err
+		}
+	}
+	return geom.Rect{
+		MinX: math.Float64frombits(bits[0]),
+		MinY: math.Float64frombits(bits[1]),
+		MaxX: math.Float64frombits(bits[2]),
+		MaxY: math.Float64frombits(bits[3]),
+	}, nil
+}
+
+func decode(r io.Reader) (*RSMI, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: read magic: %w", err)
+	}
+	if magic != serialMagic {
+		return nil, errors.New("core: not an RSMI index file")
+	}
+	get := func(v interface{}) error {
+		return binary.Read(r, binary.LittleEndian, v)
+	}
+	var (
+		i64  [9]int64
+		lr   float64
+		tl   float64
+		dlt  float64
+		seed int64
+		raw  uint8
+	)
+	// Options: capacity, threshold, curve, lr, epochs, targetLoss, gamma,
+	// delta, seed, raw flag.
+	if err := get(&i64[0]); err != nil {
+		return nil, fmt.Errorf("core: read options: %w", err)
+	}
+	if err := get(&i64[1]); err != nil {
+		return nil, err
+	}
+	if err := get(&i64[2]); err != nil {
+		return nil, err
+	}
+	if err := get(&lr); err != nil {
+		return nil, err
+	}
+	if err := get(&i64[3]); err != nil {
+		return nil, err
+	}
+	if err := get(&tl); err != nil {
+		return nil, err
+	}
+	if err := get(&i64[4]); err != nil {
+		return nil, err
+	}
+	if err := get(&dlt); err != nil {
+		return nil, err
+	}
+	if err := get(&seed); err != nil {
+		return nil, err
+	}
+	if err := get(&raw); err != nil {
+		return nil, err
+	}
+	opts := Options{
+		BlockCapacity:      int(i64[0]),
+		PartitionThreshold: int(i64[1]),
+		Curve:              sfc.Kind(i64[2]),
+		LearningRate:       lr,
+		Epochs:             int(i64[3]),
+		TargetLoss:         tl,
+		Gamma:              int(i64[4]),
+		Delta:              dlt,
+		Seed:               seed,
+		RawGridLeafOrder:   raw&1 != 0,
+	}
+	t := &RSMI{opts: opts}
+	// Scalars.
+	var scalars [10]int64
+	for i := range scalars {
+		if err := get(&scalars[i]); err != nil {
+			return nil, fmt.Errorf("core: read scalars: %w", err)
+		}
+	}
+	t.n = int(scalars[0])
+	t.baseBlocks = int(scalars[1])
+	t.models = int(scalars[2])
+	t.leaves = int(scalars[3])
+	t.height = int(scalars[4])
+	t.depthSum = scalars[5]
+	t.seedSerial = scalars[6]
+	t.inserted = int(scalars[7])
+	t.lastTail = int(scalars[8])
+	t.buildTime = time.Duration(scalars[9])
+	// Store.
+	mgr, err := store.ReadManager(r)
+	if err != nil {
+		return nil, err
+	}
+	t.store = mgr
+	// Block MBRs.
+	var nMBR int64
+	if err := get(&nMBR); err != nil {
+		return nil, err
+	}
+	if nMBR < 0 || nMBR != int64(mgr.NumBlocks()) {
+		return nil, fmt.Errorf("core: MBR count %d does not match %d blocks", nMBR, mgr.NumBlocks())
+	}
+	t.blockMBR = make([]geom.Rect, nMBR)
+	for i := range t.blockMBR {
+		if t.blockMBR[i], err = getRect(r); err != nil {
+			return nil, err
+		}
+	}
+	// PMFs.
+	if t.pmfX, err = cdf.ReadPMF(r); err != nil {
+		return nil, err
+	}
+	if t.pmfY, err = cdf.ReadPMF(r); err != nil {
+		return nil, err
+	}
+	// Model tree.
+	if t.root, err = decodeNode(r, 0); err != nil {
+		return nil, err
+	}
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// maxDecodeDepth bounds recursion on corrupt input.
+const maxDecodeDepth = 64
+
+func decodeNode(r io.Reader, depth int) (*node, error) {
+	if depth > maxDecodeDepth {
+		return nil, errors.New("core: model tree too deep (corrupt file?)")
+	}
+	var tag uint8
+	if err := binary.Read(r, binary.LittleEndian, &tag); err != nil {
+		return nil, fmt.Errorf("core: read node tag: %w", err)
+	}
+	switch tag {
+	case tagNil:
+		return nil, nil
+	case tagLeaf, tagInternal:
+	default:
+		return nil, fmt.Errorf("core: bad node tag %d", tag)
+	}
+	n := &node{leaf: tag == tagLeaf}
+	var err error
+	if n.norm, err = getRect(r); err != nil {
+		return nil, err
+	}
+	if n.mbr, err = getRect(r); err != nil {
+		return nil, err
+	}
+	var hasModel uint8
+	if err := binary.Read(r, binary.LittleEndian, &hasModel); err != nil {
+		return nil, err
+	}
+	if hasModel&1 != 0 {
+		if n.model, err = mlp.ReadNetwork(r); err != nil {
+			return nil, err
+		}
+	}
+	var f [6]int64
+	for i := range f {
+		if err := binary.Read(r, binary.LittleEndian, &f[i]); err != nil {
+			return nil, err
+		}
+	}
+	n.cells = int(f[0])
+	n.firstBlock = int(f[1])
+	n.numBlocks = int(f[2])
+	n.errUp = int(f[3])
+	n.errDown = int(f[4])
+	n.points = int(f[5])
+	if n.leaf {
+		return n, nil
+	}
+	var nChildren int64
+	if err := binary.Read(r, binary.LittleEndian, &nChildren); err != nil {
+		return nil, err
+	}
+	const maxCells = 1 << 20
+	if nChildren < 0 || nChildren > maxCells || int(nChildren) != n.cells {
+		return nil, fmt.Errorf("core: child count %d does not match %d cells", nChildren, n.cells)
+	}
+	n.children = make([]*node, nChildren)
+	for i := range n.children {
+		if n.children[i], err = decodeNode(r, depth+1); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// validate sanity-checks structural invariants after loading.
+func (t *RSMI) validate() error {
+	if t.root == nil {
+		return errors.New("core: loaded index has no root")
+	}
+	if t.baseBlocks > t.store.NumBlocks() {
+		return fmt.Errorf("core: baseBlocks %d exceeds %d stored blocks",
+			t.baseBlocks, t.store.NumBlocks())
+	}
+	var bad error
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil || bad != nil {
+			return
+		}
+		if n.leaf {
+			if n.firstBlock < 0 || n.firstBlock+n.numBlocks > t.baseBlocks {
+				bad = fmt.Errorf("core: leaf block range [%d,%d) out of bounds",
+					n.firstBlock, n.firstBlock+n.numBlocks)
+			}
+			if n.errUp < 0 || n.errDown < 0 {
+				bad = errors.New("core: negative error bounds")
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return bad
+}

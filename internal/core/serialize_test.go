@@ -1,0 +1,164 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"rsmi/internal/dataset"
+	"rsmi/internal/geom"
+	"rsmi/internal/index"
+	"rsmi/internal/workload"
+)
+
+func roundTrip(t *testing.T, idx *RSMI) *RSMI {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := idx.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return got
+}
+
+func TestSerializeRoundTripQueriesIdentical(t *testing.T) {
+	pts := dataset.Generate(dataset.OSMLike, 4000, 31)
+	orig := New(pts, testOptions())
+	loaded := roundTrip(t, orig)
+
+	if loaded.Len() != orig.Len() {
+		t.Fatalf("Len: %d vs %d", loaded.Len(), orig.Len())
+	}
+	so, sl := orig.Stats(), loaded.Stats()
+	so.BuildTime, sl.BuildTime = 0, 0
+	if so != sl {
+		t.Fatalf("Stats diverge:\n%+v\n%+v", so, sl)
+	}
+	// Every point query answer identical (and exact).
+	for _, p := range pts {
+		if !loaded.PointQuery(p) {
+			t.Fatalf("loaded index lost %v", p)
+		}
+	}
+	// Window and kNN answers bit-identical.
+	for _, w := range workload.Windows(pts, 40, 0.01, 1, 32) {
+		a, b := orig.WindowQuery(w), loaded.WindowQuery(w)
+		if len(a) != len(b) {
+			t.Fatalf("window answers diverge: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("window answer order diverges at %d", i)
+			}
+		}
+	}
+	for _, q := range workload.KNNPoints(pts, 30, 33) {
+		a, b := orig.KNN(q, 10), loaded.KNN(q, 10)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("kNN answers diverge at %d", i)
+			}
+		}
+	}
+}
+
+func TestSerializeAfterUpdates(t *testing.T) {
+	pts := dataset.Generate(dataset.Skewed, 2000, 34)
+	idx := New(pts, testOptions())
+	ins := workload.InsertPoints(pts, 600, 35)
+	for _, p := range ins {
+		idx.Insert(p)
+	}
+	del := workload.DeleteSample(pts, 300, 36)
+	gone := map[geom.Point]bool{}
+	for _, p := range del {
+		idx.Delete(p)
+		gone[p] = true
+	}
+	loaded := roundTrip(t, idx)
+	if loaded.Len() != idx.Len() {
+		t.Fatalf("Len after updates: %d vs %d", loaded.Len(), idx.Len())
+	}
+	for _, p := range ins {
+		if !loaded.PointQuery(p) {
+			t.Fatalf("inserted point %v lost through serialisation", p)
+		}
+	}
+	for _, p := range del {
+		if loaded.PointQuery(p) {
+			t.Fatalf("deleted point %v resurrected by serialisation", p)
+		}
+	}
+	// Exact queries still exact.
+	var live []geom.Point
+	for _, p := range append(pts, ins...) {
+		if !gone[p] {
+			live = append(live, p)
+		}
+	}
+	oracle := index.NewLinear(live)
+	for _, w := range workload.Windows(live, 20, 0.02, 1, 37) {
+		got := loaded.ExactWindow(w)
+		want := oracle.WindowQuery(w)
+		if len(got) != len(want) || index.Recall(got, want) != 1 {
+			t.Fatalf("exact window wrong after round trip: %d vs %d", len(got), len(want))
+		}
+	}
+	// Loaded index remains updatable.
+	p := geom.Pt(0.42, 0.1337)
+	loaded.Insert(p)
+	if !loaded.PointQuery(p) {
+		t.Fatal("loaded index rejected insert")
+	}
+}
+
+func TestSerializeEmptyAndSingle(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		pts := dataset.Generate(dataset.Uniform, n, 38)
+		idx := New(pts, testOptions())
+		loaded := roundTrip(t, idx)
+		if loaded.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, loaded.Len())
+		}
+		if n == 1 && !loaded.PointQuery(pts[0]) {
+			t.Fatal("single point lost")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("this is not an index file at all"),
+		"truncated": append(append([]byte{}, serialMagic[:]...), 1, 2, 3),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Load(bytes.NewReader(data)); err == nil {
+				t.Error("Load accepted garbage")
+			}
+		})
+	}
+}
+
+func TestLoadRejectsCorruptedBody(t *testing.T) {
+	pts := dataset.Generate(dataset.Uniform, 1500, 39)
+	idx := New(pts, testOptions())
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Truncations anywhere must error, never panic.
+	for _, cut := range []int{10, 50, len(data) / 2, len(data) - 3} {
+		if _, err := Load(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("Load accepted truncation at %d", cut)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"rsmi/internal/geom"
+	"rsmi/internal/index"
+	"rsmi/internal/store"
+)
+
+// This file implements the update handling of §5: insertions into predicted
+// blocks with overflow chaining, flag-based deletions, recursive MBR
+// maintenance, and the periodic rebuild of the RSMIr variant (§6.2.5).
+
+// Insert adds p to the index (§5). The point query locates the predicted
+// block; if it (or its overflow chain) has space, p is placed there,
+// otherwise a new overflow block is created, marked Inserted so it does not
+// count towards the error bounds, and spliced after the chain. Ancestor
+// MBRs are extended recursively.
+func (t *RSMI) Insert(p geom.Point) {
+	if t.root == nil || t.baseBlocks == 0 {
+		// Degenerate empty index: rebuild from a single point.
+		*t = *New([]geom.Point{p}, t.opts)
+		return
+	}
+	leaf, path := t.descend(p)
+	if leaf == nil {
+		// No leaf reachable (cannot happen on a built index, but keep the
+		// invariant that Insert never loses points).
+		*t = *New(append(t.AllPoints(), p), t.opts)
+		return
+	}
+	local := leaf.predictClamped(p, leaf.numBlocks)
+	base := t.store.Read(leaf.firstBlock + local)
+
+	// Walk the overflow chain looking for space.
+	var target *store.Block
+	lastInChain := base
+	for _, id := range t.store.Chain(base) {
+		b := t.store.Read(id)
+		lastInChain = b
+		if target == nil && b.HasSpace() {
+			target = b
+		}
+	}
+	if target == nil {
+		target = t.store.Alloc()
+		target.Inserted = true
+		t.appendBlockMBR(geom.EmptyRect())
+		t.store.Link(lastInChain, target)
+	}
+	target.Append(p)
+	t.blockMBR[target.ID] = t.blockMBR[target.ID].ExtendPoint(p)
+
+	// Recursive MBR (and bookkeeping) updates up the path.
+	leaf.mbr = leaf.mbr.ExtendPoint(p)
+	leaf.points++
+	for _, n := range path {
+		n.mbr = n.mbr.ExtendPoint(p)
+		n.points++
+	}
+	t.n++
+	t.inserted++
+}
+
+// Delete removes the point with exactly p's coordinates (§5): the point is
+// located with a point query, swapped with the last point in its block, and
+// flagged deleted. Blocks are never deallocated, keeping the error bounds
+// valid. MBRs are left unshrunk (conservative: supersets stay correct).
+func (t *RSMI) Delete(p geom.Point) bool {
+	blockID, slot, found := t.findPoint(p)
+	if !found {
+		return false
+	}
+	b := t.store.Peek(blockID)
+	b.Delete(slot)
+	t.n--
+	// Decrement live counts down the model path.
+	leaf, path := t.descend(p)
+	if leaf != nil {
+		leaf.points--
+		for _, n := range path {
+			n.points--
+		}
+	}
+	return true
+}
+
+// InsertedSinceRebuild returns the number of insertions since the index was
+// built or last rebuilt; the RSMIr policy of §6.2.5 rebuilds after every
+// 10% n insertions.
+func (t *RSMI) InsertedSinceRebuild() int { return t.inserted }
+
+// AllPoints returns every live point in global block order.
+func (t *RSMI) AllPoints() []geom.Point {
+	out := make([]geom.Point, 0, t.n)
+	if t.baseBlocks == 0 {
+		return out
+	}
+	t.scanAll(func(b *store.Block) {
+		b.Points(func(p geom.Point) { out = append(out, p) })
+	})
+	return out
+}
+
+// scanAll visits every block in list order without counting accesses
+// (structural maintenance, not query work).
+func (t *RSMI) scanAll(fn func(b *store.Block)) {
+	cur := 0
+	for cur != store.NilBlock {
+		b := t.store.Peek(cur)
+		if b == nil {
+			return
+		}
+		fn(b)
+		cur = b.Next
+	}
+}
+
+// Rebuild reconstructs the index from its live points, retraining all
+// sub-models and repacking all blocks. This is the periodic rebuild the
+// paper prescribes for sustained update loads ("A periodic rebuild may be
+// run (e.g., overnight) to retain a high query efficiency", §5; evaluated as
+// RSMIr in §6.2.5). The paper rebuilds only over-threshold sub-models; a
+// full rebuild is used here because block ids must stay globally monotone
+// in curve order for window scans — see EXPERIMENTS.md for the impact.
+func (t *RSMI) Rebuild() {
+	pts := t.AllPoints()
+	*t = *New(pts, t.opts)
+}
+
+// Rebuilder wraps an RSMI as the RSMIr variant: after every insertion it
+// checks the 10% n policy and rebuilds when due. It implements index.Index.
+type Rebuilder struct {
+	*RSMI
+	// Fraction is the insert fraction triggering a rebuild (default 0.1,
+	// §6.2.5: "rebuilds ... after every 10%n insertions").
+	Fraction float64
+}
+
+// AsRebuilder returns the RSMIr view of the index.
+func (t *RSMI) AsRebuilder() *Rebuilder {
+	return &Rebuilder{RSMI: t, Fraction: 0.1}
+}
+
+// Name implements index.Index.
+func (r *Rebuilder) Name() string { return "RSMIr" }
+
+// Insert implements index.Index, rebuilding when the policy fires.
+func (r *Rebuilder) Insert(p geom.Point) {
+	r.RSMI.Insert(p)
+	if float64(r.RSMI.inserted) >= r.Fraction*float64(r.RSMI.n) {
+		r.RSMI.Rebuild()
+	}
+}
+
+// Stats implements index.Index.
+func (r *Rebuilder) Stats() index.Stats {
+	s := r.RSMI.Stats()
+	s.Name = r.Name()
+	return s
+}

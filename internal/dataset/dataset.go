@@ -1,0 +1,263 @@
+// Package dataset generates and serialises the point data sets of §6.1.
+//
+// The synthetic families (Uniform, Normal, Skewed) follow the paper's recipe
+// literally. The real data sets (TIGER, OSM) are not available offline;
+// TigerLike and OSMLike are documented synthetic stand-ins that preserve the
+// characteristics the evaluation stresses — see DESIGN.md §3.2.
+//
+// All generators are deterministic in their seed and emit points in the unit
+// square with distinct coordinates in each dimension (the paper assumes "no
+// two points have the same coordinates in both dimensions"; with float64
+// draws, exact collisions are removed by rejection).
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rsmi/internal/geom"
+)
+
+// Kind identifies a data distribution.
+type Kind int
+
+const (
+	// Uniform points in the unit square.
+	Uniform Kind = iota
+	// Normal points around the square's centre (clipped to the square).
+	Normal
+	// Skewed points: uniform, then y ← y^SkewAlpha (paper: α = 4,
+	// "following HRR [37, 38]").
+	Skewed
+	// TigerLike is the synthetic stand-in for the TIGER data set:
+	// geographic features clustered along a road-like lattice.
+	TigerLike
+	// OSMLike is the synthetic stand-in for the OSM data set: heavy-tailed
+	// urban clusters over a sparse background.
+	OSMLike
+)
+
+// SkewAlpha is the paper's skew exponent (α = 4).
+const SkewAlpha = 4
+
+// kinds lists all Kind values in display order.
+var kinds = []Kind{Uniform, Normal, Skewed, TigerLike, OSMLike}
+
+// All returns every distribution kind in the order the paper's figures use
+// (Uni., Nor., Ske., Tig., OSM).
+func All() []Kind { return append([]Kind(nil), kinds...) }
+
+// String implements fmt.Stringer with the paper's figure labels.
+func (k Kind) String() string {
+	switch k {
+	case Uniform:
+		return "Uniform"
+	case Normal:
+		return "Normal"
+	case Skewed:
+		return "Skewed"
+	case TigerLike:
+		return "Tiger"
+	case OSMLike:
+		return "OSM"
+	default:
+		return fmt.Sprintf("dataset.Kind(%d)", int(k))
+	}
+}
+
+// Parse returns the Kind named by s (case-sensitive match on String()
+// values, plus lower-case aliases).
+func Parse(s string) (Kind, error) {
+	switch s {
+	case "Uniform", "uniform", "uni":
+		return Uniform, nil
+	case "Normal", "normal", "nor":
+		return Normal, nil
+	case "Skewed", "skewed", "ske":
+		return Skewed, nil
+	case "Tiger", "tiger", "tig":
+		return TigerLike, nil
+	case "OSM", "osm":
+		return OSMLike, nil
+	}
+	return 0, fmt.Errorf("dataset: unknown distribution %q", s)
+}
+
+// Generate produces n points of the given distribution.
+func Generate(kind Kind, n int, seed int64) []geom.Point {
+	switch kind {
+	case Uniform:
+		return uniform(n, seed)
+	case Normal:
+		return normal(n, seed)
+	case Skewed:
+		return skewed(n, seed, SkewAlpha)
+	case TigerLike:
+		return tigerLike(n, seed)
+	case OSMLike:
+		return osmLike(n, seed)
+	default:
+		panic(fmt.Sprintf("dataset: unknown kind %d", int(kind)))
+	}
+}
+
+// dedup wraps a generator's raw draw function, rejecting exact duplicate
+// points so the rank-space assumption holds.
+type dedup struct {
+	seen map[geom.Point]struct{}
+}
+
+func newDedup(n int) *dedup {
+	return &dedup{seen: make(map[geom.Point]struct{}, n)}
+}
+
+// add reports whether p was fresh and records it.
+func (d *dedup) add(p geom.Point) bool {
+	if _, dup := d.seen[p]; dup {
+		return false
+	}
+	d.seen[p] = struct{}{}
+	return true
+}
+
+func uniform(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Point, 0, n)
+	d := newDedup(n)
+	for len(out) < n {
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		if d.add(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func normal(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Point, 0, n)
+	d := newDedup(n)
+	const sigma = 1.0 / 6
+	for len(out) < n {
+		x := 0.5 + rng.NormFloat64()*sigma
+		y := 0.5 + rng.NormFloat64()*sigma
+		if x < 0 || x > 1 || y < 0 || y > 1 {
+			continue
+		}
+		p := geom.Pt(x, y)
+		if d.add(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func skewed(n int, seed int64, alpha int) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Point, 0, n)
+	d := newDedup(n)
+	for len(out) < n {
+		x := rng.Float64()
+		y := math.Pow(rng.Float64(), float64(alpha))
+		p := geom.Pt(x, y)
+		if d.add(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// tigerLike mimics geographic feature data: most features (road segments,
+// buildings, hydrography) line up along a coarse irregular lattice of
+// corridors with Gaussian cross-corridor jitter, plus a rural background.
+func tigerLike(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	// Irregular corridor positions.
+	const corridors = 12
+	hs := make([]float64, corridors) // horizontal corridor y-positions
+	vs := make([]float64, corridors) // vertical corridor x-positions
+	for i := range hs {
+		hs[i] = rng.Float64()
+		vs[i] = rng.Float64()
+	}
+	const jitter = 0.004
+	out := make([]geom.Point, 0, n)
+	d := newDedup(n)
+	for len(out) < n {
+		var p geom.Point
+		switch r := rng.Float64(); {
+		case r < 0.45: // along a horizontal corridor
+			p = geom.Pt(rng.Float64(), clamp01(hs[rng.Intn(corridors)]+rng.NormFloat64()*jitter))
+		case r < 0.90: // along a vertical corridor
+			p = geom.Pt(clamp01(vs[rng.Intn(corridors)]+rng.NormFloat64()*jitter), rng.Float64())
+		default: // rural background
+			p = geom.Pt(rng.Float64(), rng.Float64())
+		}
+		if d.add(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// osmLike mimics OpenStreetMap point density: a few extremely dense urban
+// clusters whose weights follow a power law, over a sparse background. This
+// is the most skewed of the five distributions, as OSM is in the paper
+// (largest error bounds, most block accesses for the grid baseline).
+func osmLike(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	const clusters = 24
+	type cluster struct {
+		c      geom.Point
+		sigma  float64
+		weight float64
+	}
+	cs := make([]cluster, clusters)
+	total := 0.0
+	for i := range cs {
+		w := math.Pow(float64(i+1), -1.1) // Zipf-ish city sizes
+		cs[i] = cluster{
+			c:      geom.Pt(rng.Float64(), rng.Float64()),
+			sigma:  0.002 + 0.02*rng.Float64(),
+			weight: w,
+		}
+		total += w
+	}
+	out := make([]geom.Point, 0, n)
+	d := newDedup(n)
+	for len(out) < n {
+		var p geom.Point
+		if rng.Float64() < 0.85 {
+			// Pick a cluster by weight.
+			t := rng.Float64() * total
+			var k int
+			for k = 0; k < clusters-1; k++ {
+				if t -= cs[k].weight; t <= 0 {
+					break
+				}
+			}
+			c := cs[k]
+			p = geom.Pt(
+				clamp01(c.c.X+rng.NormFloat64()*c.sigma),
+				clamp01(c.c.Y+rng.NormFloat64()*c.sigma),
+			)
+		} else {
+			p = geom.Pt(rng.Float64(), rng.Float64())
+		}
+		if d.add(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

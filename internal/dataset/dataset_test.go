@@ -1,0 +1,257 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"rsmi/internal/geom"
+)
+
+func TestGenerateCardinalityAndRange(t *testing.T) {
+	for _, kind := range All() {
+		t.Run(kind.String(), func(t *testing.T) {
+			pts := Generate(kind, 5000, 1)
+			if len(pts) != 5000 {
+				t.Fatalf("got %d points, want 5000", len(pts))
+			}
+			for _, p := range pts {
+				if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 {
+					t.Fatalf("point %v outside unit square", p)
+				}
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, kind := range All() {
+		a := Generate(kind, 1000, 7)
+		b := Generate(kind, 1000, 7)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: generation not deterministic at %d", kind, i)
+			}
+		}
+		c := Generate(kind, 1000, 8)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%v: different seeds produced identical data", kind)
+		}
+	}
+}
+
+func TestGenerateNoDuplicatePoints(t *testing.T) {
+	for _, kind := range All() {
+		pts := Generate(kind, 20000, 3)
+		seen := make(map[geom.Point]struct{}, len(pts))
+		for _, p := range pts {
+			if _, dup := seen[p]; dup {
+				t.Fatalf("%v: duplicate point %v", kind, p)
+			}
+			seen[p] = struct{}{}
+		}
+	}
+}
+
+func TestUniformIsRoughlyUniform(t *testing.T) {
+	pts := Generate(Uniform, 40000, 5)
+	// Quadrant counts should be near n/4.
+	var q [4]int
+	for _, p := range pts {
+		i := 0
+		if p.X >= 0.5 {
+			i |= 1
+		}
+		if p.Y >= 0.5 {
+			i |= 2
+		}
+		q[i]++
+	}
+	for i, c := range q {
+		if math.Abs(float64(c)-10000) > 600 {
+			t.Errorf("quadrant %d count %d deviates from 10000", i, c)
+		}
+	}
+}
+
+func TestNormalConcentratesAtCentre(t *testing.T) {
+	pts := Generate(Normal, 20000, 6)
+	centre := 0
+	for _, p := range pts {
+		if math.Abs(p.X-0.5) < 0.25 && math.Abs(p.Y-0.5) < 0.25 {
+			centre++
+		}
+	}
+	// For sigma = 1/6, ~86% of each coordinate lies within ±1.5 sigma.
+	if frac := float64(centre) / float64(len(pts)); frac < 0.6 {
+		t.Errorf("only %.2f of normal points near centre", frac)
+	}
+}
+
+func TestSkewedPushesMassDown(t *testing.T) {
+	pts := Generate(Skewed, 20000, 7)
+	below := 0
+	for _, p := range pts {
+		if p.Y < 0.1 {
+			below++
+		}
+	}
+	// P(u^4 < 0.1) = 0.1^(1/4) ~ 0.56.
+	frac := float64(below) / float64(len(pts))
+	if frac < 0.5 || frac > 0.62 {
+		t.Errorf("skewed mass below y=0.1 is %.3f, want ~0.56", frac)
+	}
+}
+
+func TestTigerLikeClustersOnCorridors(t *testing.T) {
+	// Corridor data has many points sharing nearly identical x or y; measure
+	// by comparing coordinate histogram peaks against uniform.
+	pts := Generate(TigerLike, 20000, 8)
+	const bins = 200
+	var hx [bins]int
+	for _, p := range pts {
+		b := int(p.X * bins)
+		if b == bins {
+			b--
+		}
+		hx[b]++
+	}
+	max := 0
+	for _, c := range hx {
+		if c > max {
+			max = c
+		}
+	}
+	mean := len(pts) / bins
+	if max < 4*mean {
+		t.Errorf("tiger-like x histogram peak %d not >> mean %d; corridors missing", max, mean)
+	}
+}
+
+func TestOSMLikeIsHeavyTailed(t *testing.T) {
+	pts := Generate(OSMLike, 30000, 9)
+	const bins = 64
+	var h [bins][bins]int
+	for _, p := range pts {
+		bx, by := int(p.X*bins), int(p.Y*bins)
+		if bx == bins {
+			bx--
+		}
+		if by == bins {
+			by--
+		}
+		h[bx][by]++
+	}
+	max, occupied := 0, 0
+	for i := 0; i < bins; i++ {
+		for j := 0; j < bins; j++ {
+			if h[i][j] > 0 {
+				occupied++
+			}
+			if h[i][j] > max {
+				max = h[i][j]
+			}
+		}
+	}
+	mean := float64(len(pts)) / float64(bins*bins)
+	if float64(max) < 40*mean {
+		t.Errorf("osm-like max cell %d not heavy-tailed vs mean %.1f", max, mean)
+	}
+}
+
+func TestKindStringAndParse(t *testing.T) {
+	for _, kind := range All() {
+		got, err := Parse(kind.String())
+		if err != nil || got != kind {
+			t.Errorf("Parse(%q) = %v, %v", kind.String(), got, err)
+		}
+	}
+	for s, want := range map[string]Kind{
+		"uni": Uniform, "nor": Normal, "ske": Skewed, "tig": TigerLike, "osm": OSMLike,
+	} {
+		got, err := Parse(s)
+		if err != nil || got != want {
+			t.Errorf("Parse(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := Parse("nope"); err == nil {
+		t.Error("Parse of unknown kind must error")
+	}
+	if Kind(42).String() != "dataset.Kind(42)" {
+		t.Error("unknown Kind String mismatch")
+	}
+}
+
+func TestGeneratePanicsOnUnknownKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Generate(unknown) must panic")
+		}
+	}()
+	Generate(Kind(42), 10, 1)
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	pts := Generate(Skewed, 1234, 10)
+	var buf bytes.Buffer
+	if err := WritePoints(&buf, pts); err != nil {
+		t.Fatalf("WritePoints: %v", err)
+	}
+	got, err := ReadPoints(&buf)
+	if err != nil {
+		t.Fatalf("ReadPoints: %v", err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("round trip count %d != %d", len(got), len(pts))
+	}
+	for i := range pts {
+		if got[i] != pts[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestReadPointsRejectsGarbage(t *testing.T) {
+	if _, err := ReadPoints(bytes.NewReader([]byte("not a point file"))); err == nil {
+		t.Error("bad magic must error")
+	}
+	if _, err := ReadPoints(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input must error")
+	}
+	// Truncated payload.
+	var buf bytes.Buffer
+	if err := WritePoints(&buf, Generate(Uniform, 10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadPoints(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated input must error")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pts.bin")
+	pts := Generate(Normal, 500, 11)
+	if err := SaveFile(path, pts); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if len(got) != len(pts) || got[0] != pts[0] || got[499] != pts[499] {
+		t.Error("file round trip mismatch")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Error("loading missing file must error")
+	}
+}

@@ -1,0 +1,92 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"rsmi/internal/geom"
+)
+
+// magic identifies the binary point-file format written by WritePoints.
+var magic = [4]byte{'R', 'S', 'P', '1'}
+
+// WritePoints serialises points to w in a compact binary format: a 4-byte
+// magic, a uint64 count, then n little-endian (x, y) float64 pairs.
+func WritePoints(w io.Writer, pts []geom.Point) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(pts))); err != nil {
+		return fmt.Errorf("dataset: write count: %w", err)
+	}
+	buf := make([]byte, 16)
+	for _, p := range pts {
+		binary.LittleEndian.PutUint64(buf[0:8], math.Float64bits(p.X))
+		binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(p.Y))
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("dataset: write point: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPoints deserialises a point file written by WritePoints.
+func ReadPoints(r io.Reader) ([]geom.Point, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	if hdr != magic {
+		return nil, errors.New("dataset: not a point file (bad magic)")
+	}
+	var n uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("dataset: read count: %w", err)
+	}
+	const maxPoints = 1 << 32
+	if n > maxPoints {
+		return nil, fmt.Errorf("dataset: implausible point count %d", n)
+	}
+	pts := make([]geom.Point, 0, n)
+	buf := make([]byte, 16)
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("dataset: read point %d: %w", i, err)
+		}
+		pts = append(pts, geom.Pt(
+			math.Float64frombits(binary.LittleEndian.Uint64(buf[0:8])),
+			math.Float64frombits(binary.LittleEndian.Uint64(buf[8:16])),
+		))
+	}
+	return pts, nil
+}
+
+// SaveFile writes points to path, creating or truncating it.
+func SaveFile(path string, pts []geom.Point) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := WritePoints(f, pts); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads points from path.
+func LoadFile(path string) ([]geom.Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return ReadPoints(f)
+}

@@ -1,0 +1,165 @@
+package hrr
+
+import (
+	"sort"
+	"testing"
+
+	"rsmi/internal/dataset"
+	"rsmi/internal/geom"
+	"rsmi/internal/index"
+	"rsmi/internal/index/indextest"
+	"rsmi/internal/rtree"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, indextest.Config{
+		Build: func(pts []geom.Point) index.Index {
+			return New(pts, 50)
+		},
+		ExactWindow:     true,
+		ExactKNN:        true,
+		SupportsUpdates: true,
+	})
+}
+
+func TestPackedLeavesAreFull(t *testing.T) {
+	// Bulk loading packs every leaf to capacity except the last.
+	pts := dataset.Generate(dataset.Skewed, 5000, 1)
+	tr := New(pts, 100)
+	var sizes []int
+	var walk func(n *rtree.Node)
+	walk = func(n *rtree.Node) {
+		if n.Leaf {
+			sizes = append(sizes, len(n.Points))
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tr.t.Root())
+	full := 0
+	for _, s := range sizes {
+		if s == 100 {
+			full++
+		}
+	}
+	if full < len(sizes)-1 {
+		t.Errorf("only %d of %d leaves are full", full, len(sizes))
+	}
+	if len(sizes) != 50 {
+		t.Errorf("leaf count = %d, want 50", len(sizes))
+	}
+}
+
+func TestHeightMatchesPackedFanout(t *testing.T) {
+	// 5000 points at fanout 100 -> 50 leaves -> 1 root: height 2.
+	tr := New(dataset.Generate(dataset.Uniform, 5000, 2), 100)
+	if tr.t.Height() != 2 {
+		t.Errorf("height = %d, want 2", tr.t.Height())
+	}
+	// 100 points -> single leaf is the root.
+	small := New(dataset.Generate(dataset.Uniform, 100, 3), 100)
+	if small.t.Height() != 1 {
+		t.Errorf("small height = %d, want 1", small.t.Height())
+	}
+}
+
+func TestRankBTreesExact(t *testing.T) {
+	pts := dataset.Generate(dataset.OSMLike, 3000, 4)
+	tr := New(pts, 100)
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i], ys[i] = p.X, p.Y
+	}
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	for _, p := range pts[:100] {
+		rx, ry := tr.RankOf(p)
+		wantX := sort.SearchFloat64s(xs, p.X)
+		wantY := sort.SearchFloat64s(ys, p.Y)
+		if rx != wantX || ry != wantY {
+			t.Fatalf("RankOf(%v) = (%d,%d), want (%d,%d)", p, rx, ry, wantX, wantY)
+		}
+	}
+}
+
+func TestSizeIncludesRankBTrees(t *testing.T) {
+	// §6.2.2: "HRR is also larger than RSMI because it uses two extra
+	// B-trees for its rank space mapping."
+	pts := dataset.Generate(dataset.Uniform, 5000, 5)
+	tr := New(pts, 100)
+	s := tr.Stats()
+	if s.SizeBytes <= tr.t.SizeBytes() {
+		t.Error("Stats must charge the rank B-trees to the index size")
+	}
+}
+
+// The packed ordering (rank-space Hilbert) must keep leaf MBRs far smaller
+// than packing the same points in an uninformative order — the property
+// behind HRR's window query performance.
+func TestPackedLeavesBeatRandomPacking(t *testing.T) {
+	pts := dataset.Generate(dataset.Uniform, 10000, 6)
+	leafArea := func(leaves [][]geom.Point) float64 {
+		var area float64
+		for _, leaf := range leaves {
+			area += geom.BoundingRect(leaf).Area()
+		}
+		return area
+	}
+	// Hilbert rank-space packed leaves.
+	tr := New(pts, 100)
+	var packed [][]geom.Point
+	var walk func(n *rtree.Node)
+	walk = func(n *rtree.Node) {
+		if n.Leaf {
+			packed = append(packed, n.Points)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tr.t.Root())
+	// Generation-order (spatially random) packing of the same points.
+	var random [][]geom.Point
+	for i := 0; i < len(pts); i += 100 {
+		j := i + 100
+		if j > len(pts) {
+			j = len(pts)
+		}
+		random = append(random, pts[i:j])
+	}
+	hilbert, rnd := leafArea(packed), leafArea(random)
+	if hilbert > rnd/10 {
+		t.Errorf("Hilbert packing leaf area %.3f not much better than random %.3f", hilbert, rnd)
+	}
+}
+
+func TestInsertAfterBulk(t *testing.T) {
+	tr := New(dataset.Generate(dataset.Skewed, 2000, 7), 50)
+	extra := dataset.Generate(dataset.Normal, 1500, 8)
+	for _, p := range extra {
+		tr.Insert(p)
+	}
+	for _, p := range extra {
+		if !tr.PointQuery(p) {
+			t.Fatalf("point %v lost after post-bulk insert", p)
+		}
+	}
+	if tr.Len() != 3500 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestEmptyBulk(t *testing.T) {
+	tr := New(nil, 100)
+	if tr.Len() != 0 || tr.PointQuery(geom.Pt(0.5, 0.5)) {
+		t.Error("empty HRR misbehaves")
+	}
+	tr.Insert(geom.Pt(0.2, 0.9))
+	if !tr.PointQuery(geom.Pt(0.2, 0.9)) {
+		t.Error("insert into empty HRR failed")
+	}
+}

@@ -1,0 +1,152 @@
+package kdb
+
+import (
+	"math"
+	"testing"
+
+	"rsmi/internal/dataset"
+	"rsmi/internal/geom"
+	"rsmi/internal/index"
+	"rsmi/internal/index/indextest"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, indextest.Config{
+		Build: func(pts []geom.Point) index.Index {
+			return New(pts, 50)
+		},
+		ExactWindow:     true,
+		ExactKNN:        true,
+		SupportsUpdates: true,
+	})
+}
+
+// Region invariants: children tile their parent disjointly (interiors), and
+// every page's points lie inside its region.
+func TestRegionInvariants(t *testing.T) {
+	pts := dataset.Generate(dataset.Skewed, 8000, 1)
+	tr := New(pts, 32)
+	var walk func(p *page)
+	walk = func(p *page) {
+		if p.leaf {
+			for _, pt := range p.pts {
+				if !regionContains(p.region, pt) {
+					t.Fatalf("point %v outside its page region %v", pt, p.region)
+				}
+			}
+			return
+		}
+		for i, r := range p.regions {
+			if !p.region.ContainsRect(boundedRect(r, p.region)) {
+				t.Fatalf("child region %v escapes parent %v", r, p.region)
+			}
+			for j := i + 1; j < len(p.regions); j++ {
+				inter := r.Intersect(p.regions[j])
+				if !inter.IsEmpty() && inter.Area() > 0 {
+					t.Fatalf("child regions %d and %d overlap: %v", i, j, inter)
+				}
+			}
+			walk(p.children[i])
+		}
+	}
+	walk(tr.root)
+}
+
+// boundedRect clips infinite region borders to the parent for containment
+// checks.
+func boundedRect(r, parent geom.Rect) geom.Rect {
+	c := r
+	if math.IsInf(c.MinX, -1) {
+		c.MinX = parent.MinX
+	}
+	if math.IsInf(c.MinY, -1) {
+		c.MinY = parent.MinY
+	}
+	if math.IsInf(c.MaxX, 1) {
+		c.MaxX = parent.MaxX
+	}
+	if math.IsInf(c.MaxY, 1) {
+		c.MaxY = parent.MaxY
+	}
+	return c
+}
+
+func TestPageCapacityRespected(t *testing.T) {
+	pts := dataset.Generate(dataset.OSMLike, 6000, 2)
+	tr := New(pts, 40)
+	var walk func(p *page)
+	walk = func(p *page) {
+		if p.leaf {
+			if len(p.pts) > tr.fanout {
+				t.Fatalf("point page holds %d > %d", len(p.pts), tr.fanout)
+			}
+			return
+		}
+		if len(p.children) > tr.fanout {
+			t.Fatalf("region page holds %d > %d children", len(p.children), tr.fanout)
+		}
+		for _, c := range p.children {
+			walk(c)
+		}
+	}
+	walk(tr.root)
+}
+
+func TestInsertSplitsPropagate(t *testing.T) {
+	// Start tiny and insert enough points to force multiple levels of
+	// splits, including region-page splits.
+	tr := New(dataset.Generate(dataset.Uniform, 10, 3), 8)
+	extra := dataset.Generate(dataset.Normal, 3000, 4)
+	for _, p := range extra {
+		tr.Insert(p)
+	}
+	if tr.Len() != 3010 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for _, p := range extra {
+		if !tr.PointQuery(p) {
+			t.Fatalf("point %v lost after insert splits", p)
+		}
+	}
+	if tr.height < 3 {
+		t.Errorf("height = %d; expected growth from splits", tr.height)
+	}
+}
+
+func TestBulkHeightMatchesFanout(t *testing.T) {
+	// 10^4 points at fanout 100 must give height 2 (one region level, one
+	// point level), mirroring the paper's 3-level KDB at 17M/100.
+	pts := dataset.Generate(dataset.Uniform, 10000, 5)
+	tr := New(pts, 100)
+	if tr.height != 2 {
+		t.Errorf("height = %d, want 2", tr.height)
+	}
+	small := New(dataset.Generate(dataset.Uniform, 50, 6), 100)
+	if small.height != 1 {
+		t.Errorf("tiny tree height = %d, want 1", small.height)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(nil, 100)
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if tr.PointQuery(geom.Pt(0.5, 0.5)) {
+		t.Error("empty tree found a point")
+	}
+	if got := tr.KNN(geom.Pt(0.5, 0.5), 3); got != nil {
+		t.Error("empty tree kNN returned points")
+	}
+	tr.Insert(geom.Pt(0.1, 0.2))
+	if !tr.PointQuery(geom.Pt(0.1, 0.2)) {
+		t.Error("insert into empty tree failed")
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	tr := New(dataset.Generate(dataset.Uniform, 100, 7), 16)
+	if tr.Delete(geom.Pt(5, 5)) {
+		t.Error("delete of absent point succeeded")
+	}
+}

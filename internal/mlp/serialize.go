@@ -1,0 +1,57 @@
+package mlp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// WriteTo serialises the network's shape and weights in a little-endian
+// binary format. It implements io.WriterTo.
+func (n *Network) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	put := func(vals ...interface{}) error {
+		for _, v := range vals {
+			if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+				return err
+			}
+			written += int64(binary.Size(v))
+		}
+		return nil
+	}
+	if err := put(int32(n.inputs), int32(n.hidden)); err != nil {
+		return written, fmt.Errorf("mlp: write header: %w", err)
+	}
+	if err := put(n.w1, n.b1, n.w2, n.b2); err != nil {
+		return written, fmt.Errorf("mlp: write weights: %w", err)
+	}
+	return written, nil
+}
+
+// ReadNetwork deserialises a network written by WriteTo.
+func ReadNetwork(r io.Reader) (*Network, error) {
+	var inputs, hidden int32
+	if err := binary.Read(r, binary.LittleEndian, &inputs); err != nil {
+		return nil, fmt.Errorf("mlp: read header: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &hidden); err != nil {
+		return nil, fmt.Errorf("mlp: read header: %w", err)
+	}
+	const maxDim = 1 << 20
+	if inputs <= 0 || hidden <= 0 || inputs > maxDim || hidden > maxDim {
+		return nil, fmt.Errorf("mlp: implausible shape %dx%d", inputs, hidden)
+	}
+	n := &Network{
+		inputs: int(inputs),
+		hidden: int(hidden),
+		w1:     make([]float64, int(hidden)*int(inputs)),
+		b1:     make([]float64, hidden),
+		w2:     make([]float64, hidden),
+	}
+	for _, dst := range []interface{}{n.w1, n.b1, n.w2, &n.b2} {
+		if err := binary.Read(r, binary.LittleEndian, dst); err != nil {
+			return nil, fmt.Errorf("mlp: read weights: %w", err)
+		}
+	}
+	return n, nil
+}

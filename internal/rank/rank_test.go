@@ -1,0 +1,238 @@
+package rank
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rsmi/internal/geom"
+	"rsmi/internal/sfc"
+)
+
+// paperPoints reproduces the 8-point example of the paper's Fig. 3.
+// Original-space coordinates are read off the figure axes; what matters for
+// the test is the relative order, which the figure fixes unambiguously via
+// the rank-space mapping shown in Fig. 3b.
+func paperPoints() []geom.Point {
+	// p1..p8 with coordinates chosen to reproduce Fig. 3a's ordering:
+	// x-order: p2, p1, p3, p6, p5, p4, p7, p8 (p1 and p3 share x; y breaks tie)
+	// y-order: p2, p4, p5, p6, p1, p3, p8, p7
+	return []geom.Point{
+		{X: 2, Y: 5}, // p1
+		{X: 1, Y: 1}, // p2
+		{X: 2, Y: 6}, // p3 (same x as p1, larger y -> later column)
+		{X: 6, Y: 2}, // p4
+		{X: 5, Y: 3}, // p5
+		{X: 4, Y: 4}, // p6
+		{X: 7, Y: 8}, // p7
+		{X: 8, Y: 7}, // p8
+	}
+}
+
+func TestTransformPaperExample(t *testing.T) {
+	rs := Transform(paperPoints(), sfc.Hilbert)
+	wantRankX := []uint32{1, 0, 2, 5, 4, 3, 6, 7}
+	wantRankY := []uint32{4, 0, 5, 1, 2, 3, 7, 6}
+	for i := range rs {
+		if rs[i].RankX != wantRankX[i] {
+			t.Errorf("p%d RankX = %d, want %d", i+1, rs[i].RankX, wantRankX[i])
+		}
+		if rs[i].RankY != wantRankY[i] {
+			t.Errorf("p%d RankY = %d, want %d", i+1, rs[i].RankY, wantRankY[i])
+		}
+	}
+}
+
+// The tie between p1 and p3 (same x) must be broken by y: p1 gets the lower
+// column. This is the exact behaviour the paper describes for Fig. 3.
+func TestTransformTieBreaking(t *testing.T) {
+	pts := []geom.Point{{X: 1, Y: 9}, {X: 1, Y: 2}}
+	rs := Transform(pts, sfc.Z)
+	if rs[0].RankX != 1 || rs[1].RankX != 0 {
+		t.Errorf("x-ties must break by y: got RankX %d,%d", rs[0].RankX, rs[1].RankX)
+	}
+	pts = []geom.Point{{X: 9, Y: 1}, {X: 2, Y: 1}}
+	rs = Transform(pts, sfc.Z)
+	if rs[0].RankY != 1 || rs[1].RankY != 0 {
+		t.Errorf("y-ties must break by x: got RankY %d,%d", rs[0].RankY, rs[1].RankY)
+	}
+}
+
+// Rank-space invariant: RankX and RankY are each a permutation of 0..n-1
+// ("each row and each column has exactly one point").
+func TestTransformIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		}
+		rs := Transform(pts, sfc.Hilbert)
+		seenX := make([]bool, n)
+		seenY := make([]bool, n)
+		for _, r := range rs {
+			if r.RankX >= uint32(n) || r.RankY >= uint32(n) {
+				return false
+			}
+			if seenX[r.RankX] || seenY[r.RankY] {
+				return false
+			}
+			seenX[r.RankX] = true
+			seenY[r.RankY] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Rank order must agree with coordinate order.
+func TestTransformPreservesCoordinateOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := make([]geom.Point, 500)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.NormFloat64(), Y: rng.NormFloat64()}
+	}
+	rs := Transform(pts, sfc.Hilbert)
+	for i := 0; i < len(rs); i++ {
+		for j := i + 1; j < len(rs); j++ {
+			if rs[i].Point.X < rs[j].Point.X && rs[i].RankX > rs[j].RankX {
+				t.Fatalf("x-order violated between %v and %v", rs[i], rs[j])
+			}
+			if rs[i].Point.Y < rs[j].Point.Y && rs[i].RankY > rs[j].RankY {
+				t.Fatalf("y-order violated between %v and %v", rs[i], rs[j])
+			}
+		}
+	}
+}
+
+func TestTransformEmptyAndSingle(t *testing.T) {
+	if got := Transform(nil, sfc.Hilbert); len(got) != 0 {
+		t.Errorf("Transform(nil) returned %d entries", len(got))
+	}
+	rs := Transform([]geom.Point{{X: 3, Y: 4}}, sfc.Hilbert)
+	if len(rs) != 1 || rs[0].RankX != 0 || rs[0].RankY != 0 {
+		t.Errorf("single point transform wrong: %+v", rs)
+	}
+}
+
+func TestTransformDoesNotMutateInput(t *testing.T) {
+	pts := paperPoints()
+	cp := make([]geom.Point, len(pts))
+	copy(cp, pts)
+	Transform(pts, sfc.Hilbert)
+	for i := range pts {
+		if pts[i] != cp[i] {
+			t.Fatalf("input mutated at %d: %v != %v", i, pts[i], cp[i])
+		}
+	}
+}
+
+func TestOrderIsPermutationOfInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]geom.Point, 300)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	ordered := Order(pts, sfc.Hilbert)
+	if len(ordered) != len(pts) {
+		t.Fatalf("Order changed cardinality: %d != %d", len(ordered), len(pts))
+	}
+	a := append([]geom.Point(nil), pts...)
+	b := append([]geom.Point(nil), ordered...)
+	sortPoints(a)
+	sortPoints(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Order is not a permutation (mismatch at %d)", i)
+		}
+	}
+}
+
+func sortPoints(ps []geom.Point) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Less(ps[j]) })
+}
+
+func TestSortByCurveValueSorts(t *testing.T) {
+	rs := Transform(paperPoints(), sfc.Hilbert)
+	SortByCurveValue(rs)
+	for i := 1; i < len(rs); i++ {
+		if rs[i-1].CV > rs[i].CV {
+			t.Fatalf("not sorted at %d: %d > %d", i, rs[i-1].CV, rs[i].CV)
+		}
+	}
+}
+
+// Curve values in rank space must be distinct: one point per cell.
+func TestCurveValuesDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	pts := make([]geom.Point, 1000)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64(), Y: rng.Float64() * rng.Float64()}
+	}
+	rs := Transform(pts, sfc.Hilbert)
+	seen := make(map[uint64]bool, len(rs))
+	for _, r := range rs {
+		if seen[r.CV] {
+			t.Fatalf("duplicate curve value %d", r.CV)
+		}
+		seen[r.CV] = true
+	}
+}
+
+// The headline claim of §3.1: rank-space ordering produces a much smaller
+// variance in curve-value gaps than ordering by raw-grid Z-values, on skewed
+// data. This is the micro-version of ablation A1.
+func TestRankSpaceReducesGapVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2020))
+	n := 2000
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		y := rng.Float64()
+		pts[i] = geom.Point{X: rng.Float64(), Y: y * y * y * y} // Skewed: y^4
+	}
+
+	// Rank-space gaps.
+	rs := Transform(pts, sfc.Z)
+	SortByCurveValue(rs)
+	rankCVs := make([]uint64, n)
+	for i, r := range rs {
+		rankCVs[i] = r.CV
+	}
+	rankStats := Gaps(rankCVs)
+
+	// Raw-grid Z-value gaps at the same resolution.
+	curve := sfc.New(sfc.Z, sfc.OrderFor(n))
+	side := float64(curve.Side() - 1)
+	raw := make([]uint64, n)
+	for i, p := range pts {
+		raw[i] = curve.Value(uint32(p.X*side), uint32(p.Y*side))
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+	rawStats := Gaps(raw)
+
+	if rankStats.Variance >= rawStats.Variance {
+		t.Errorf("rank-space gap variance %.1f not smaller than raw %.1f",
+			rankStats.Variance, rawStats.Variance)
+	}
+}
+
+func TestGapsEdgeCases(t *testing.T) {
+	if got := Gaps(nil); got != (CurveGapStats{}) {
+		t.Errorf("Gaps(nil) = %+v", got)
+	}
+	if got := Gaps([]uint64{7}); got != (CurveGapStats{}) {
+		t.Errorf("Gaps(single) = %+v", got)
+	}
+	got := Gaps([]uint64{0, 5, 6, 20})
+	if got.Min != 1 || got.Max != 14 {
+		t.Errorf("Gaps min/max = %v/%v, want 1/14", got.Min, got.Max)
+	}
+	wantMean := (5.0 + 1 + 14) / 3
+	if got.Mean != wantMean {
+		t.Errorf("Gaps mean = %v, want %v", got.Mean, wantMean)
+	}
+}

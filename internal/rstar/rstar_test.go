@@ -1,0 +1,147 @@
+package rstar
+
+import (
+	"testing"
+
+	"rsmi/internal/dataset"
+	"rsmi/internal/geom"
+	"rsmi/internal/index"
+	"rsmi/internal/index/indextest"
+	"rsmi/internal/rtree"
+)
+
+func TestConformance(t *testing.T) {
+	indextest.Run(t, indextest.Config{
+		Build: func(pts []geom.Point) index.Index {
+			return New(pts, 50)
+		},
+		ExactWindow:     true,
+		ExactKNN:        true,
+		SupportsUpdates: true,
+	})
+}
+
+func TestTreeStructureInvariants(t *testing.T) {
+	pts := dataset.Generate(dataset.OSMLike, 6000, 1)
+	tr := New(pts, 32)
+	var walk func(n *rtree.Node, depth int) int
+	leafDepth := -1
+	walk = func(n *rtree.Node, depth int) int {
+		if n.Leaf {
+			if len(n.Points) > 32 {
+				t.Fatalf("leaf holds %d > 32 points", len(n.Points))
+			}
+			for _, p := range n.Points {
+				if !n.MBR.Contains(p) {
+					t.Fatalf("point %v outside leaf MBR %v", p, n.MBR)
+				}
+			}
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				t.Fatalf("unbalanced tree: leaves at depth %d and %d", leafDepth, depth)
+			}
+			return 1
+		}
+		if len(n.Children) > 32 {
+			t.Fatalf("node holds %d > 32 children", len(n.Children))
+		}
+		total := 0
+		for _, c := range n.Children {
+			if !n.MBR.ContainsRect(c.MBR) {
+				t.Fatalf("child MBR %v escapes parent %v", c.MBR, n.MBR)
+			}
+			total += walk(c, depth+1)
+		}
+		return total
+	}
+	leaves := walk(tr.t.Root(), 0)
+	if leaves < 6000/32 {
+		t.Errorf("implausibly few leaves: %d", leaves)
+	}
+	if tr.Len() != 6000 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestSplitRespectsMinFill(t *testing.T) {
+	p := &policy{fanout: 10}
+	pts := dataset.Generate(dataset.Uniform, 11, 2)
+	a, b := p.SplitLeaf(pts)
+	if len(a)+len(b) != 11 {
+		t.Fatalf("split lost points: %d + %d", len(a), len(b))
+	}
+	m := minFill(11, 10)
+	if len(a) < m || len(b) < m {
+		t.Errorf("split groups %d/%d violate min fill %d", len(a), len(b), m)
+	}
+}
+
+func TestSplitReducesOverlap(t *testing.T) {
+	// Two clusters: the R* split must separate them (near-zero overlap).
+	var pts []geom.Point
+	for _, c := range []geom.Point{{X: 0.2, Y: 0.2}, {X: 0.8, Y: 0.8}} {
+		for i := 0; i < 10; i++ {
+			pts = append(pts, geom.Pt(c.X+float64(i)*0.001, c.Y+float64(i)*0.001))
+		}
+	}
+	p := &policy{fanout: 19}
+	a, b := p.SplitLeaf(pts)
+	ra, rb := geom.BoundingRect(a), geom.BoundingRect(b)
+	if ra.OverlapArea(rb) > 1e-9 {
+		t.Errorf("split groups overlap: %v vs %v", ra, rb)
+	}
+}
+
+func TestForcedReinsertTriggers(t *testing.T) {
+	// The policy must request a ~30% reinsertion of an overflowing leaf.
+	p := &policy{fanout: 10}
+	leaf := &rtree.Node{Leaf: true, Points: dataset.Generate(dataset.Uniform, 11, 3)}
+	leaf.MBR = geom.BoundingRect(leaf.Points)
+	re := p.PickReinsert(leaf)
+	if len(re) != 3 { // 30% of 11 = 3.3 -> 3
+		t.Errorf("PickReinsert returned %d entries, want 3", len(re))
+	}
+	// Reinserted entries are the farthest from the centre.
+	center := leaf.MBR.Center()
+	minRe := center.Dist2(re[len(re)-1])
+	for _, q := range leaf.Points {
+		keep := true
+		for _, r := range re {
+			if q == r {
+				keep = false
+			}
+		}
+		if keep && center.Dist2(q) > minRe+1e-12 {
+			t.Errorf("kept point %v farther than reinserted set", q)
+		}
+	}
+}
+
+func TestKNNMatchesLinearOnClusters(t *testing.T) {
+	pts := dataset.Generate(dataset.Normal, 3000, 4)
+	tr := New(pts, 64)
+	oracle := index.NewLinear(pts)
+	q := geom.Pt(0.5, 0.5)
+	got := tr.KNN(q, 25)
+	want := oracle.KNN(q, 25)
+	for i := range want {
+		if q.Dist2(got[i]) != q.Dist2(want[i]) {
+			t.Fatalf("kNN mismatch at %d", i)
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	tr := New(nil, 16)
+	if tr.Len() != 0 || tr.PointQuery(geom.Pt(0.5, 0.5)) {
+		t.Error("empty tree misbehaves")
+	}
+	tr.Insert(geom.Pt(0.5, 0.5))
+	if !tr.PointQuery(geom.Pt(0.5, 0.5)) {
+		t.Error("single insert lost")
+	}
+	if got := tr.KNN(geom.Pt(0, 0), 5); len(got) != 1 {
+		t.Errorf("kNN on single point = %d results", len(got))
+	}
+}

@@ -1,0 +1,245 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rsmi/internal/dataset"
+	"rsmi/internal/geom"
+	"rsmi/internal/index"
+)
+
+// midSplitPolicy is a minimal valid policy for engine tests: descend by
+// least enlargement, split by coordinate-sorted halves.
+type midSplitPolicy struct{}
+
+func (midSplitPolicy) ChooseSubtree(n *Node, p geom.Point) *Node {
+	pr := geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+	best := n.Children[0]
+	bestEn := best.MBR.Enlargement(pr)
+	for _, c := range n.Children[1:] {
+		if en := c.MBR.Enlargement(pr); en < bestEn {
+			best, bestEn = c, en
+		}
+	}
+	return best
+}
+
+func (midSplitPolicy) SplitLeaf(pts []geom.Point) ([]geom.Point, []geom.Point) {
+	s := append([]geom.Point(nil), pts...)
+	sort.Slice(s, func(i, j int) bool { return s[i].Less(s[j]) })
+	mid := len(s) / 2
+	return append([]geom.Point(nil), s[:mid]...), append([]geom.Point(nil), s[mid:]...)
+}
+
+func (midSplitPolicy) SplitInternal(ch []*Node) ([]*Node, []*Node) {
+	s := append([]*Node(nil), ch...)
+	sort.Slice(s, func(i, j int) bool {
+		return s[i].MBR.Center().Less(s[j].MBR.Center())
+	})
+	mid := len(s) / 2
+	return append([]*Node(nil), s[:mid]...), append([]*Node(nil), s[mid:]...)
+}
+
+func TestInsertThenQueries(t *testing.T) {
+	tr := New(midSplitPolicy{}, 16)
+	pts := dataset.Generate(dataset.Skewed, 3000, 1)
+	for _, p := range pts {
+		tr.Insert(p)
+	}
+	if tr.Len() != 3000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for _, p := range pts {
+		if !tr.PointQuery(p) {
+			t.Fatalf("point %v lost", p)
+		}
+	}
+	oracle := index.NewLinear(pts)
+	w := geom.Rect{MinX: 0.2, MinY: 0.0, MaxX: 0.5, MaxY: 0.2}
+	got, want := tr.WindowQuery(w), oracle.WindowQuery(w)
+	if len(got) != len(want) || index.Recall(got, want) != 1 {
+		t.Fatalf("window: %d vs %d", len(got), len(want))
+	}
+	q := geom.Pt(0.3, 0.1)
+	g, wnt := tr.KNN(q, 20), oracle.KNN(q, 20)
+	for i := range wnt {
+		if q.Dist2(g[i]) != q.Dist2(wnt[i]) {
+			t.Fatalf("kNN mismatch at %d", i)
+		}
+	}
+}
+
+func TestMBRInvariantAfterInserts(t *testing.T) {
+	tr := New(midSplitPolicy{}, 8)
+	pts := dataset.Generate(dataset.Normal, 1000, 2)
+	for _, p := range pts {
+		tr.Insert(p)
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Leaf {
+			for _, p := range n.Points {
+				if !n.MBR.Contains(p) {
+					t.Fatalf("leaf MBR %v misses %v", n.MBR, p)
+				}
+			}
+			return
+		}
+		for _, c := range n.Children {
+			if !n.MBR.ContainsRect(c.MBR) {
+				t.Fatalf("parent MBR %v misses child %v", n.MBR, c.MBR)
+			}
+			if c.parent != n {
+				t.Fatal("broken parent pointer")
+			}
+			walk(c)
+		}
+	}
+	walk(tr.Root())
+}
+
+func TestBulkLeavesStructure(t *testing.T) {
+	pts := dataset.Generate(dataset.Uniform, 1000, 3)
+	var leaves [][]geom.Point
+	for i := 0; i < len(pts); i += 10 {
+		leaves = append(leaves, pts[i:i+10])
+	}
+	tr := BulkLeaves(midSplitPolicy{}, 10, leaves)
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// 100 leaves at fanout 10 -> 10 internals -> 1 root: height 3.
+	if tr.Height() != 3 {
+		t.Errorf("Height = %d, want 3", tr.Height())
+	}
+	if tr.Leaves() != 100 {
+		t.Errorf("Leaves = %d, want 100", tr.Leaves())
+	}
+	for _, p := range pts {
+		if !tr.PointQuery(p) {
+			t.Fatalf("bulk point %v lost", p)
+		}
+	}
+}
+
+func TestBulkLeavesEmpty(t *testing.T) {
+	tr := BulkLeaves(midSplitPolicy{}, 10, nil)
+	if tr.Len() != 0 || tr.PointQuery(geom.Pt(0, 0)) {
+		t.Error("empty bulk tree misbehaves")
+	}
+}
+
+func TestDeleteCondensesAndPreserves(t *testing.T) {
+	tr := New(midSplitPolicy{}, 8)
+	pts := dataset.Generate(dataset.Uniform, 800, 4)
+	for _, p := range pts {
+		tr.Insert(p)
+	}
+	nodesBefore := tr.Nodes()
+	// Delete 80% of points: underflows must condense nodes away.
+	for _, p := range pts[:640] {
+		if !tr.Delete(p) {
+			t.Fatalf("delete %v failed", p)
+		}
+	}
+	if tr.Len() != 160 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Nodes() >= nodesBefore {
+		t.Errorf("no condensation: %d -> %d nodes", nodesBefore, tr.Nodes())
+	}
+	for _, p := range pts[640:] {
+		if !tr.PointQuery(p) {
+			t.Fatalf("survivor %v lost", p)
+		}
+	}
+	if tr.Delete(geom.Pt(42, 42)) {
+		t.Error("deleting absent point succeeded")
+	}
+}
+
+func TestAccessCounting(t *testing.T) {
+	tr := New(midSplitPolicy{}, 8)
+	for _, p := range dataset.Generate(dataset.Uniform, 500, 5) {
+		tr.Insert(p)
+	}
+	tr.ResetAccesses()
+	tr.WindowQuery(geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+	full := tr.Accesses()
+	if full < int64(tr.Nodes()) {
+		t.Errorf("full-space window visited %d < %d nodes", full, tr.Nodes())
+	}
+	tr.ResetAccesses()
+	tr.WindowQuery(geom.Rect{MinX: 2, MinY: 2, MaxX: 3, MaxY: 3})
+	if tr.Accesses() != 0 {
+		t.Errorf("disjoint window visited %d nodes", tr.Accesses())
+	}
+}
+
+func TestSizeBytesGrows(t *testing.T) {
+	small := New(midSplitPolicy{}, 8)
+	small.Insert(geom.Pt(0.5, 0.5))
+	big := New(midSplitPolicy{}, 8)
+	for _, p := range dataset.Generate(dataset.Uniform, 2000, 6) {
+		big.Insert(p)
+	}
+	if big.SizeBytes() <= small.SizeBytes() {
+		t.Error("size accounting is not monotone in nodes")
+	}
+}
+
+// Engine property: any interleaving of inserts and deletes leaves the tree
+// consistent with a set-model oracle.
+func TestInsertDeleteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New(midSplitPolicy{}, 4+rng.Intn(12))
+		live := map[geom.Point]bool{}
+		for op := 0; op < 300; op++ {
+			p := geom.Pt(float64(rng.Intn(50))/50, float64(rng.Intn(50))/50)
+			if rng.Intn(3) == 0 && len(live) > 0 {
+				// The engine stores duplicates; the model tracks presence.
+				got := tr.Delete(p)
+				if got != live[p] {
+					return false
+				}
+				if got {
+					delete(live, p)
+				}
+				continue
+			}
+			if live[p] {
+				continue // keep set semantics: skip duplicate inserts
+			}
+			tr.Insert(p)
+			live[p] = true
+		}
+		for p := range live {
+			if !tr.PointQuery(p) {
+				return false
+			}
+		}
+		return tr.Len() == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReinsertLatchBehaviour(t *testing.T) {
+	// A policy with PickReinsert returning nil must fall back to splits.
+	tr := New(nilReinsertPolicy{}, 8)
+	for _, p := range dataset.Generate(dataset.Uniform, 200, 7) {
+		tr.Insert(p)
+	}
+	if tr.Len() != 200 || tr.Height() < 2 {
+		t.Errorf("nil reinserter: len=%d height=%d", tr.Len(), tr.Height())
+	}
+}
+
+type nilReinsertPolicy struct{ midSplitPolicy }
+
+func (nilReinsertPolicy) PickReinsert(*Node) []geom.Point { return nil }

@@ -1,0 +1,199 @@
+// Package sfc implements the two space-filling curves used by the paper: the
+// Z-curve (Morton order) and the Hilbert curve. Both map a cell (x, y) of a
+// 2^order × 2^order grid to a curve value in [0, 4^order) and back.
+//
+// The paper orders points by their curve value in rank space (RSMI, HRR) or in
+// a fixed coordinate grid (ZM baseline). Curve choice matters for window
+// queries: a Z-curve's minimum and maximum curve values inside a query window
+// are attained at the window's bottom-left and top-right corners, while for a
+// Hilbert curve they lie somewhere on the boundary (§4.2).
+package sfc
+
+import "fmt"
+
+// MaxOrder is the largest supported curve order. With order 31 the curve value
+// of a cell occupies up to 62 bits, which still fits a uint64.
+const MaxOrder = 31
+
+// Kind identifies a space-filling curve family.
+type Kind int
+
+const (
+	// Hilbert is the Hilbert curve, the paper's default for RSMI ("RSMI uses
+	// Hilbert-curves for ordering as these yield better query performance
+	// than Z-curves", §6.1).
+	Hilbert Kind = iota
+	// Z is the Z-curve (Morton order), used by the ZM baseline and available
+	// as an RSMI ablation.
+	Z
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Hilbert:
+		return "hilbert"
+	case Z:
+		return "z"
+	default:
+		return fmt.Sprintf("sfc.Kind(%d)", int(k))
+	}
+}
+
+// Curve computes curve values for cells of a 2^order × 2^order grid.
+type Curve struct {
+	kind  Kind
+	order uint
+}
+
+// New returns a curve of the given kind and order. It panics if order is 0 or
+// exceeds MaxOrder: curve construction happens at index-build time with
+// program-controlled orders, so a bad order is a programming error.
+func New(kind Kind, order uint) Curve {
+	if order == 0 || order > MaxOrder {
+		panic(fmt.Sprintf("sfc: order %d out of range [1, %d]", order, MaxOrder))
+	}
+	return Curve{kind: kind, order: order}
+}
+
+// Kind returns the curve family.
+func (c Curve) Kind() Kind { return c.kind }
+
+// Order returns the curve order.
+func (c Curve) Order() uint { return c.order }
+
+// Side returns the grid side length 2^order.
+func (c Curve) Side() uint32 { return uint32(1) << c.order }
+
+// NumCells returns the total number of cells 4^order.
+func (c Curve) NumCells() uint64 { return uint64(1) << (2 * c.order) }
+
+// Value returns the curve value of cell (x, y). Coordinates outside the grid
+// are clamped to the grid boundary; callers pass ranks which are in range by
+// construction, but model-predicted cells can stray.
+func (c Curve) Value(x, y uint32) uint64 {
+	if max := c.Side() - 1; x > max || y > max {
+		if x > max {
+			x = max
+		}
+		if y > max {
+			y = max
+		}
+	}
+	if c.kind == Z {
+		return ZValue(x, y)
+	}
+	return hilbertValue(c.order, x, y)
+}
+
+// Decode returns the cell (x, y) with the given curve value. Values outside
+// [0, NumCells) are clamped.
+func (c Curve) Decode(v uint64) (x, y uint32) {
+	if n := c.NumCells(); v >= n {
+		v = n - 1
+	}
+	if c.kind == Z {
+		return ZDecode(v)
+	}
+	return hilbertDecode(c.order, v)
+}
+
+// OrderFor returns the smallest curve order whose grid has at least n cells
+// per side, i.e. ceil(log2(n)) clamped to [1, MaxOrder]. It is used to size a
+// rank-space curve for n distinct ranks.
+func OrderFor(n int) uint {
+	order := uint(1)
+	for (uint64(1) << order) < uint64(n) {
+		order++
+		if order == MaxOrder {
+			break
+		}
+	}
+	return order
+}
+
+// ZValue interleaves the bits of x and y (x in the even positions, y in the
+// odd ones), producing the Morton code of the cell. This matches the paper's
+// description of mapping a point to its Z-value "by interleaving the bits of
+// its coordinates" (§2).
+func ZValue(x, y uint32) uint64 {
+	return spread(x) | spread(y)<<1
+}
+
+// ZDecode inverts ZValue.
+func ZDecode(v uint64) (x, y uint32) {
+	return compact(v), compact(v >> 1)
+}
+
+// spread inserts a zero bit between each bit of v: abcd -> 0a0b0c0d.
+func spread(v uint32) uint64 {
+	x := uint64(v)
+	x = (x | x<<16) & 0x0000FFFF0000FFFF
+	x = (x | x<<8) & 0x00FF00FF00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// compact removes the zero bit between each bit: 0a0b0c0d -> abcd.
+func compact(v uint64) uint32 {
+	x := v & 0x5555555555555555
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x>>4) & 0x00FF00FF00FF00FF
+	x = (x | x>>8) & 0x0000FFFF0000FFFF
+	x = (x | x>>16) & 0x00000000FFFFFFFF
+	return uint32(x)
+}
+
+// hilbertValue converts cell coordinates to the Hilbert curve value ("d")
+// using the classic bit-twiddling conversion (Hamilton's / Wikipedia xy2d
+// algorithm) generalized to the given order.
+func hilbertValue(order uint, x, y uint32) uint64 {
+	var rx, ry uint32
+	var d uint64
+	for s := uint32(1) << (order - 1); s > 0; s >>= 1 {
+		if x&s > 0 {
+			rx = 1
+		} else {
+			rx = 0
+		}
+		if y&s > 0 {
+			ry = 1
+		} else {
+			ry = 0
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		x, y = hilbertRotate(s, x, y, rx, ry)
+	}
+	return d
+}
+
+// hilbertDecode converts a Hilbert curve value back to cell coordinates
+// (d2xy).
+func hilbertDecode(order uint, d uint64) (x, y uint32) {
+	t := d
+	for s := uint64(1); s < uint64(1)<<order; s <<= 1 {
+		rx := uint32(1) & uint32(t/2)
+		ry := uint32(1) & uint32(t^uint64(rx))
+		x, y = hilbertRotate(uint32(s), x, y, rx, ry)
+		x += uint32(s) * rx
+		y += uint32(s) * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// hilbertRotate rotates/flips a quadrant so the sub-curve has the correct
+// orientation.
+func hilbertRotate(s, x, y, rx, ry uint32) (uint32, uint32) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}

@@ -1,0 +1,121 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"rsmi/internal/geom"
+)
+
+// WriteTo serialises the manager's capacity and every block, including
+// deleted slots (the slot layout affects error-bound validity, so it must
+// round-trip exactly). It implements io.WriterTo.
+func (m *Manager) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	put := func(v interface{}) error {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		written += int64(binary.Size(v))
+		return nil
+	}
+	if err := put(int64(m.capacity)); err != nil {
+		return written, fmt.Errorf("store: write capacity: %w", err)
+	}
+	if err := put(int64(len(m.blocks))); err != nil {
+		return written, fmt.Errorf("store: write block count: %w", err)
+	}
+	for _, b := range m.blocks {
+		flags := uint8(0)
+		if b.Inserted {
+			flags = 1
+		}
+		if err := put(int64(b.Prev)); err != nil {
+			return written, err
+		}
+		if err := put(int64(b.Next)); err != nil {
+			return written, err
+		}
+		if err := put(flags); err != nil {
+			return written, err
+		}
+		if err := put(int64(len(b.pts))); err != nil {
+			return written, err
+		}
+		for i, p := range b.pts {
+			del := uint8(0)
+			if b.deleted[i] {
+				del = 1
+			}
+			if err := put(math.Float64bits(p.X)); err != nil {
+				return written, err
+			}
+			if err := put(math.Float64bits(p.Y)); err != nil {
+				return written, err
+			}
+			if err := put(del); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, nil
+}
+
+// ReadManager deserialises a manager written by WriteTo.
+func ReadManager(r io.Reader) (*Manager, error) {
+	var capacity, count int64
+	if err := binary.Read(r, binary.LittleEndian, &capacity); err != nil {
+		return nil, fmt.Errorf("store: read capacity: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("store: read block count: %w", err)
+	}
+	const maxBlocks = 1 << 32
+	if capacity <= 0 || capacity > 1<<20 || count < 0 || count > maxBlocks {
+		return nil, fmt.Errorf("store: implausible layout cap=%d blocks=%d", capacity, count)
+	}
+	m := NewManager(int(capacity))
+	for id := int64(0); id < count; id++ {
+		b := m.Alloc()
+		var prev, next, slots int64
+		var flags uint8
+		if err := binary.Read(r, binary.LittleEndian, &prev); err != nil {
+			return nil, fmt.Errorf("store: read block %d: %w", id, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &next); err != nil {
+			return nil, fmt.Errorf("store: read block %d: %w", id, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &flags); err != nil {
+			return nil, fmt.Errorf("store: read block %d: %w", id, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &slots); err != nil {
+			return nil, fmt.Errorf("store: read block %d: %w", id, err)
+		}
+		if slots < 0 || slots > capacity {
+			return nil, fmt.Errorf("store: block %d has %d slots (cap %d)", id, slots, capacity)
+		}
+		b.Prev, b.Next = int(prev), int(next)
+		b.Inserted = flags&1 != 0
+		for s := int64(0); s < slots; s++ {
+			var xb, yb uint64
+			var del uint8
+			if err := binary.Read(r, binary.LittleEndian, &xb); err != nil {
+				return nil, fmt.Errorf("store: read slot: %w", err)
+			}
+			if err := binary.Read(r, binary.LittleEndian, &yb); err != nil {
+				return nil, fmt.Errorf("store: read slot: %w", err)
+			}
+			if err := binary.Read(r, binary.LittleEndian, &del); err != nil {
+				return nil, fmt.Errorf("store: read slot: %w", err)
+			}
+			b.pts = append(b.pts, geom.Pt(math.Float64frombits(xb), math.Float64frombits(yb)))
+			b.deleted = append(b.deleted, del&1 != 0)
+			if del&1 == 0 {
+				b.live++
+			}
+		}
+	}
+	return m, nil
+}

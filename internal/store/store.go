@@ -1,0 +1,286 @@
+// Package store implements the block storage substrate shared by every index
+// in this repository.
+//
+// The paper stores points in external-memory style blocks of capacity B
+// (default 100) and reports the number of block accesses as the
+// external-memory cost indicator, while actually running everything in main
+// memory (§6.1). This package mirrors that: blocks live in memory, every
+// Read counts one block access, and Manager reports byte sizes so the index
+// size experiments (Figs. 7 and 9) can be reproduced.
+//
+// Blocks form a doubly linked list through BlockID pointers, which is what
+// enables the contiguous data scans of the window query algorithm (§3.2:
+// "in each block, we further store pointers to its preceding and subsequent
+// blocks") and the overflow chaining of the insertion algorithm (§5).
+package store
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"rsmi/internal/geom"
+)
+
+// DefaultBlockCapacity is the paper's block capacity B = 100 (§6.1).
+const DefaultBlockCapacity = 100
+
+// NilBlock is the null block pointer.
+const NilBlock = -1
+
+// pointBytes is the storage footprint of one data point: two float64
+// coordinates. Used for size accounting only.
+const pointBytes = 16
+
+// blockHeaderBytes approximates the per-block overhead: prev/next pointers,
+// an id, a count, and the inserted flag, as 4-byte fields plus the flag.
+const blockHeaderBytes = 17
+
+// Block is a fixed-capacity page of points.
+type Block struct {
+	// ID is the block's position in its Manager.
+	ID int
+	// Prev and Next are the linked-list neighbours (NilBlock at the ends).
+	// For bulk-loaded data the list order equals ID order; blocks created by
+	// insertions splice into the list out of ID order.
+	Prev, Next int
+	// Inserted marks overflow blocks created by insertions. They do not
+	// count towards the learned error bounds (§5) and are reached by
+	// following Next pointers from their predicted base block.
+	Inserted bool
+
+	pts     []geom.Point
+	deleted []bool
+	live    int
+}
+
+// Len returns the number of slots in use (including deleted slots, which
+// still occupy space until a compaction or swap removes them).
+func (b *Block) Len() int { return len(b.pts) }
+
+// Live returns the number of non-deleted points.
+func (b *Block) Live() int { return b.live }
+
+// Points calls fn for every live point in the block.
+func (b *Block) Points(fn func(geom.Point)) {
+	for i, p := range b.pts {
+		if !b.deleted[i] {
+			fn(p)
+		}
+	}
+}
+
+// PointAt returns the point in slot i and whether it is live.
+func (b *Block) PointAt(i int) (geom.Point, bool) {
+	return b.pts[i], !b.deleted[i]
+}
+
+// Find returns the slot of the live point equal to p, or -1.
+func (b *Block) Find(p geom.Point) int {
+	for i, q := range b.pts {
+		if !b.deleted[i] && q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// MBR returns the minimum bounding rectangle of the live points.
+func (b *Block) MBR() geom.Rect {
+	r := geom.EmptyRect()
+	for i, p := range b.pts {
+		if !b.deleted[i] {
+			r = r.ExtendPoint(p)
+		}
+	}
+	return r
+}
+
+// Manager owns an append-only array of blocks, counts accesses, and accounts
+// for storage size. A Manager instance backs exactly one index.
+type Manager struct {
+	capacity int
+	blocks   []*Block
+	accesses atomic.Int64
+}
+
+// NewManager returns a Manager producing blocks of the given capacity.
+// Capacity must be positive; the zero value selects DefaultBlockCapacity.
+func NewManager(capacity int) *Manager {
+	if capacity == 0 {
+		capacity = DefaultBlockCapacity
+	}
+	if capacity < 0 {
+		panic(fmt.Sprintf("store: negative block capacity %d", capacity))
+	}
+	return &Manager{capacity: capacity}
+}
+
+// Capacity returns the block capacity B.
+func (m *Manager) Capacity() int { return m.capacity }
+
+// NumBlocks returns the number of allocated blocks.
+func (m *Manager) NumBlocks() int { return len(m.blocks) }
+
+// Alloc creates a new empty block at the end of the block array and returns
+// it. The block starts unlinked (Prev = Next = NilBlock).
+func (m *Manager) Alloc() *Block {
+	b := &Block{
+		ID:      len(m.blocks),
+		Prev:    NilBlock,
+		Next:    NilBlock,
+		pts:     make([]geom.Point, 0, m.capacity),
+		deleted: make([]bool, 0, m.capacity),
+	}
+	m.blocks = append(m.blocks, b)
+	return b
+}
+
+// Read returns block id and counts one block access. It returns nil for ids
+// outside the allocated range, so callers can probe predicted ids safely.
+func (m *Manager) Read(id int) *Block {
+	if id < 0 || id >= len(m.blocks) {
+		return nil
+	}
+	m.accesses.Add(1)
+	return m.blocks[id]
+}
+
+// Peek returns block id without counting an access. It is for structural
+// maintenance (linking, MBR updates, rebuilds) that the paper does not count
+// as query-time block accesses.
+func (m *Manager) Peek(id int) *Block {
+	if id < 0 || id >= len(m.blocks) {
+		return nil
+	}
+	return m.blocks[id]
+}
+
+// Accesses returns the number of block reads since the last ResetAccesses.
+func (m *Manager) Accesses() int64 { return m.accesses.Load() }
+
+// ResetAccesses zeroes the access counter and returns the previous value.
+func (m *Manager) ResetAccesses() int64 { return m.accesses.Swap(0) }
+
+// SizeBytes returns the total storage footprint of all blocks: headers plus
+// full capacity slots (external-memory pages are fixed size whether full or
+// not).
+func (m *Manager) SizeBytes() int64 {
+	return int64(len(m.blocks)) * int64(blockHeaderBytes+m.capacity*pointBytes)
+}
+
+// Append adds p to block b. It panics if the block is full: callers must
+// check HasSpace first (packing and insertion logic control fullness).
+func (b *Block) Append(p geom.Point) {
+	if len(b.pts) >= cap(b.pts) && b.freeSlot() == -1 {
+		panic("store: append to full block")
+	}
+	if i := b.freeSlot(); i >= 0 {
+		b.pts[i] = p
+		b.deleted[i] = false
+		b.live++
+		return
+	}
+	b.pts = append(b.pts, p)
+	b.deleted = append(b.deleted, false)
+	b.live++
+}
+
+// freeSlot returns a deleted slot that can be reused, or -1.
+func (b *Block) freeSlot() int {
+	if b.live == len(b.pts) {
+		return -1
+	}
+	for i, d := range b.deleted {
+		if d {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasSpace reports whether b can accept one more point, either in a fresh
+// slot or by reusing a deleted slot ("If the predicted block has space for p
+// (e.g., space left by a deleted point), we simply place p in the block",
+// §5).
+func (b *Block) HasSpace() bool {
+	return b.live < cap(b.pts)
+}
+
+// Delete marks the point at slot i deleted and swaps it with the last live
+// slot, mirroring the paper's deletion ("we swap p with the last point in
+// this block and mark p as deleted", §5). The block is never deallocated, so
+// error bounds remain valid.
+func (b *Block) Delete(i int) {
+	if i < 0 || i >= len(b.pts) || b.deleted[i] {
+		return
+	}
+	last := len(b.pts) - 1
+	for last > i && b.deleted[last] {
+		last--
+	}
+	b.pts[i], b.pts[last] = b.pts[last], b.pts[i]
+	b.deleted[i], b.deleted[last] = b.deleted[last], b.deleted[i]
+	b.deleted[last] = true
+	b.live--
+}
+
+// Link splices block nb into the list directly after block b. Both blocks
+// must belong to m.
+func (m *Manager) Link(b, nb *Block) {
+	nb.Next = b.Next
+	nb.Prev = b.ID
+	if b.Next != NilBlock {
+		m.blocks[b.Next].Prev = nb.ID
+	}
+	b.Next = nb.ID
+}
+
+// Chain returns the ids of b and all Inserted blocks chained directly after
+// it, i.e. the overflow run that a point query must scan in addition to the
+// base block (§5: inserted blocks are placed "as the next block of the
+// predicted block").
+func (m *Manager) Chain(b *Block) []int {
+	ids := []int{b.ID}
+	for next := b.Next; next != NilBlock; {
+		nb := m.blocks[next]
+		if !nb.Inserted {
+			break
+		}
+		ids = append(ids, nb.ID)
+		next = nb.Next
+	}
+	return ids
+}
+
+// Pack distributes pts into consecutive new blocks of at most Capacity points
+// each, in slice order, linking them into a list. It returns the id of the
+// first block created, and the number of blocks. Packing an empty slice
+// still allocates one empty block so every leaf owns at least one block.
+func (m *Manager) Pack(pts []geom.Point) (first, count int) {
+	first = len(m.blocks)
+	var prev *Block
+	b := m.Alloc()
+	count = 1
+	for _, p := range pts {
+		if !b.HasSpace() {
+			nb := m.Alloc()
+			nb.Prev = b.ID
+			b.Next = nb.ID
+			prev, b = b, nb
+			_ = prev
+			count++
+		}
+		b.Append(p)
+	}
+	return first, count
+}
+
+// LinkRuns connects the tail of the run ending at tailID to the head of the
+// run starting at headID, preserving global scan order across leaves.
+func (m *Manager) LinkRuns(tailID, headID int) {
+	if tailID == NilBlock || headID == NilBlock {
+		return
+	}
+	m.blocks[tailID].Next = headID
+	m.blocks[headID].Prev = tailID
+}

@@ -1,0 +1,138 @@
+// Package workload generates the query workloads of §6.1: window queries of
+// a given size (as a fraction of the data space) and aspect ratio, and kNN
+// query points, both "following the data distribution" — each query is
+// centred on a sampled data point.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"rsmi/internal/geom"
+)
+
+// Paper parameter grids (Table 2); bold defaults are the first constant of
+// each group in DESIGN.md §4 and encoded here for the harness.
+var (
+	// WindowSizes are the query window sizes as fractions of the data space
+	// (the paper states them in %, i.e. 0.0006% … 0.16%).
+	WindowSizes = []float64{0.000006, 0.000025, 0.0001, 0.0004, 0.0016}
+	// DefaultWindowSize is the bold default 0.01%.
+	DefaultWindowSize = 0.0001
+	// AspectRatios are the window width:height ratios.
+	AspectRatios = []float64{0.25, 0.5, 1, 2, 4}
+	// DefaultAspectRatio is the bold default 1.
+	DefaultAspectRatio = 1.0
+	// Ks are the kNN parameter values.
+	Ks = []int{1, 5, 25, 125, 625}
+	// DefaultK is the bold default 25.
+	DefaultK = 25
+	// UpdateFractions are the insert/delete percentages of Table 2.
+	UpdateFractions = []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	// DefaultUpdateFraction is the bold default 30%.
+	DefaultUpdateFraction = 0.3
+	// DefaultQueryCount is the paper's per-experiment query count (§6.2.3).
+	DefaultQueryCount = 1000
+)
+
+// Windows generates count window queries. Each window is centred at a data
+// point drawn uniformly from pts, has area = sizeFrac × the unit data space,
+// and width/height = aspect. Windows are clipped to the unit square, as the
+// data is.
+func Windows(pts []geom.Point, count int, sizeFrac, aspect float64, seed int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Rect, 0, count)
+	w := math.Sqrt(sizeFrac * aspect)
+	h := sizeFrac / w
+	for i := 0; i < count; i++ {
+		c := pts[rng.Intn(len(pts))]
+		r := geom.RectAround(c, w, h)
+		out = append(out, clipUnit(r))
+	}
+	return out
+}
+
+// KNNPoints generates count kNN query points by sampling data points and
+// perturbing them slightly, so queries follow the data distribution without
+// being guaranteed exact hits.
+func KNNPoints(pts []geom.Point, count int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Point, 0, count)
+	for i := 0; i < count; i++ {
+		c := pts[rng.Intn(len(pts))]
+		out = append(out, geom.Pt(
+			clamp01(c.X+rng.NormFloat64()*0.001),
+			clamp01(c.Y+rng.NormFloat64()*0.001),
+		))
+	}
+	return out
+}
+
+// PointQueries samples count indexed points to use as point queries. The
+// paper uses all data points (§6.2.2); for large n the harness samples.
+func PointQueries(pts []geom.Point, count int, seed int64) []geom.Point {
+	if count >= len(pts) {
+		return append([]geom.Point(nil), pts...)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Point, 0, count)
+	for _, i := range rng.Perm(len(pts))[:count] {
+		out = append(out, pts[i])
+	}
+	return out
+}
+
+// InsertPoints generates count fresh points following approximately the same
+// distribution as pts, by jittering sampled data points. Used by the update
+// experiments (Figs. 17–19).
+func InsertPoints(pts []geom.Point, count int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[geom.Point]struct{}, len(pts)+count)
+	for _, p := range pts {
+		seen[p] = struct{}{}
+	}
+	out := make([]geom.Point, 0, count)
+	for len(out) < count {
+		c := pts[rng.Intn(len(pts))]
+		p := geom.Pt(
+			clamp01(c.X+rng.NormFloat64()*0.01),
+			clamp01(c.Y+rng.NormFloat64()*0.01),
+		)
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		out = append(out, p)
+	}
+	return out
+}
+
+// DeleteSample picks count distinct existing points to delete.
+func DeleteSample(pts []geom.Point, count int, seed int64) []geom.Point {
+	if count > len(pts) {
+		count = len(pts)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Point, 0, count)
+	for _, i := range rng.Perm(len(pts))[:count] {
+		out = append(out, pts[i])
+	}
+	return out
+}
+
+func clipUnit(r geom.Rect) geom.Rect {
+	return geom.Rect{
+		MinX: clamp01(r.MinX), MinY: clamp01(r.MinY),
+		MaxX: clamp01(r.MaxX), MaxY: clamp01(r.MaxY),
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"rsmi/internal/dataset"
+	"rsmi/internal/geom"
+)
+
+func TestWindowsGeometry(t *testing.T) {
+	pts := dataset.Generate(dataset.Uniform, 1000, 1)
+	const size, aspect = 0.0001, 4.0
+	ws := Windows(pts, 200, size, aspect, 2)
+	if len(ws) != 200 {
+		t.Fatalf("got %d windows", len(ws))
+	}
+	wantW := math.Sqrt(size * aspect)
+	wantH := size / wantW
+	for _, w := range ws {
+		if w.MinX < 0 || w.MaxX > 1 || w.MinY < 0 || w.MaxY > 1 {
+			t.Fatalf("window %v outside unit square", w)
+		}
+		// Unclipped windows must have the requested dimensions.
+		if w.MinX > 0 && w.MaxX < 1 && math.Abs(w.Width()-wantW) > 1e-12 {
+			t.Fatalf("window width %v, want %v", w.Width(), wantW)
+		}
+		if w.MinY > 0 && w.MaxY < 1 && math.Abs(w.Height()-wantH) > 1e-12 {
+			t.Fatalf("window height %v, want %v", w.Height(), wantH)
+		}
+	}
+}
+
+func TestWindowsAspectRatio(t *testing.T) {
+	pts := dataset.Generate(dataset.Uniform, 1000, 1)
+	for _, aspect := range AspectRatios {
+		ws := Windows(pts, 50, DefaultWindowSize, aspect, 3)
+		for _, w := range ws {
+			if w.MinX > 0 && w.MaxX < 1 && w.MinY > 0 && w.MaxY < 1 {
+				if got := w.Width() / w.Height(); math.Abs(got-aspect) > 1e-9 {
+					t.Fatalf("aspect %v: got %v", aspect, got)
+				}
+				if got := w.Area(); math.Abs(got-DefaultWindowSize) > 1e-12 {
+					t.Fatalf("area %v, want %v", got, DefaultWindowSize)
+				}
+			}
+		}
+	}
+}
+
+func TestWindowsFollowDistribution(t *testing.T) {
+	// Windows over skewed data must concentrate where the data is.
+	pts := dataset.Generate(dataset.Skewed, 5000, 4)
+	ws := Windows(pts, 500, DefaultWindowSize, 1, 5)
+	low := 0
+	for _, w := range ws {
+		if w.Center().Y < 0.2 {
+			low++
+		}
+	}
+	if frac := float64(low) / float64(len(ws)); frac < 0.5 {
+		t.Errorf("only %.2f of windows in dense region; queries must follow data", frac)
+	}
+}
+
+func TestWindowsDeterministic(t *testing.T) {
+	pts := dataset.Generate(dataset.Uniform, 100, 1)
+	a := Windows(pts, 20, DefaultWindowSize, 1, 7)
+	b := Windows(pts, 20, DefaultWindowSize, 1, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("windows not deterministic")
+		}
+	}
+}
+
+func TestKNNPointsInRangeAndNearData(t *testing.T) {
+	pts := dataset.Generate(dataset.Normal, 2000, 2)
+	qs := KNNPoints(pts, 300, 6)
+	if len(qs) != 300 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q.X < 0 || q.X > 1 || q.Y < 0 || q.Y > 1 {
+			t.Fatalf("query %v outside unit square", q)
+		}
+	}
+	// Most queries should be near the data's centre of mass.
+	near := 0
+	for _, q := range qs {
+		if math.Abs(q.X-0.5) < 0.3 && math.Abs(q.Y-0.5) < 0.3 {
+			near++
+		}
+	}
+	if frac := float64(near) / float64(len(qs)); frac < 0.5 {
+		t.Errorf("only %.2f of kNN queries near data mass", frac)
+	}
+}
+
+func TestPointQueriesSampling(t *testing.T) {
+	pts := dataset.Generate(dataset.Uniform, 100, 3)
+	all := PointQueries(pts, 1000, 8)
+	if len(all) != 100 {
+		t.Errorf("oversized count must return all points, got %d", len(all))
+	}
+	some := PointQueries(pts, 10, 8)
+	if len(some) != 10 {
+		t.Fatalf("got %d queries", len(some))
+	}
+	set := make(map[geom.Point]struct{}, len(pts))
+	for _, p := range pts {
+		set[p] = struct{}{}
+	}
+	seen := make(map[geom.Point]struct{})
+	for _, q := range some {
+		if _, ok := set[q]; !ok {
+			t.Fatalf("sampled query %v not a data point", q)
+		}
+		if _, dup := seen[q]; dup {
+			t.Fatalf("duplicate sample %v", q)
+		}
+		seen[q] = struct{}{}
+	}
+}
+
+func TestInsertPointsFreshAndDistinct(t *testing.T) {
+	pts := dataset.Generate(dataset.Skewed, 1000, 4)
+	ins := InsertPoints(pts, 500, 9)
+	if len(ins) != 500 {
+		t.Fatalf("got %d inserts", len(ins))
+	}
+	existing := make(map[geom.Point]struct{}, len(pts))
+	for _, p := range pts {
+		existing[p] = struct{}{}
+	}
+	seen := make(map[geom.Point]struct{})
+	for _, p := range ins {
+		if _, clash := existing[p]; clash {
+			t.Fatalf("insert %v collides with existing point", p)
+		}
+		if _, dup := seen[p]; dup {
+			t.Fatalf("duplicate insert %v", p)
+		}
+		seen[p] = struct{}{}
+		if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 {
+			t.Fatalf("insert %v outside unit square", p)
+		}
+	}
+}
+
+func TestDeleteSample(t *testing.T) {
+	pts := dataset.Generate(dataset.Uniform, 200, 5)
+	del := DeleteSample(pts, 50, 10)
+	if len(del) != 50 {
+		t.Fatalf("got %d deletes", len(del))
+	}
+	set := make(map[geom.Point]struct{}, len(pts))
+	for _, p := range pts {
+		set[p] = struct{}{}
+	}
+	seen := make(map[geom.Point]struct{})
+	for _, p := range del {
+		if _, ok := set[p]; !ok {
+			t.Fatalf("delete %v is not an indexed point", p)
+		}
+		if _, dup := seen[p]; dup {
+			t.Fatalf("duplicate delete %v", p)
+		}
+		seen[p] = struct{}{}
+	}
+	if got := DeleteSample(pts, 5000, 10); len(got) != 200 {
+		t.Errorf("oversized delete sample = %d, want 200", len(got))
+	}
+}
+
+func TestPaperParameterGrids(t *testing.T) {
+	// Guard the Table 2 constants against accidental edits.
+	if len(WindowSizes) != 5 || WindowSizes[2] != DefaultWindowSize {
+		t.Error("window size grid drifted from Table 2")
+	}
+	if len(Ks) != 5 || Ks[2] != DefaultK {
+		t.Error("k grid drifted from Table 2")
+	}
+	if len(AspectRatios) != 5 || AspectRatios[2] != DefaultAspectRatio {
+		t.Error("aspect grid drifted from Table 2")
+	}
+	if len(UpdateFractions) != 5 || UpdateFractions[2] != DefaultUpdateFraction {
+		t.Error("update grid drifted from Table 2")
+	}
+}

@@ -1,0 +1,100 @@
+// Package rsmi is a from-scratch Go implementation of the Recursive Spatial
+// Model Index from "Effectively Learning Spatial Indices" (Qi, Liu, Jensen,
+// Kulik; PVLDB 13(11), 2020).
+//
+// An RSMI is a learned spatial index over 2-D points: data is ordered with a
+// rank-space space-filling-curve technique, packed into fixed-capacity
+// blocks, and a hierarchy of small neural networks learns to map coordinates
+// to block ids. Queries replace tree traversals with model inference plus an
+// error-bounded scan:
+//
+//   - PointQuery is exact (never a false negative),
+//   - WindowQuery is approximate with no false positives (recall is
+//     typically high; see EXPERIMENTS.md),
+//   - KNN is approximate; AsExact() provides exact window/kNN answers via
+//     the MBR-based RSMIa variant,
+//   - Insert/Delete support dynamic data, and AsRebuilder() adds the RSMIr
+//     periodic-rebuild policy.
+//
+// # Quick start
+//
+//	pts := []rsmi.Point{ ... }
+//	idx := rsmi.New(pts, rsmi.Options{})      // paper defaults
+//	idx.PointQuery(rsmi.Pt(0.3, 0.7))
+//	idx.WindowQuery(rsmi.NewRect(rsmi.Pt(0.2, 0.2), rsmi.Pt(0.4, 0.4)))
+//	idx.KNN(rsmi.Pt(0.5, 0.5), 25)
+//
+// The internal packages implement every substrate and every baseline of the
+// paper's evaluation (Grid File, K-D-B-tree, R*-tree, HRR, ZM); the
+// cmd/rsmi-bench harness reproduces each table and figure. See DESIGN.md for
+// the system inventory and EXPERIMENTS.md for measured results.
+package rsmi
+
+import (
+	"io"
+
+	"rsmi/internal/core"
+	"rsmi/internal/extent"
+	"rsmi/internal/geom"
+	"rsmi/internal/index"
+)
+
+// Point is a 2-dimensional point.
+type Point = geom.Point
+
+// Rect is a closed axis-aligned rectangle (a window query).
+type Rect = geom.Rect
+
+// Options configures index construction; the zero value selects the paper's
+// defaults (block capacity B=100, partition threshold N=10000, Hilbert
+// curve, learning rate 0.01, 500 epochs).
+type Options = core.Options
+
+// Index is the learned spatial index (the paper's RSMI).
+type Index = core.RSMI
+
+// Exact is the RSMIa view of an Index: exact window and kNN answers via
+// MBR traversal.
+type Exact = core.Exact
+
+// Rebuilder is the RSMIr view of an Index: inserts trigger periodic
+// rebuilds.
+type Rebuilder = core.Rebuilder
+
+// Stats describes an index's structure and cost.
+type Stats = index.Stats
+
+// New builds an RSMI over the points.
+func New(pts []Point, opts Options) *Index {
+	return core.New(pts, opts)
+}
+
+// Load deserialises an index previously saved with Index.WriteTo. Training
+// at paper scale takes hours (§6.2.2 reports 16 h for the OSM data set), so
+// production deployments build once and reload across restarts.
+func Load(r io.Reader) (*Index, error) {
+	return core.Load(r)
+}
+
+// Pt constructs a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// NewRect constructs the rectangle spanned by two corner points in any
+// order.
+func NewRect(a, b Point) Rect { return geom.NewRect(a, b) }
+
+// RectAround constructs the rectangle centred at c with the given full
+// width and height.
+func RectAround(c Point, width, height float64) Rect {
+	return geom.RectAround(c, width, height)
+}
+
+// RectIndex indexes spatial objects with non-zero extent (rectangles) using
+// a learned index over their centre points plus query expansion — the
+// future-work extension of the paper's §7, implemented per [44, 48].
+type RectIndex = extent.RectIndex
+
+// NewRectIndex builds a RectIndex over the rectangles.
+func NewRectIndex(rects []Rect, opts Options) *RectIndex {
+	return extent.New(rects, opts)
+}
