@@ -45,7 +45,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 }
 
-// One benchmark per paper artefact (DESIGN.md §4).
+// One benchmark per paper artefact (the experiment ids of internal/bench).
 
 func BenchmarkTable3PartitionThreshold(b *testing.B)  { benchExperiment(b, "table3") }
 func BenchmarkTable4ErrorBounds(b *testing.B)         { benchExperiment(b, "table4") }
@@ -68,6 +68,7 @@ func BenchmarkFig19KNNAfterInsertions(b *testing.B) { benchExperiment(b, "fig19"
 func BenchmarkDeletions(b *testing.B)               { benchExperiment(b, "deletions") }
 func BenchmarkAblationRankSpace(b *testing.B)       { benchExperiment(b, "ablation-rank") }
 func BenchmarkAblationCurve(b *testing.B)           { benchExperiment(b, "ablation-curve") }
+func BenchmarkShardedThroughput(b *testing.B)       { benchExperiment(b, "sharded") }
 
 // Micro-benchmarks of the public API's core operations.
 

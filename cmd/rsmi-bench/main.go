@@ -9,8 +9,9 @@
 //	rsmi-bench -exp all -n 100000         # the full evaluation, larger data
 //	rsmi-bench -exp table3 -epochs 500    # paper-fidelity training
 //
-// The harness defaults to laptop scale (n=20000, 30 epochs); see DESIGN.md
-// §3.3 for the scaling rationale and EXPERIMENTS.md for measured results.
+// The harness defaults to laptop scale (n=20000, 30 epochs); see README.md
+// ("Scale") for the scaling rationale and EXPERIMENTS.md for measured
+// results.
 package main
 
 import (
@@ -35,6 +36,8 @@ func main() {
 		thresh  = flag.Int("threshold", 0, "RSMI partition threshold N (default 10000)")
 		seed    = flag.Int64("seed", 0, "random seed (default 1)")
 		dist    = flag.String("dist", "", "default distribution: uniform|normal|skewed|tiger|osm (default skewed)")
+		shards  = flag.Int("shards", 0, "max shard count for -exp sharded (default 8)")
+		gors    = flag.Int("goroutines", 0, "max client goroutines for -exp sharded (default 8)")
 	)
 	flag.Parse()
 
@@ -57,6 +60,8 @@ func main() {
 		BlockCapacity:      *block,
 		PartitionThreshold: *thresh,
 		Seed:               *seed,
+		Shards:             *shards,
+		Goroutines:         *gors,
 	}
 	if *dist != "" {
 		kind, err := dataset.Parse(*dist)

@@ -1,0 +1,3 @@
+module rsmi
+
+go 1.24

@@ -27,7 +27,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table3", "table4",
 		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-		"deletions", "ablation-rank", "ablation-curve",
+		"deletions", "ablation-rank", "ablation-curve", "sharded",
 	}
 	ids := IDs()
 	got := make(map[string]bool, len(ids))
@@ -127,6 +127,8 @@ func experimentMustMention(id string) []string {
 		return []string{"rank-space", "raw-grid", "gap relative variance"}
 	case "ablation-curve":
 		return []string{"hilbert", "z"}
+	case "sharded":
+		return []string{"RWMutex", "Sharded S=", "kqps", "workers="}
 	}
 	return nil
 }

@@ -72,7 +72,7 @@ type Options struct {
 	// RawGridLeafOrder disables the rank-space transform and orders leaf
 	// points by their curve value on a fixed coordinate grid instead —
 	// the ordering of the ZM baseline [46]. It exists only for the
-	// ablation experiment A1 (DESIGN.md §4): the paper's claim is that
+	// ablation experiment (EXPERIMENTS.md, "Ablations"): the paper's claim is that
 	// rank-space ordering yields a simpler CDF and tighter error bounds.
 	RawGridLeafOrder bool
 }

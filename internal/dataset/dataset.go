@@ -3,7 +3,7 @@
 // The synthetic families (Uniform, Normal, Skewed) follow the paper's recipe
 // literally. The real data sets (TIGER, OSM) are not available offline;
 // TigerLike and OSMLike are documented synthetic stand-ins that preserve the
-// characteristics the evaluation stresses — see DESIGN.md §3.2.
+// characteristics the evaluation stresses — see README.md, "Datasets".
 //
 // All generators are deterministic in their seed and emit points in the unit
 // square with distinct coordinates in each dimension (the paper assumes "no

@@ -6,7 +6,7 @@
 // The paper compares against the revised R*-tree (RR*) [4] using its
 // original C implementation; that revision set is not reproducible from the
 // paper alone, so this package implements the R*-tree it refines (see
-// DESIGN.md §3.4). It plays the same evaluation role: the strongest
+// README.md, "Package map"). It plays the same evaluation role: the strongest
 // dynamically-maintained R-tree baseline.
 package rstar
 

@@ -1,0 +1,667 @@
+// Package shard scales the RSMI beyond a single goroutine by partitioning
+// the data across S independent RSMI instances and serving queries by
+// parallel fan-out, the approach of partition-then-learn systems such as
+// "The Case for Learned Spatial Indexes" (Pandey et al., 2020) and LiLIS
+// (Chen et al., 2025).
+//
+// # Partitioning
+//
+// Space partitioning (the default) orders all points by the same rank-space
+// curve-value technique the RSMI leaves use (§3.1) and cuts the ordering
+// into S contiguous runs, so each shard covers a compact region of the
+// curve and window queries touch few shards. Hash partitioning spreads
+// points by a coordinate hash; it gives perfect balance under any update
+// skew at the price of every window/kNN query visiting every shard.
+//
+// # Concurrency
+//
+// Each shard owns a sync.RWMutex: queries on one shard take its read lock
+// and run in parallel with queries on every shard, while updates take only
+// the owning shard's write lock, so updates on different shards proceed
+// concurrently — unlike the single global RWMutex of rsmi.Concurrent,
+// which serialises every update against all queries. Rebuild is rolling:
+// one shard retrains at a time while the rest keep serving, bounding the
+// stall a periodic rebuild (§5) inflicts on live queries to a single
+// shard's retraining time.
+//
+// # Correctness
+//
+// The shards partition the point set, so the per-index guarantees compose:
+// point queries are exact, window queries have no false positives (each
+// shard's answer has none, and the union introduces none), and ExactWindow
+// and ExactKNN remain exact. The kNN fan-out is best-first with a shared
+// distance bound: shards are visited in MINDIST order of their regions and
+// pruned once the current k-th candidate is closer than a shard's region.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rsmi/internal/core"
+	"rsmi/internal/geom"
+	"rsmi/internal/index"
+	"rsmi/internal/rank"
+	"rsmi/internal/store"
+)
+
+// Partitioning selects how points are assigned to shards.
+type Partitioning int
+
+const (
+	// Space cuts the rank-space curve ordering into S contiguous runs
+	// (compact shard regions; window queries touch few shards).
+	Space Partitioning = iota
+	// Hash assigns points by a coordinate hash (perfect balance; every
+	// window/kNN query fans out to all shards).
+	Hash
+)
+
+// String implements fmt.Stringer.
+func (p Partitioning) String() string {
+	switch p {
+	case Space:
+		return "space"
+	case Hash:
+		return "hash"
+	default:
+		return fmt.Sprintf("shard.Partitioning(%d)", int(p))
+	}
+}
+
+// Options configures a Sharded index. The zero value selects GOMAXPROCS
+// shards, space partitioning, as many fan-out workers as shards, and the
+// paper-default core.Options for every shard.
+type Options struct {
+	// Shards is S, the number of independent RSMI instances (default
+	// GOMAXPROCS, minimum 1).
+	Shards int
+	// Workers bounds the goroutines a single query fans out to (default
+	// Shards).
+	Workers int
+	// Partitioning selects Space (default) or Hash assignment.
+	Partitioning Partitioning
+	// Index configures each shard's RSMI; the zero value selects the
+	// paper's defaults, as in core.Options.
+	Index core.Options
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers <= 0 {
+		o.Workers = o.Shards
+	}
+	return o
+}
+
+// state is one shard: an RSMI guarded by its own lock, plus its routing
+// region. The region is always a superset of the shard's live points
+// (extended on insert, never shrunk except by rebuild), so region-based
+// pruning is conservative and stays correct. It lives behind an atomic
+// pointer rather than the shard lock so that routing — which consults
+// every shard's region — never blocks on a shard that is busy rebuilding
+// or inserting; region writes happen only under mu, region reads take no
+// lock at all.
+type state struct {
+	mu     sync.RWMutex
+	idx    *core.RSMI
+	region atomic.Pointer[geom.Rect]
+}
+
+// loadRegion reads the routing region without taking the shard lock.
+func (sh *state) loadRegion() geom.Rect { return *sh.region.Load() }
+
+// storeRegion publishes a new routing region; callers hold sh.mu.
+func (sh *state) storeRegion(r geom.Rect) { sh.region.Store(&r) }
+
+// Sharded is an S-way sharded RSMI. All methods are safe for concurrent
+// use. It implements index.Index and offers the same method set as
+// rsmi.Index and rsmi.Concurrent.
+type Sharded struct {
+	opts      Options
+	shards    []*state
+	buildTime time.Duration
+}
+
+var _ index.Index = (*Sharded)(nil)
+
+// New builds a Sharded index over the points. Shard construction (model
+// training included) runs in parallel. The input slice is not modified.
+//
+// When opts.Index.PartitionThreshold is unset, New derives a per-shard
+// threshold instead of core's global default: a shard holding close to the
+// default threshold N=10,000 would otherwise build as one maximal leaf,
+// whose prediction error bounds are an order of magnitude looser than the
+// small leaves a hierarchical build produces (scans of ±40 blocks instead
+// of ±4 at harness training budgets), erasing the gains of sharding.
+func New(pts []geom.Point, opts Options) *Sharded {
+	opts = opts.withDefaults()
+	opts.Index = deriveIndexOptions(opts, len(pts))
+	start := time.Now()
+	s := &Sharded{opts: opts}
+	parts := partition(pts, opts)
+	s.shards = make([]*state, opts.Shards)
+	var wg sync.WaitGroup
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			io := opts.Index
+			// Distinct seeds keep shard models independent even though every
+			// shard shares one Options value.
+			io.Seed += int64(i) * 7919
+			sh := &state{idx: core.New(parts[i], io)}
+			sh.storeRegion(geom.BoundingRect(parts[i]))
+			s.shards[i] = sh
+		}(i)
+	}
+	wg.Wait()
+	s.buildTime = time.Since(start)
+	return s
+}
+
+// deriveIndexOptions returns the per-shard core options: an unset
+// PartitionThreshold defaults to roughly a quarter of the shard's share of
+// the points, clamped to [4·B, core default], so every shard keeps a
+// multi-leaf hierarchy with tight error bounds. Explicit thresholds are
+// respected unchanged.
+func deriveIndexOptions(opts Options, n int) core.Options {
+	io := opts.Index
+	if io.PartitionThreshold != 0 {
+		return io
+	}
+	blockCap := io.BlockCapacity
+	if blockCap == 0 {
+		blockCap = store.DefaultBlockCapacity
+	}
+	per := (n + opts.Shards - 1) / opts.Shards
+	thr := per / 4
+	if min := 4 * blockCap; thr < min {
+		thr = min
+	}
+	if thr > core.DefaultPartitionThreshold {
+		thr = core.DefaultPartitionThreshold
+	}
+	io.PartitionThreshold = thr
+	return io
+}
+
+// partition assigns pts to opts.Shards groups.
+func partition(pts []geom.Point, opts Options) [][]geom.Point {
+	parts := make([][]geom.Point, opts.Shards)
+	if opts.Partitioning == Hash {
+		for _, p := range pts {
+			i := int(hashPoint(p) % uint64(opts.Shards))
+			parts[i] = append(parts[i], p)
+		}
+		return parts
+	}
+	// Space: contiguous runs of the rank-space curve ordering (§3.1), the
+	// same ordering RSMI leaves pack blocks in.
+	ordered := rank.Order(pts, opts.Index.Curve)
+	per := (len(ordered) + opts.Shards - 1) / opts.Shards
+	if per == 0 {
+		per = 1
+	}
+	for i := range parts {
+		lo := i * per
+		if lo > len(ordered) {
+			lo = len(ordered)
+		}
+		hi := lo + per
+		if hi > len(ordered) {
+			hi = len(ordered)
+		}
+		parts[i] = ordered[lo:hi]
+	}
+	return parts
+}
+
+// hashPoint is FNV-1a over the coordinate bit patterns: deterministic, so
+// hash routing is stable across the index's lifetime. Zeros are normalised
+// first — -0.0 == +0.0 for point equality, so both must route to the same
+// shard.
+func hashPoint(p geom.Point) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	x, y := p.X, p.Y
+	if x == 0 {
+		x = 0
+	}
+	if y == 0 {
+		y = 0
+	}
+	h := uint64(offset)
+	for _, v := range [2]uint64{math.Float64bits(x), math.Float64bits(y)} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// NumShards returns S.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Options returns the (defaulted) options the index was built with.
+func (s *Sharded) Options() Options { return s.opts }
+
+// Name implements index.Index.
+func (s *Sharded) Name() string { return "Sharded" }
+
+// String summarises the index.
+func (s *Sharded) String() string {
+	return fmt.Sprintf("Sharded{shards=%d partitioning=%s n=%d}",
+		len(s.shards), s.opts.Partitioning, s.Len())
+}
+
+// owner returns the shard that hash routing assigns p to.
+func (s *Sharded) owner(p geom.Point) *state {
+	return s.shards[int(hashPoint(p)%uint64(len(s.shards)))]
+}
+
+// pointCandidates returns the shards that may hold a point with exactly p's
+// coordinates: the hash owner under hash partitioning, or every shard whose
+// region contains p under space partitioning (regions can overlap once
+// inserts have extended them).
+func (s *Sharded) pointCandidates(p geom.Point) []*state {
+	if s.opts.Partitioning == Hash {
+		return []*state{s.owner(p)}
+	}
+	var out []*state
+	for _, sh := range s.shards {
+		if sh.loadRegion().Contains(p) {
+			out = append(out, sh)
+		}
+	}
+	return out
+}
+
+// PointQuery reports whether a point with q's exact coordinates is indexed.
+// Exact: every indexed point lies inside its shard's region, so the
+// candidate set always includes the owning shard.
+func (s *Sharded) PointQuery(q geom.Point) bool {
+	for _, sh := range s.pointCandidates(q) {
+		sh.mu.RLock()
+		found := sh.idx.PointQuery(q)
+		sh.mu.RUnlock()
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds p, routing it to its owning shard and taking only that
+// shard's write lock, so inserts into different shards run concurrently.
+// Under space partitioning the owner is the shard whose region needs the
+// least enlargement to cover p (ties to the smaller region, then the lower
+// shard id), and the chosen region is extended.
+func (s *Sharded) Insert(p geom.Point) {
+	var sh *state
+	if s.opts.Partitioning == Hash {
+		sh = s.owner(p)
+	} else {
+		sh = s.routeSpace(p)
+	}
+	sh.mu.Lock()
+	sh.idx.Insert(p)
+	sh.storeRegion(sh.loadRegion().ExtendPoint(p))
+	sh.mu.Unlock()
+}
+
+// routeSpace picks the insert target under space partitioning: the shard
+// whose region needs the least enlargement, ties to the smaller region,
+// then the lower shard id. Empty shards are considered only when every
+// shard is empty.
+func (s *Sharded) routeSpace(p geom.Point) *state {
+	var best *state
+	bestEnl, bestArea := math.Inf(1), math.Inf(1)
+	for _, sh := range s.shards {
+		r := sh.loadRegion()
+		if r.IsEmpty() {
+			continue
+		}
+		enl := r.Enlargement(geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y})
+		area := r.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = sh, enl, area
+		}
+	}
+	if best == nil {
+		best = s.shards[0]
+	}
+	return best
+}
+
+// Delete removes the point with p's exact coordinates from whichever shard
+// holds it.
+func (s *Sharded) Delete(p geom.Point) bool {
+	for _, sh := range s.pointCandidates(p) {
+		sh.mu.Lock()
+		ok := sh.idx.Delete(p)
+		sh.mu.Unlock()
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// windowCandidates returns the shards whose region intersects q, in shard
+// order.
+func (s *Sharded) windowCandidates(q geom.Rect) []*state {
+	var out []*state
+	for _, sh := range s.shards {
+		if sh.loadRegion().Intersects(q) {
+			out = append(out, sh)
+		}
+	}
+	return out
+}
+
+// fanOut runs fn(i, shard) for every candidate shard on up to Workers
+// goroutines. fn runs under the shard's read lock.
+func (s *Sharded) fanOut(cands []*state, fn func(i int, sh *state)) {
+	workers := s.opts.Workers
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		for i, sh := range cands {
+			sh.mu.RLock()
+			fn(i, sh)
+			sh.mu.RUnlock()
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(cands) {
+					return
+				}
+				sh := cands[i]
+				sh.mu.RLock()
+				fn(i, sh)
+				sh.mu.RUnlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// WindowQuery scatters the window to the shards whose region overlaps it,
+// runs the per-shard queries in parallel, and concatenates the answers in
+// shard order (deterministic for a given shard layout). Like the
+// single-index RSMI, the answer has no false positives and may miss points
+// (§4.2 semantics); ExactWindow is the exact variant.
+func (s *Sharded) WindowQuery(q geom.Rect) []geom.Point {
+	return s.gatherWindow(q, func(sh *state) []geom.Point { return sh.idx.WindowQuery(q) })
+}
+
+// ExactWindow returns the exact window answer (per-shard RSMIa traversal;
+// the union over a partition is exact).
+func (s *Sharded) ExactWindow(q geom.Rect) []geom.Point {
+	return s.gatherWindow(q, func(sh *state) []geom.Point { return sh.idx.ExactWindow(q) })
+}
+
+// gatherWindow fans query out over the overlapping shards and merges.
+func (s *Sharded) gatherWindow(q geom.Rect, query func(sh *state) []geom.Point) []geom.Point {
+	cands := s.windowCandidates(q)
+	if len(cands) == 0 {
+		return nil
+	}
+	per := make([][]geom.Point, len(cands))
+	s.fanOut(cands, func(i int, sh *state) { per[i] = query(sh) })
+	var out []geom.Point
+	for _, r := range per {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// shardsByDist returns the non-empty shards ordered by ascending MINDIST
+// from q to their region, with each shard's squared MINDIST.
+func (s *Sharded) shardsByDist(q geom.Point) ([]*state, []float64) {
+	type cand struct {
+		sh *state
+		d  float64
+	}
+	cands := make([]cand, 0, len(s.shards))
+	for _, sh := range s.shards {
+		r := sh.loadRegion()
+		if r.IsEmpty() {
+			continue
+		}
+		cands = append(cands, cand{sh, r.MinDist2(q)})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	shs := make([]*state, len(cands))
+	ds := make([]float64, len(cands))
+	for i, c := range cands {
+		shs[i], ds[i] = c.sh, c.d
+	}
+	return shs, ds
+}
+
+// KNN returns up to k approximate nearest neighbours, closest first. The
+// search is best-first over shards: shards are visited in MINDIST order of
+// their regions, per-shard searches run on Workers goroutines, and a shared
+// bound — the distance of the k-th best candidate found so far across all
+// shards — prunes shards whose region cannot improve the answer. Results
+// carry the same approximation guarantees as the single-index RSMI (§4.3);
+// ExactKNN is the exact variant.
+func (s *Sharded) KNN(q geom.Point, k int) []geom.Point {
+	return s.knnFanOut(q, k, func(sh *state, k int) []geom.Point { return sh.idx.KNN(q, k) })
+}
+
+// ExactKNN returns the exact k nearest neighbours: each visited shard
+// answers exactly, shards are pruned only when their region provably cannot
+// hold a closer point, and the merged top-k over a partition of the data is
+// therefore exact.
+func (s *Sharded) ExactKNN(q geom.Point, k int) []geom.Point {
+	return s.knnFanOut(q, k, func(sh *state, k int) []geom.Point { return sh.idx.ExactKNN(q, k) })
+}
+
+// knnFanOut is the shared best-first multi-shard kNN driver.
+func (s *Sharded) knnFanOut(q geom.Point, k int, query func(sh *state, k int) []geom.Point) []geom.Point {
+	if k <= 0 {
+		return nil
+	}
+	order, dists := s.shardsByDist(q)
+	if len(order) == 0 {
+		return nil
+	}
+	bound := newSharedBound(k, q)
+	workers := s.opts.Workers
+	if workers > len(order) {
+		workers = len(order)
+	}
+	var next int64 = -1
+	run := func() {
+		for {
+			i := int(atomic.AddInt64(&next, 1))
+			if i >= len(order) {
+				return
+			}
+			// Shared-bound pruning: once k candidates exist, a shard whose
+			// region is no closer than the current k-th candidate cannot
+			// improve the answer. Conservative under concurrency — the bound
+			// only shrinks, so a stale read only visits one shard too many.
+			if dists[i] >= bound.worst() {
+				continue
+			}
+			sh := order[i]
+			sh.mu.RLock()
+			got := query(sh, k)
+			sh.mu.RUnlock()
+			bound.merge(got)
+		}
+	}
+	if workers <= 1 {
+		run()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				run()
+			}()
+		}
+		wg.Wait()
+	}
+	return bound.sorted()
+}
+
+// sharedBound is the concurrent bounded candidate set of the multi-shard
+// kNN: at most k points, exposing the squared distance of the current k-th
+// best as the pruning bound.
+type sharedBound struct {
+	mu sync.Mutex
+	q  geom.Point
+	k  int
+	// kth is the current squared k-th distance, readable without the lock
+	// (stored via atomic bits); +Inf until k candidates exist.
+	kthBits atomic.Uint64
+	pts     []geom.Point
+}
+
+func newSharedBound(k int, q geom.Point) *sharedBound {
+	b := &sharedBound{q: q, k: k}
+	b.kthBits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+// worst returns the current pruning bound (squared distance).
+func (b *sharedBound) worst() float64 {
+	return math.Float64frombits(b.kthBits.Load())
+}
+
+// merge folds a shard's candidates into the set and tightens the bound.
+func (b *sharedBound) merge(pts []geom.Point) {
+	if len(pts) == 0 {
+		return
+	}
+	b.mu.Lock()
+	b.pts = append(b.pts, pts...)
+	index.SortByDistance(b.pts, b.q)
+	if len(b.pts) > b.k {
+		b.pts = b.pts[:b.k]
+	}
+	if len(b.pts) == b.k {
+		b.kthBits.Store(math.Float64bits(b.q.Dist2(b.pts[len(b.pts)-1])))
+	}
+	b.mu.Unlock()
+}
+
+// sorted returns the final candidates, closest first.
+func (b *sharedBound) sorted() []geom.Point {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]geom.Point(nil), b.pts...)
+}
+
+// Rebuild retrains every shard from its current live points as a rolling
+// rebuild: shards rebuild one at a time behind their own write lock, so
+// queries and updates on every other shard keep flowing while one shard
+// retrains — unlike the global-RWMutex design, where a rebuild stalls the
+// whole service for the full retraining time (§5 prescribes periodic
+// rebuilds under sustained updates). Each shard keeps its current points
+// (the partition assignment does not change) and its region is recomputed,
+// tightening routing after deletions.
+func (s *Sharded) Rebuild() {
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		pts := sh.idx.AllPoints()
+		io := s.opts.Index
+		io.Seed += int64(i) * 7919
+		sh.idx = core.New(pts, io)
+		sh.storeRegion(geom.BoundingRect(pts))
+		sh.mu.Unlock()
+	}
+}
+
+// Len returns the number of live points across all shards.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += sh.idx.Len()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Accesses implements index.Index: total block accesses across shards.
+func (s *Sharded) Accesses() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += sh.idx.Accesses()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// ResetAccesses implements index.Index.
+func (s *Sharded) ResetAccesses() {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		sh.idx.ResetAccesses()
+		sh.mu.RUnlock()
+	}
+}
+
+// Stats implements index.Index, aggregating over shards: sizes, blocks and
+// model counts sum; the height is the tallest shard's; BuildTime is the
+// wall-clock parallel build time.
+func (s *Sharded) Stats() index.Stats {
+	out := index.Stats{Name: s.Name(), BuildTime: s.buildTime}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		st := sh.idx.Stats()
+		sh.mu.RUnlock()
+		out.SizeBytes += st.SizeBytes
+		out.Blocks += st.Blocks
+		out.Models += st.Models
+		if st.Height > out.Height {
+			out.Height = st.Height
+		}
+		if st.ErrLow > out.ErrLow {
+			out.ErrLow = st.ErrLow
+		}
+		if st.ErrHigh > out.ErrHigh {
+			out.ErrHigh = st.ErrHigh
+		}
+	}
+	return out
+}
+
+// ShardStats returns per-shard statistics, useful for balance inspection.
+func (s *Sharded) ShardStats() []index.Stats {
+	out := make([]index.Stats, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.RLock()
+		out[i] = sh.idx.Stats()
+		sh.mu.RUnlock()
+	}
+	return out
+}

@@ -11,8 +11,8 @@ import (
 	"rsmi/internal/geom"
 )
 
-// Paper parameter grids (Table 2); bold defaults are the first constant of
-// each group in DESIGN.md §4 and encoded here for the harness.
+// Paper parameter grids (Table 2); the paper's bold defaults are encoded
+// here as the Default* constants for the harness.
 var (
 	// WindowSizes are the query window sizes as fractions of the data space
 	// (the paper states them in %, i.e. 0.0006% … 0.16%).

@@ -26,8 +26,10 @@
 //
 // The internal packages implement every substrate and every baseline of the
 // paper's evaluation (Grid File, K-D-B-tree, R*-tree, HRR, ZM); the
-// cmd/rsmi-bench harness reproduces each table and figure. See DESIGN.md for
-// the system inventory and EXPERIMENTS.md for measured results.
+// cmd/rsmi-bench harness reproduces each table and figure. For concurrent
+// serving, Concurrent wraps one index behind a RWMutex and Sharded
+// partitions the data across parallel shards. See README.md for the
+// package map and EXPERIMENTS.md for measured results.
 package rsmi
 
 import (

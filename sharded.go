@@ -1,0 +1,64 @@
+package rsmi
+
+import (
+	"rsmi/internal/geom"
+	"rsmi/internal/shard"
+)
+
+// Sharded partitions the data across S independent RSMI instances and
+// serves queries by parallel fan-out: window queries scatter to the
+// overlapping shards on worker goroutines, kNN runs a best-first
+// multi-shard search with a shared distance bound, and updates take only
+// the owning shard's lock, so updates on different shards proceed
+// concurrently. Rebuild is rolling — one shard retrains at a time while
+// the others keep serving. It offers the same method set as Index and
+// Concurrent and the same correctness guarantees as the single-index RSMI:
+// exact point queries, window answers with no false positives, and exact
+// ExactWindow / ExactKNN. See EXPERIMENTS.md ("Sharded throughput") for
+// measured scaling over the Concurrent RWMutex baseline.
+type Sharded = shard.Sharded
+
+// ShardOptions configures a Sharded index; the zero value selects
+// GOMAXPROCS shards, space partitioning, and paper-default per-shard
+// options.
+type ShardOptions = shard.Options
+
+// Partitioning selects how Sharded assigns points to shards.
+type Partitioning = shard.Partitioning
+
+// Partitioning strategies for ShardOptions.
+const (
+	// SpacePartitioned cuts the rank-space curve ordering into contiguous
+	// runs: compact shard regions, window queries touch few shards.
+	SpacePartitioned = shard.Space
+	// HashPartitioned spreads points by coordinate hash: perfect balance,
+	// every window/kNN query visits all shards.
+	HashPartitioned = shard.Hash
+)
+
+// NewSharded builds a sharded RSMI over the points; shards build (and
+// train) in parallel.
+func NewSharded(pts []Point, opts ShardOptions) *Sharded {
+	return shard.New(pts, opts)
+}
+
+// shardedOps is the method set shared by Index, Concurrent, and Sharded
+// (Concurrent and Sharded additionally being safe for concurrent use).
+type shardedOps interface {
+	PointQuery(q geom.Point) bool
+	WindowQuery(q geom.Rect) []geom.Point
+	ExactWindow(q geom.Rect) []geom.Point
+	KNN(q geom.Point, k int) []geom.Point
+	ExactKNN(q geom.Point, k int) []geom.Point
+	Insert(p geom.Point)
+	Delete(p geom.Point) bool
+	Rebuild()
+	Len() int
+	Stats() Stats
+}
+
+var (
+	_ shardedOps = (*Index)(nil)
+	_ shardedOps = (*Concurrent)(nil)
+	_ shardedOps = (*Sharded)(nil)
+)

@@ -1,0 +1,143 @@
+package rsmi_test
+
+import (
+	"sync"
+	"testing"
+
+	"rsmi"
+	"rsmi/internal/dataset"
+	"rsmi/internal/index"
+	"rsmi/internal/workload"
+)
+
+func buildSharded(t testing.TB, parts rsmi.Partitioning) (*rsmi.Sharded, []rsmi.Point) {
+	t.Helper()
+	pts := dataset.Generate(dataset.Skewed, 4000, 21)
+	s := rsmi.NewSharded(pts, rsmi.ShardOptions{
+		Shards:       4,
+		Partitioning: parts,
+		Index: rsmi.Options{
+			BlockCapacity:      50,
+			PartitionThreshold: 1000,
+			Epochs:             15,
+			LearningRate:       0.1,
+			Seed:               1,
+		},
+	})
+	return s, pts
+}
+
+// TestShardedAgainstGroundTruth is the public-API property test: on a
+// seeded data set the sharded index must return identical point-query
+// results and window/kNN results consistent with the single-index RSMI
+// guarantees, judged against the brute-force oracle.
+func TestShardedAgainstGroundTruth(t *testing.T) {
+	for _, parts := range []rsmi.Partitioning{rsmi.SpacePartitioned, rsmi.HashPartitioned} {
+		parts := parts
+		t.Run(parts.String(), func(t *testing.T) {
+			s, pts := buildSharded(t, parts)
+			lin := index.NewLinear(pts)
+
+			for _, p := range workload.PointQueries(pts, 300, 31) {
+				if !s.PointQuery(p) {
+					t.Fatalf("false negative for indexed point %v", p)
+				}
+			}
+			for _, w := range workload.Windows(pts, 40, 0.01, 1, 32) {
+				truth := lin.WindowQuery(w)
+				set := make(map[rsmi.Point]bool, len(truth))
+				for _, p := range truth {
+					set[p] = true
+				}
+				for _, p := range s.WindowQuery(w) {
+					if !set[p] {
+						t.Fatalf("window %v returned %v not in ground truth", w, p)
+					}
+				}
+				if got := s.ExactWindow(w); len(got) != len(truth) {
+					t.Fatalf("ExactWindow(%v) = %d points, ground truth %d", w, len(got), len(truth))
+				}
+			}
+			for _, q := range workload.KNNPoints(pts, 40, 33) {
+				truth := lin.KNN(q, 10)
+				got := s.ExactKNN(q, 10)
+				if len(got) != len(truth) {
+					t.Fatalf("ExactKNN returned %d points, want %d", len(got), len(truth))
+				}
+				for i := range got {
+					if q.Dist2(got[i]) != q.Dist2(truth[i]) {
+						t.Fatalf("ExactKNN distance %d mismatch", i)
+					}
+				}
+				if r := index.KNNRecall(s.KNN(q, 10), truth, q); r < 0.5 {
+					t.Fatalf("approximate kNN recall %.2f implausibly low", r)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedMixedReadWrite drives a parallel mixed query/update workload
+// through the public API; under -race it is the concurrency-safety test for
+// the per-shard locking.
+func TestShardedMixedReadWrite(t *testing.T) {
+	s, pts := buildSharded(t, rsmi.SpacePartitioned)
+	ins := workload.InsertPoints(pts, 2000, 24)
+	var wg sync.WaitGroup
+	// Two writers on disjoint halves; deletes mixed in.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(ins); i += 2 {
+				s.Insert(ins[i])
+				if i%4 == 0 {
+					s.Delete(pts[i])
+				}
+			}
+		}(w)
+	}
+	// Readers across the whole query surface.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				s.PointQuery(pts[(g*31+i)%len(pts)])
+				if i%20 == 0 {
+					w := rsmi.RectAround(pts[(g*7+i)%len(pts)], 0.05, 0.05)
+					s.WindowQuery(w)
+					s.KNN(pts[(g*13+i)%len(pts)], 5)
+				}
+				if i%100 == 0 {
+					s.Len()
+					s.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, p := range ins {
+		if !s.PointQuery(p) {
+			t.Fatalf("inserted point %v lost under concurrent load", p)
+		}
+	}
+}
+
+func TestShardedRebuildPublic(t *testing.T) {
+	s, pts := buildSharded(t, rsmi.SpacePartitioned)
+	for _, p := range workload.InsertPoints(pts, 500, 25) {
+		s.Insert(p)
+	}
+	before := s.Len()
+	s.Rebuild()
+	if s.Len() != before {
+		t.Fatalf("rebuild changed Len: %d -> %d", before, s.Len())
+	}
+	if !s.PointQuery(pts[0]) {
+		t.Fatal("point lost after rebuild")
+	}
+	if st := s.Stats(); st.Name != "Sharded" || st.Blocks == 0 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
