@@ -69,6 +69,7 @@ func BenchmarkDeletions(b *testing.B)               { benchExperiment(b, "deleti
 func BenchmarkAblationRankSpace(b *testing.B)       { benchExperiment(b, "ablation-rank") }
 func BenchmarkAblationCurve(b *testing.B)           { benchExperiment(b, "ablation-curve") }
 func BenchmarkShardedThroughput(b *testing.B)       { benchExperiment(b, "sharded") }
+func BenchmarkServing(b *testing.B)                 { benchExperiment(b, "serving") }
 
 // Micro-benchmarks of the public API's core operations.
 

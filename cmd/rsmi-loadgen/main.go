@@ -1,0 +1,62 @@
+// Command rsmi-loadgen drives an rsmi-serve endpoint with closed-loop
+// clients and reports throughput, status mix (2xx / shed / errors), and
+// per-request latency percentiles.
+//
+// Usage:
+//
+//	rsmi-loadgen -addr 127.0.0.1:8080 -clients 8 -duration 5s
+//	rsmi-loadgen -mix window=90,insert=10 -batch 16
+//	rsmi-loadgen -duration 2s -min-ok 1.0          # CI smoke: exit 1 unless 100% 2xx
+//
+// -batch n groups n operations per /v1/batch request (one round-trip);
+// -batch 1 sends one operation per request through the per-op endpoints,
+// exercising the server-side micro-batcher instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"rsmi/internal/loadgen"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "server address")
+		clients  = flag.Int("clients", 4, "closed-loop client goroutines")
+		duration = flag.Duration("duration", 2*time.Second, "run duration")
+		mix      = flag.String("mix", loadgen.DefaultMix.String(), "operation mix (op=weight,...)")
+		k        = flag.Int("k", 10, "kNN parameter")
+		window   = flag.Float64("window-frac", 0.0001, "window area as a fraction of the data space")
+		batch    = flag.Int("batch", 1, "operations per request (>1 uses /v1/batch)")
+		seed     = flag.Int64("seed", 1, "query generation seed")
+		minOK    = flag.Float64("min-ok", -1, "exit 1 unless the 2xx rate reaches this fraction (e.g. 1.0)")
+	)
+	flag.Parse()
+	log.SetPrefix("rsmi-loadgen: ")
+	log.SetFlags(0)
+
+	m, err := loadgen.ParseMix(*mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := loadgen.Run(loadgen.Config{
+		Addr:       *addr,
+		Clients:    *clients,
+		Duration:   *duration,
+		Mix:        m,
+		K:          *k,
+		WindowFrac: *window,
+		BatchSize:  *batch,
+		Seed:       *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s against http://%s (mix %s)\n%s\n", "closed-loop run", *addr, m, rep)
+	if *minOK >= 0 && rep.OKRate() < *minOK {
+		log.Fatalf("2xx rate %.4f below required %.4f", rep.OKRate(), *minOK)
+	}
+}

@@ -1,0 +1,174 @@
+// Command rsmi-serve puts a sharded RSMI behind the HTTP+JSON serving API
+// of internal/server: per-operation endpoints plus /v1/batch, transparent
+// micro-batching of concurrent single-query requests, bounded in-flight
+// admission control with 429 shedding, /v1/stats counters, and graceful
+// shutdown on SIGINT/SIGTERM that drains in-flight queries and waits for
+// a running rolling rebuild.
+//
+// Usage:
+//
+//	rsmi-serve -addr :8080 -dist skewed -n 100000 -shards 8
+//	rsmi-serve -dataset skewed_1m.bin -snapshot skewed_1m.idx
+//	rsmi-serve -batch-window 1ms -max-batch 128 -max-inflight 512
+//
+// With -snapshot, the index is loaded from the snapshot when it exists
+// (restart without retraining) and built-then-saved when it does not.
+// Training at paper scale takes hours, so production deployments always
+// run with a snapshot.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rsmi/internal/core"
+	"rsmi/internal/dataset"
+	"rsmi/internal/geom"
+	"rsmi/internal/server"
+	"rsmi/internal/shard"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		datasetPath = flag.String("dataset", "", "binary point file (rsmi-datagen format); empty generates -dist/-n")
+		dist        = flag.String("dist", "skewed", "generated distribution: uniform|normal|skewed|tiger|osm")
+		n           = flag.Int("n", 100000, "generated data set cardinality")
+		seed        = flag.Int64("seed", 1, "generation and training seed")
+		shards      = flag.Int("shards", 0, "shard count (default GOMAXPROCS)")
+		partition   = flag.String("partition", "space", "shard partitioning: space|hash")
+		epochs      = flag.Int("epochs", 30, "training epochs per sub-model (paper: 500)")
+		lr          = flag.Float64("lr", 0.1, "training learning rate (paper: 0.01)")
+		batchWindow = flag.Duration("batch-window", 0, "max wait for micro-batch peers (0 = opportunistic batching)")
+		maxBatch    = flag.Int("max-batch", 64, "max queries per coalesced engine call (1 = no coalescing)")
+		maxInflight = flag.Int("max-inflight", 1024, "admitted in-flight requests before 429 shedding")
+		snapshot    = flag.String("snapshot", "", "index snapshot: load if present, else build and save")
+	)
+	flag.Parse()
+	log.SetPrefix("rsmi-serve: ")
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	idx, err := buildOrLoad(*snapshot, *datasetPath, *dist, *n, *seed, *shards, *partition, *epochs, *lr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("engine ready: %v (build/load %v)", idx, idx.Stats().BuildTime.Round(time.Millisecond))
+
+	srv := server.New(server.Config{
+		Engine:      idx,
+		MaxBatch:    *maxBatch,
+		BatchWindow: *batchWindow,
+		MaxInFlight: *maxInflight,
+	})
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on http://%s (max-batch=%d batch-window=%v max-inflight=%d)",
+		l.Addr(), *maxBatch, *batchWindow, *maxInflight)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(l) }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("got %v; draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if *snapshot != "" {
+			if err := saveSnapshot(idx, *snapshot); err != nil {
+				log.Printf("snapshot: %v", err)
+			} else {
+				log.Printf("snapshot saved to %s", *snapshot)
+			}
+		}
+		log.Print("bye")
+	case err := <-errCh:
+		log.Fatal(err)
+	}
+}
+
+// buildOrLoad resolves the engine: snapshot if present, else a fresh
+// build from the data set (saved back when -snapshot names a path).
+func buildOrLoad(snapshot, datasetPath, dist string, n int, seed int64, shards int, partition string, epochs int, lr float64) (*shard.Sharded, error) {
+	if snapshot != "" {
+		if f, err := os.Open(snapshot); err == nil {
+			defer f.Close()
+			log.Printf("loading snapshot %s", snapshot)
+			return shard.Load(f)
+		}
+		log.Printf("snapshot %s not found; building", snapshot)
+	}
+	var pts []geom.Point
+	if datasetPath != "" {
+		var err error
+		if pts, err = dataset.LoadFile(datasetPath); err != nil {
+			return nil, err
+		}
+		log.Printf("loaded %d points from %s", len(pts), datasetPath)
+	} else {
+		kind, err := dataset.Parse(dist)
+		if err != nil {
+			return nil, err
+		}
+		pts = dataset.Generate(kind, n, seed)
+		log.Printf("generated %d %s points (seed %d)", len(pts), kind, seed)
+	}
+	var parts shard.Partitioning
+	switch partition {
+	case "space":
+		parts = shard.Space
+	case "hash":
+		parts = shard.Hash
+	default:
+		return nil, fmt.Errorf("unknown -partition %q (want space|hash)", partition)
+	}
+	log.Printf("building sharded index (%d points, epochs=%d)...", len(pts), epochs)
+	idx := shard.New(pts, shard.Options{
+		Shards:       shards,
+		Partitioning: parts,
+		Index: core.Options{
+			Epochs:       epochs,
+			LearningRate: lr,
+			Seed:         seed,
+		},
+	})
+	if snapshot != "" {
+		if err := saveSnapshot(idx, snapshot); err != nil {
+			return nil, err
+		}
+		log.Printf("snapshot saved to %s", snapshot)
+	}
+	return idx, nil
+}
+
+// saveSnapshot writes the index atomically (tmp + rename), so a crash
+// mid-save never corrupts an existing snapshot.
+func saveSnapshot(idx *shard.Sharded, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := idx.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

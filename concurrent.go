@@ -64,6 +64,44 @@ func (c *Concurrent) ExactKNN(q Point, k int) []Point {
 	return c.idx.ExactKNN(q, k)
 }
 
+// BatchPointQuery answers one point query per element of qs under a single
+// read-lock acquisition, amortising the lock overhead across the batch.
+// Answers are identical to calling PointQuery per element.
+func (c *Concurrent) BatchPointQuery(qs []Point) []bool {
+	out := make([]bool, len(qs))
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for i, q := range qs {
+		out[i] = c.idx.PointQuery(q)
+	}
+	return out
+}
+
+// BatchWindowQuery answers one window query per element of qs under a
+// single read-lock acquisition. Answers are identical to calling
+// WindowQuery per element.
+func (c *Concurrent) BatchWindowQuery(qs []Rect) [][]Point {
+	out := make([][]Point, len(qs))
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for i, q := range qs {
+		out[i] = c.idx.WindowQuery(q)
+	}
+	return out
+}
+
+// BatchKNN answers one kNN query per element of qs under a single
+// read-lock acquisition. Answers are identical to calling KNN per element.
+func (c *Concurrent) BatchKNN(qs []KNNQuery) [][]Point {
+	out := make([][]Point, len(qs))
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for i, q := range qs {
+		out[i] = c.idx.KNN(q.Q, q.K)
+	}
+	return out
+}
+
 // Insert adds a point.
 func (c *Concurrent) Insert(p Point) {
 	c.mu.Lock()
@@ -98,4 +136,19 @@ func (c *Concurrent) Stats() Stats {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.idx.Stats()
+}
+
+// Accesses returns block accesses since the last reset (the paper's
+// external-memory cost indicator, aggregated across all queries).
+func (c *Concurrent) Accesses() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.Accesses()
+}
+
+// ResetAccesses zeroes the block-access counter.
+func (c *Concurrent) ResetAccesses() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.idx.ResetAccesses()
 }

@@ -1,0 +1,190 @@
+package rsmi_test
+
+// Edge-case coverage for the query surface shared by Index, Concurrent,
+// and Sharded (both partitionings): k = 0 and k < 0, k > N, empty
+// indexes, and zero-area windows — each verified against the brute-force
+// oracle. These are exactly the degenerate requests a network serving
+// layer (internal/server) forwards verbatim from untrusted clients, so
+// they must be total and correct on every engine.
+
+import (
+	"testing"
+
+	"rsmi"
+	"rsmi/internal/dataset"
+	"rsmi/internal/index"
+)
+
+// engine is the query surface shared by all three index types.
+type engine interface {
+	PointQuery(q rsmi.Point) bool
+	WindowQuery(q rsmi.Rect) []rsmi.Point
+	ExactWindow(q rsmi.Rect) []rsmi.Point
+	KNN(q rsmi.Point, k int) []rsmi.Point
+	ExactKNN(q rsmi.Point, k int) []rsmi.Point
+	Insert(p rsmi.Point)
+	Delete(p rsmi.Point) bool
+	Len() int
+}
+
+// engines builds each index type over the same points.
+func engines(pts []rsmi.Point) map[string]engine {
+	opts := rsmi.Options{
+		BlockCapacity:      50,
+		PartitionThreshold: 500,
+		Epochs:             10,
+		LearningRate:       0.1,
+		Seed:               1,
+	}
+	sharded := func(p rsmi.Partitioning) *rsmi.Sharded {
+		return rsmi.NewSharded(pts, rsmi.ShardOptions{Shards: 4, Partitioning: p, Index: opts})
+	}
+	return map[string]engine{
+		"Index":        rsmi.New(pts, opts),
+		"Concurrent":   rsmi.NewConcurrent(pts, opts),
+		"ShardedSpace": sharded(rsmi.SpacePartitioned),
+		"ShardedHash":  sharded(rsmi.HashPartitioned),
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	pts := dataset.Generate(dataset.Skewed, 1500, 81)
+	lin := index.NewLinear(pts)
+	q := rsmi.Pt(0.4, 0.3)
+	for name, e := range engines(pts) {
+		name, e := name, e
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			// k <= 0 yields empty, never panics.
+			for _, k := range []int{0, -1, -1000} {
+				if got := e.KNN(q, k); len(got) != 0 {
+					t.Fatalf("KNN(k=%d) returned %d points", k, len(got))
+				}
+				if got := e.ExactKNN(q, k); len(got) != 0 {
+					t.Fatalf("ExactKNN(k=%d) returned %d points", k, len(got))
+				}
+			}
+			// k > N: ExactKNN returns every point, distance-matched to the
+			// oracle; approximate KNN returns at most N real points, sorted.
+			truth := lin.KNN(q, len(pts)+100)
+			exact := e.ExactKNN(q, len(pts)+100)
+			if len(exact) != len(pts) {
+				t.Fatalf("ExactKNN(k>N) returned %d points, want %d", len(exact), len(pts))
+			}
+			for i := range exact {
+				if q.Dist2(exact[i]) != q.Dist2(truth[i]) {
+					t.Fatalf("ExactKNN(k>N) distance %d: got %v want %v",
+						i, q.Dist2(exact[i]), q.Dist2(truth[i]))
+				}
+			}
+			approx := e.KNN(q, len(pts)+100)
+			if len(approx) > len(pts) {
+				t.Fatalf("KNN(k>N) returned %d points for %d indexed", len(approx), len(pts))
+			}
+			for i, p := range approx {
+				if !lin.PointQuery(p) {
+					t.Fatalf("KNN(k>N) returned non-indexed point %v", p)
+				}
+				if i > 0 && q.Dist2(approx[i-1]) > q.Dist2(p) {
+					t.Fatalf("KNN(k>N) results unsorted at %d", i)
+				}
+			}
+			// k == N is exact for ExactKNN too.
+			if got := e.ExactKNN(q, len(pts)); len(got) != len(pts) {
+				t.Fatalf("ExactKNN(k=N) returned %d points", len(got))
+			}
+		})
+	}
+}
+
+func TestZeroAreaWindow(t *testing.T) {
+	pts := dataset.Generate(dataset.Uniform, 1500, 83)
+	lin := index.NewLinear(pts)
+	for name, e := range engines(pts) {
+		name, e := name, e
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			// A zero-area window on an indexed point: the oracle returns
+			// exactly that point; ExactWindow must match it, WindowQuery
+			// may only ever return it (no false positives).
+			target := pts[123]
+			degen := rsmi.NewRect(target, target)
+			truth := lin.WindowQuery(degen)
+			if len(truth) != 1 || truth[0] != target {
+				t.Fatalf("oracle on degenerate window: %v", truth)
+			}
+			exact := e.ExactWindow(degen)
+			if len(exact) != 1 || exact[0] != target {
+				t.Fatalf("ExactWindow(zero-area) = %v, want [%v]", exact, target)
+			}
+			for _, p := range e.WindowQuery(degen) {
+				if p != target {
+					t.Fatalf("WindowQuery(zero-area) returned foreign point %v", p)
+				}
+			}
+			// A zero-area window on empty space returns nothing.
+			empty := rsmi.NewRect(rsmi.Pt(-0.5, -0.5), rsmi.Pt(-0.5, -0.5))
+			if got := e.ExactWindow(empty); len(got) != 0 {
+				t.Fatalf("ExactWindow on empty location returned %d points", len(got))
+			}
+			if got := e.WindowQuery(empty); len(got) != 0 {
+				t.Fatalf("WindowQuery on empty location returned %d points", len(got))
+			}
+			// Zero-width (line) window: oracle equivalence for the exact
+			// variant, no false positives for the approximate one.
+			line := rsmi.NewRect(rsmi.Pt(target.X, 0), rsmi.Pt(target.X, 1))
+			truth = lin.WindowQuery(line)
+			exact = e.ExactWindow(line)
+			if index.Recall(exact, truth) != 1 || len(exact) != len(truth) {
+				t.Fatalf("ExactWindow(line) returned %d points, oracle %d", len(exact), len(truth))
+			}
+			for _, p := range e.WindowQuery(line) {
+				if !line.Contains(p) {
+					t.Fatalf("WindowQuery(line) false positive %v", p)
+				}
+			}
+		})
+	}
+}
+
+func TestEmptyIndexEdgeCases(t *testing.T) {
+	for name, e := range engines(nil) {
+		name, e := name, e
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if e.Len() != 0 {
+				t.Fatalf("Len = %d", e.Len())
+			}
+			q := rsmi.Pt(0.5, 0.5)
+			if e.PointQuery(q) {
+				t.Fatal("PointQuery on empty index found a point")
+			}
+			whole := rsmi.NewRect(rsmi.Pt(0, 0), rsmi.Pt(1, 1))
+			if got := e.WindowQuery(whole); len(got) != 0 {
+				t.Fatalf("WindowQuery on empty index returned %d", len(got))
+			}
+			if got := e.ExactWindow(whole); len(got) != 0 {
+				t.Fatalf("ExactWindow on empty index returned %d", len(got))
+			}
+			for _, k := range []int{0, 1, 10} {
+				if got := e.KNN(q, k); len(got) != 0 {
+					t.Fatalf("KNN(k=%d) on empty index returned %d", k, len(got))
+				}
+				if got := e.ExactKNN(q, k); len(got) != 0 {
+					t.Fatalf("ExactKNN(k=%d) on empty index returned %d", k, len(got))
+				}
+			}
+			if e.Delete(q) {
+				t.Fatal("Delete on empty index succeeded")
+			}
+			// The empty index accepts inserts and then answers queries.
+			e.Insert(q)
+			if !e.PointQuery(q) || e.Len() != 1 {
+				t.Fatal("insert into empty index lost")
+			}
+			if got := e.ExactKNN(q, 5); len(got) != 1 || got[0] != q {
+				t.Fatalf("ExactKNN after first insert: %v", got)
+			}
+		})
+	}
+}

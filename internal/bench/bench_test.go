@@ -27,7 +27,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table3", "table4",
 		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
-		"deletions", "ablation-rank", "ablation-curve", "sharded",
+		"deletions", "ablation-rank", "ablation-curve", "sharded", "serving",
 	}
 	ids := IDs()
 	got := make(map[string]bool, len(ids))
@@ -129,6 +129,8 @@ func experimentMustMention(id string) []string {
 		return []string{"hilbert", "z"}
 	case "sharded":
 		return []string{"RWMutex", "Sharded S=", "kqps", "workers="}
+	case "serving":
+		return []string{"per-request", "coalesced", "client batch", "shed rate", "p99"}
 	}
 	return nil
 }

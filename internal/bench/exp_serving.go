@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"rsmi/internal/dataset"
+	"rsmi/internal/loadgen"
+	"rsmi/internal/server"
+	"rsmi/internal/shard"
+)
+
+// This file implements the serving experiment: operations/sec and tail
+// latency of the HTTP serving subsystem (internal/server) under
+// closed-loop clients, comparing one-query-per-request execution against
+// the two batching mechanisms — server-side micro-batching (the request
+// coalescer feeding BatchWindowQuery and friends) and client-side
+// /v1/batch requests — plus the admission-control behaviour at
+// saturation. It is not a paper artefact; it measures the serving layer
+// EXPERIMENTS.md ("Serving") reports, the amortisation argument of "The
+// Case for Learned Spatial Indexes" (PAPERS.md) applied end to end.
+
+// servingCell runs one loadgen measurement against a running server.
+func servingCell(addr string, clients, batch int, dur time.Duration) loadgen.Report {
+	// A dead server yields a zero report, which the table shows.
+	rep, _ := loadgen.Run(loadgen.Config{
+		Addr:       addr,
+		Clients:    clients,
+		Duration:   dur,
+		Mix:        loadgen.Mix{Window: 1},
+		BatchSize:  batch,
+		WindowFrac: 0.0001,
+	})
+	return rep
+}
+
+// startServing spins up a Server for eng on an ephemeral port and returns
+// its address and a stop func.
+func startServing(eng server.Engine, maxBatch int, window time.Duration, maxInflight int) (string, func(), error) {
+	srv := server.New(server.Config{
+		Engine:      eng,
+		MaxBatch:    maxBatch,
+		BatchWindow: window,
+		MaxInFlight: maxInflight,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	go srv.Serve(l)
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		l.Close()
+	}
+	return l.Addr().String(), stop, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "serving",
+		Title: "Serving: batched execution vs one-query-per-request over HTTP",
+		Run: func(cfg Config, w io.Writer) {
+			cfg = cfg.Defaults()
+			pts := dataset.Generate(cfg.Dist, cfg.N, cfg.Seed)
+			shardOpts := cfg.rsmiOptions()
+			shardOpts.PartitionThreshold = 0 // auto per-shard threshold
+			eng := shard.New(pts, shard.Options{Shards: cfg.Shards, Index: shardOpts})
+
+			clients := append([]int{1}, shardSweep(cfg.Goroutines)...)
+			const cell = 400 * time.Millisecond
+
+			type row struct {
+				name     string
+				maxBatch int
+				window   time.Duration
+				batch    int // client-side ops per request
+			}
+			rows := []row{
+				{"per-request (no batching)", 1, 0, 1},
+				{"coalesced (window=0)", 64, 0, 1},
+				{"coalesced (window=1ms)", 64, time.Millisecond, 1},
+				{"client batch=16", 1, 0, 16},
+				{"client batch=16 + coalesce", 64, 0, 16},
+			}
+			header := []string{"serving mode"}
+			for _, c := range clients {
+				header = append(header, fmt.Sprintf("c=%d", c))
+			}
+			thr := newTable(fmt.Sprintf(
+				"Window-query serving throughput (kops/s), %s n=%d, S=%d shards",
+				cfg.Dist, cfg.N, cfg.Shards), header...)
+			p99 := newTable("Per-request p99 latency (ms); a batched request carries its whole batch", header...)
+			for _, r := range rows {
+				addr, stop, err := startServing(eng, r.maxBatch, r.window, 1024)
+				if err != nil {
+					fmt.Fprintf(w, "serving: %v\n", err)
+					return
+				}
+				var tVals, lVals []float64
+				for _, c := range clients {
+					rep := servingCell(addr, c, r.batch, cell)
+					tVals = append(tVals, rep.OpsPerSec/1e3)
+					lVals = append(lVals, float64(rep.P99.Microseconds())/1e3)
+				}
+				stop()
+				thr.addf(r.name, "%.1f", tVals...)
+				p99.addf(r.name, "%.2f", lVals...)
+			}
+			thr.write(w)
+			p99.write(w)
+
+			// Saturation: a deliberately tiny admission bound sheds load
+			// with 429 instead of queueing it; the surviving requests keep
+			// a bounded p99.
+			shedTb := newTable("Admission control at saturation (max-inflight=2)",
+				"clients", "ops/s", "shed rate", "p99 (ms)")
+			addr, stop, err := startServing(eng, 64, 0, 2)
+			if err != nil {
+				fmt.Fprintf(w, "serving: %v\n", err)
+				return
+			}
+			for _, c := range clients {
+				rep := servingCell(addr, c, 1, cell)
+				shedTb.add(fmt.Sprintf("%d", c),
+					fmt.Sprintf("%.0f", rep.OpsPerSec),
+					fmt.Sprintf("%.1f%%", 100*rep.ShedRate()),
+					fmt.Sprintf("%.2f", float64(rep.P99.Microseconds())/1e3))
+			}
+			stop()
+			shedTb.write(w)
+			fmt.Fprintf(w, "\n  (closed-loop clients over HTTP loopback; \"coalesced\" = server-side\n   micro-batching into BatchWindowQuery, \"client batch\" = /v1/batch requests)\n")
+		},
+	})
+}

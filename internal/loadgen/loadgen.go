@@ -1,0 +1,326 @@
+// Package loadgen drives a serving endpoint (internal/server) with
+// closed-loop clients and reports throughput, status mix, and latency
+// percentiles. It backs cmd/rsmi-loadgen, the `serving` bench experiment,
+// and the CI smoke job.
+//
+// Closed-loop means each client goroutine issues one request, waits for
+// the answer, and immediately issues the next: offered load rises with
+// the client count, and when the server sheds (429) the client simply
+// continues — the shed rate is part of the report.
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rsmi/internal/geom"
+	"rsmi/internal/server"
+)
+
+// Mix is an operation mix as relative weights (they need not sum to any
+// particular total).
+type Mix struct {
+	Point  int
+	Window int
+	KNN    int
+	Insert int
+	Delete int
+}
+
+// DefaultMix is a read-mostly serving mix.
+var DefaultMix = Mix{Point: 20, Window: 60, KNN: 10, Insert: 5, Delete: 5}
+
+// total returns the weight sum.
+func (m Mix) total() int { return m.Point + m.Window + m.KNN + m.Insert + m.Delete }
+
+// String renders the mix in the -mix flag syntax.
+func (m Mix) String() string {
+	return fmt.Sprintf("point=%d,window=%d,knn=%d,insert=%d,delete=%d",
+		m.Point, m.Window, m.KNN, m.Insert, m.Delete)
+}
+
+// ParseMix parses "window=80,point=10,knn=10"-style mixes; omitted ops
+// get weight 0.
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("loadgen: bad mix entry %q (want op=weight)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("loadgen: bad weight in %q", part)
+		}
+		switch name {
+		case "point":
+			m.Point = w
+		case "window":
+			m.Window = w
+		case "knn":
+			m.KNN = w
+		case "insert":
+			m.Insert = w
+		case "delete":
+			m.Delete = w
+		default:
+			return Mix{}, fmt.Errorf("loadgen: unknown op %q", name)
+		}
+	}
+	if m.total() == 0 {
+		return Mix{}, errors.New("loadgen: empty mix")
+	}
+	return m, nil
+}
+
+// Config configures one load-generation run.
+type Config struct {
+	// Addr is the server ("host:port" or http:// URL). Required.
+	Addr string
+	// Clients is the closed-loop client count (default 4).
+	Clients int
+	// Duration is how long to drive load (default 2s).
+	Duration time.Duration
+	// Mix is the operation mix (default DefaultMix).
+	Mix Mix
+	// K is the kNN parameter (default 10).
+	K int
+	// WindowFrac is the window area as a fraction of the unit data space
+	// (default 0.0001, the paper's bold default).
+	WindowFrac float64
+	// BatchSize > 1 groups that many operations into one /v1/batch
+	// request per round-trip; 1 sends one operation per request.
+	BatchSize int
+	// Seed drives query generation (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.Duration == 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Mix.total() == 0 {
+		c.Mix = DefaultMix
+	}
+	if c.K == 0 {
+		c.K = 10
+	}
+	if c.WindowFrac == 0 {
+		c.WindowFrac = 0.0001
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Report is the outcome of a run. Latencies are per HTTP request (a
+// batched request's latency covers its whole batch).
+type Report struct {
+	Clients   int
+	BatchSize int
+	Elapsed   time.Duration
+	// Requests counts HTTP round-trips; Ops counts operations (equal
+	// unless batching).
+	Requests int64
+	Ops      int64
+	// OK counts 2xx requests, Shed 429s, Errors everything else
+	// (including transport failures).
+	OK     int64
+	Shed   int64
+	Errors int64
+	// Throughput in operations per second (completed requests only).
+	OpsPerSec float64
+	// Latency percentiles over successful requests.
+	P50, P95, P99, Max time.Duration
+}
+
+// OKRate returns the fraction of requests answered 2xx (1.0 when no
+// requests completed, so an idle run does not read as a failure).
+func (r Report) OKRate() float64 {
+	if r.Requests == 0 {
+		return 1
+	}
+	return float64(r.OK) / float64(r.Requests)
+}
+
+// ShedRate returns the fraction of requests shed with 429.
+func (r Report) ShedRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Requests)
+}
+
+// String renders the report for humans.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"clients=%d batch=%d elapsed=%v\n"+
+			"  requests %d (%.1f req/s), ops %d (%.1f ops/s)\n"+
+			"  status: 2xx %d (%.2f%%), 429 %d (%.2f%%), errors %d\n"+
+			"  latency: p50 %v  p95 %v  p99 %v  max %v",
+		r.Clients, r.BatchSize, r.Elapsed.Round(time.Millisecond),
+		r.Requests, float64(r.Requests)/r.Elapsed.Seconds(),
+		r.Ops, r.OpsPerSec,
+		r.OK, 100*r.OKRate(), r.Shed, 100*r.ShedRate(), r.Errors,
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+}
+
+// clientStats is one goroutine's tally, merged after the run.
+type clientStats struct {
+	requests, ops, ok, shed, errs int64
+	lat                           []time.Duration
+}
+
+// Run drives the configured load and blocks until the duration elapses.
+// It returns an error only when the run produced no successful request at
+// all (server down); partial failures are reported in the Report.
+func Run(cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	cl := server.NewClient(cfg.Addr)
+	stats := make([]clientStats, cfg.Clients)
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			runClient(cl, cfg, rand.New(rand.NewSource(cfg.Seed+int64(w)*7919)), deadline, &stats[w])
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var rep Report
+	rep.Clients = cfg.Clients
+	rep.BatchSize = cfg.BatchSize
+	rep.Elapsed = elapsed
+	var all []time.Duration
+	for i := range stats {
+		rep.Requests += stats[i].requests
+		rep.Ops += stats[i].ops
+		rep.OK += stats[i].ok
+		rep.Shed += stats[i].shed
+		rep.Errors += stats[i].errs
+		all = append(all, stats[i].lat...)
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.OpsPerSec = float64(rep.Ops) / secs
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		pick := func(q float64) time.Duration {
+			i := int(math.Ceil(q*float64(len(all)))) - 1
+			if i < 0 {
+				i = 0
+			}
+			return all[i]
+		}
+		rep.P50, rep.P95, rep.P99 = pick(0.50), pick(0.95), pick(0.99)
+		rep.Max = all[len(all)-1]
+	}
+	if rep.OK == 0 && rep.Errors > 0 {
+		return rep, fmt.Errorf("loadgen: no successful request against %s (%d errors)", cfg.Addr, rep.Errors)
+	}
+	return rep, nil
+}
+
+// runClient is one closed-loop client.
+func runClient(cl *server.Client, cfg Config, rng *rand.Rand, deadline time.Time, st *clientStats) {
+	w := math.Sqrt(cfg.WindowFrac)
+	for time.Now().Before(deadline) {
+		var (
+			start = time.Now()
+			err   error
+			nOps  = 1
+		)
+		if cfg.BatchSize > 1 {
+			ops := make([]server.BatchOp, cfg.BatchSize)
+			for i := range ops {
+				ops[i] = randomOp(cfg, rng, w)
+			}
+			nOps = len(ops)
+			_, err = cl.Batch(ops)
+		} else {
+			err = sendOne(cl, randomOp(cfg, rng, w))
+		}
+		lat := time.Since(start)
+		st.requests++
+		switch {
+		case err == nil:
+			st.ok++
+			st.ops += int64(nOps)
+			st.lat = append(st.lat, lat)
+		default:
+			var se *server.StatusError
+			if errors.As(err, &se) && se.Code == http.StatusTooManyRequests {
+				st.shed++
+			} else {
+				st.errs++
+				// Back off briefly so a dead server does not spin the CPU.
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+	}
+}
+
+// randomOp draws one operation from the mix. Queries are uniform over the
+// unit data space.
+func randomOp(cfg Config, rng *rand.Rand, w float64) server.BatchOp {
+	p := geom.Pt(rng.Float64(), rng.Float64())
+	r := rng.Intn(cfg.Mix.total())
+	switch {
+	case r < cfg.Mix.Point:
+		return server.BatchOp{Op: server.OpPoint, X: p.X, Y: p.Y}
+	case r < cfg.Mix.Point+cfg.Mix.Window:
+		q := geom.RectAround(p, w, w)
+		return server.BatchOp{Op: server.OpWindow, MinX: q.MinX, MinY: q.MinY, MaxX: q.MaxX, MaxY: q.MaxY}
+	case r < cfg.Mix.Point+cfg.Mix.Window+cfg.Mix.KNN:
+		return server.BatchOp{Op: server.OpKNN, X: p.X, Y: p.Y, K: cfg.K}
+	case r < cfg.Mix.Point+cfg.Mix.Window+cfg.Mix.KNN+cfg.Mix.Insert:
+		return server.BatchOp{Op: server.OpInsert, X: p.X, Y: p.Y}
+	default:
+		return server.BatchOp{Op: server.OpDelete, X: p.X, Y: p.Y}
+	}
+}
+
+// sendOne routes a single operation through its dedicated endpoint (so
+// unbatched runs measure the per-request path, coalescer included).
+func sendOne(cl *server.Client, op server.BatchOp) error {
+	switch op.Op {
+	case server.OpPoint:
+		_, err := cl.PointQuery(geom.Pt(op.X, op.Y))
+		return err
+	case server.OpWindow:
+		_, err := cl.WindowQuery(geom.Rect{MinX: op.MinX, MinY: op.MinY, MaxX: op.MaxX, MaxY: op.MaxY})
+		return err
+	case server.OpKNN:
+		_, err := cl.KNN(geom.Pt(op.X, op.Y), op.K)
+		return err
+	case server.OpInsert:
+		return cl.Insert(geom.Pt(op.X, op.Y))
+	default:
+		_, err := cl.Delete(geom.Pt(op.X, op.Y))
+		return err
+	}
+}

@@ -1,0 +1,96 @@
+package loadgen
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"rsmi/internal/core"
+	"rsmi/internal/dataset"
+	"rsmi/internal/server"
+	"rsmi/internal/shard"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("window=90, insert=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Window != 90 || m.Insert != 10 || m.Point != 0 {
+		t.Fatalf("parsed %+v", m)
+	}
+	if got, err := ParseMix(m.String()); err != nil || got != m {
+		t.Fatalf("round-trip: %+v, %v", got, err)
+	}
+	for _, bad := range []string{"", "window", "window=-1", "teleport=5", "window=x"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunAgainstServer drives a real in-process server for a few hundred
+// milliseconds, in both single-op and batched mode, and checks the report
+// adds up: all requests 2xx, ops counted, percentiles populated.
+func TestRunAgainstServer(t *testing.T) {
+	pts := dataset.Generate(dataset.Uniform, 2000, 71)
+	eng := shard.New(pts, shard.Options{
+		Shards: 2,
+		Index: core.Options{
+			BlockCapacity:      50,
+			PartitionThreshold: 500,
+			Epochs:             10,
+			LearningRate:       0.1,
+			Seed:               1,
+		},
+	})
+	srv := server.New(server.Config{Engine: eng, MaxBatch: 16})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		l.Close()
+	}()
+
+	for _, batch := range []int{1, 8} {
+		rep, err := Run(Config{
+			Addr:      l.Addr().String(),
+			Clients:   3,
+			Duration:  300 * time.Millisecond,
+			BatchSize: batch,
+		})
+		if err != nil {
+			t.Fatalf("Run(batch=%d): %v", batch, err)
+		}
+		if rep.Requests == 0 || rep.OK != rep.Requests || rep.Errors != 0 {
+			t.Fatalf("batch=%d report: %+v", batch, rep)
+		}
+		if rep.Ops != rep.OK*int64(batch) {
+			t.Fatalf("batch=%d: ops %d, want %d", batch, rep.Ops, rep.OK*int64(batch))
+		}
+		if rep.OKRate() != 1 || rep.ShedRate() != 0 {
+			t.Fatalf("batch=%d rates: ok=%v shed=%v", batch, rep.OKRate(), rep.ShedRate())
+		}
+		if rep.P50 == 0 || rep.P99 < rep.P50 || rep.Max < rep.P99 {
+			t.Fatalf("batch=%d percentiles: %+v", batch, rep)
+		}
+	}
+}
+
+// TestRunAgainstDeadServer must fail cleanly, not hang.
+func TestRunAgainstDeadServer(t *testing.T) {
+	_, err := Run(Config{
+		Addr:     "127.0.0.1:1", // nothing listens on port 1
+		Clients:  1,
+		Duration: 50 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("Run against dead server reported success")
+	}
+}

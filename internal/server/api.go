@@ -1,0 +1,130 @@
+package server
+
+// Wire types of the HTTP+JSON serving API. Every operation is a POST of a
+// small JSON document to /v1/<op>; /v1/batch carries a heterogeneous list
+// of operations in one request; /v1/stats and /healthz are GETs. All
+// coordinates live in the index's data space (the unit square for the
+// bundled data sets).
+
+// PointJSON is a 2-D point on the wire.
+type PointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// RectJSON is a closed axis-aligned rectangle on the wire.
+type RectJSON struct {
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
+}
+
+// KNNJSON is a kNN request body: the k nearest neighbours of (x, y).
+type KNNJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	K int     `json:"k"`
+}
+
+// FoundResponse answers /v1/point.
+type FoundResponse struct {
+	Found bool `json:"found"`
+}
+
+// PointsResponse answers /v1/window and /v1/knn.
+type PointsResponse struct {
+	Count  int         `json:"count"`
+	Points []PointJSON `json:"points"`
+}
+
+// OKResponse answers /v1/insert.
+type OKResponse struct {
+	OK bool `json:"ok"`
+}
+
+// DeletedResponse answers /v1/delete.
+type DeletedResponse struct {
+	Deleted bool `json:"deleted"`
+}
+
+// Batch operation kinds.
+const (
+	OpPoint  = "point"
+	OpWindow = "window"
+	OpKNN    = "knn"
+	OpInsert = "insert"
+	OpDelete = "delete"
+)
+
+// BatchOp is one operation inside a /v1/batch request. Op selects the
+// kind; the coordinate fields used depend on it (x/y for point, knn,
+// insert, delete — plus k for knn; min_x…max_y for window).
+type BatchOp struct {
+	Op   string  `json:"op"`
+	X    float64 `json:"x,omitempty"`
+	Y    float64 `json:"y,omitempty"`
+	K    int     `json:"k,omitempty"`
+	MinX float64 `json:"min_x,omitempty"`
+	MinY float64 `json:"min_y,omitempty"`
+	MaxX float64 `json:"max_x,omitempty"`
+	MaxY float64 `json:"max_y,omitempty"`
+}
+
+// BatchRequest is the /v1/batch body.
+type BatchRequest struct {
+	Ops []BatchOp `json:"ops"`
+}
+
+// BatchResult is one per-op answer inside a /v1/batch response, in request
+// order. The populated fields depend on the op kind.
+type BatchResult struct {
+	Found   bool        `json:"found,omitempty"`
+	Deleted bool        `json:"deleted,omitempty"`
+	OK      bool        `json:"ok,omitempty"`
+	Count   int         `json:"count,omitempty"`
+	Points  []PointJSON `json:"points,omitempty"`
+}
+
+// BatchResponse answers /v1/batch.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// OpStats reports one operation's serving metrics in /v1/stats. The mean
+// is exact; the percentiles are quarter-octave histogram estimates.
+type OpStats struct {
+	Count  int64   `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50us  float64 `json:"p50_us"`
+	P95us  float64 `json:"p95_us"`
+	P99us  float64 `json:"p99_us"`
+}
+
+// CoalesceStats reports how well the request coalescer is amortising
+// engine calls: Queries/Batches is the mean micro-batch size.
+type CoalesceStats struct {
+	Batches  int64   `json:"batches"`
+	Queries  int64   `json:"queries"`
+	MeanSize float64 `json:"mean_size"`
+	MaxSize  int64   `json:"max_size"`
+}
+
+// StatsResponse answers /v1/stats.
+type StatsResponse struct {
+	Points         int                `json:"points"`
+	Shards         int                `json:"shards,omitempty"`
+	UptimeSec      float64            `json:"uptime_sec"`
+	BlockAccesses  int64              `json:"block_accesses"`
+	InFlight       int64              `json:"in_flight"`
+	Shed           int64              `json:"shed"`
+	Rebuilds       int64              `json:"rebuilds"`
+	RebuildRunning bool               `json:"rebuild_running"`
+	Ops            map[string]OpStats `json:"ops"`
+	Coalesce       CoalesceStats      `json:"coalesce"`
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"rsmi/internal/geom"
+)
+
+// Client is a Go client for the serving API, used by cmd/rsmi-loadgen,
+// the bench harness, and the examples. It is safe for concurrent use; one
+// Client pools keep-alive connections across all its callers.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at addr ("host:port" or a
+// full http:// URL).
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{
+		base: strings.TrimRight(addr, "/"),
+		hc: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				// Closed-loop load generators run hundreds of concurrent
+				// clients against one host; the default per-host idle pool
+				// of 2 would thrash connections.
+				MaxIdleConns:        512,
+				MaxIdleConnsPerHost: 512,
+			},
+		},
+	}
+}
+
+// StatusError reports a non-2xx response. Callers distinguishing shed
+// load check Code == http.StatusTooManyRequests.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server: status %d: %s", e.Code, e.Msg)
+}
+
+// post sends one JSON request and decodes the 2xx answer into out.
+func (c *Client) post(path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("client: marshal: %w", err)
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return handleResponse(resp, out)
+}
+
+func (c *Client) get(path string, out interface{}) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	return handleResponse(resp, out)
+}
+
+// handleResponse decodes a 2xx body into out (when non-nil), turns any
+// other status into a StatusError, and always drains and closes the body
+// so the keep-alive connection is reusable.
+func handleResponse(resp *http.Response, out interface{}) error {
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return &StatusError{Code: resp.StatusCode, Msg: e.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func fromPoints(pts []PointJSON) []geom.Point {
+	out := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		out[i] = geom.Pt(p.X, p.Y)
+	}
+	return out
+}
+
+// PointQuery reports whether a point with exactly p's coordinates is
+// indexed.
+func (c *Client) PointQuery(p geom.Point) (bool, error) {
+	var resp FoundResponse
+	err := c.post("/v1/point", PointJSON{X: p.X, Y: p.Y}, &resp)
+	return resp.Found, err
+}
+
+// WindowQuery returns the indexed points inside the window.
+func (c *Client) WindowQuery(q geom.Rect) ([]geom.Point, error) {
+	var resp PointsResponse
+	err := c.post("/v1/window", RectJSON{MinX: q.MinX, MinY: q.MinY, MaxX: q.MaxX, MaxY: q.MaxY}, &resp)
+	return fromPoints(resp.Points), err
+}
+
+// KNN returns up to k nearest neighbours of q, closest first.
+func (c *Client) KNN(q geom.Point, k int) ([]geom.Point, error) {
+	var resp PointsResponse
+	err := c.post("/v1/knn", KNNJSON{X: q.X, Y: q.Y, K: k}, &resp)
+	return fromPoints(resp.Points), err
+}
+
+// Insert adds a point.
+func (c *Client) Insert(p geom.Point) error {
+	return c.post("/v1/insert", PointJSON{X: p.X, Y: p.Y}, nil)
+}
+
+// Delete removes the point with exactly p's coordinates, reporting
+// whether it existed.
+func (c *Client) Delete(p geom.Point) (bool, error) {
+	var resp DeletedResponse
+	err := c.post("/v1/delete", PointJSON{X: p.X, Y: p.Y}, &resp)
+	return resp.Deleted, err
+}
+
+// Batch executes a heterogeneous operation list in one round-trip and
+// returns the per-op results in request order.
+func (c *Client) Batch(ops []BatchOp) ([]BatchResult, error) {
+	var resp BatchResponse
+	err := c.post("/v1/batch", BatchRequest{Ops: ops}, &resp)
+	return resp.Results, err
+}
+
+// Rebuild triggers a rolling rebuild; it returns a *StatusError with code
+// 409 if one is already running.
+func (c *Client) Rebuild() error {
+	return c.post("/v1/rebuild", struct{}{}, nil)
+}
+
+// Stats fetches the serving counters.
+func (c *Client) Stats() (StatsResponse, error) {
+	var resp StatsResponse
+	err := c.get("/v1/stats", &resp)
+	return resp, err
+}
+
+// Health reports whether the server answers its health check.
+func (c *Client) Health() error {
+	return c.get("/healthz", nil)
+}

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// coalescer transparently micro-batches concurrent single-query requests:
+// handlers submit one query each and block for their answer, while a
+// single dispatcher goroutine per op type collects submissions into
+// batches and executes one engine batch call per batch. Two knobs bound
+// the batching:
+//
+//   - maxBatch caps the queries per engine call;
+//   - window is the longest a query waits for peers after the batch's
+//     first query arrives. A zero window never waits on the clock:
+//     the dispatcher takes whatever queued up while the previous batch
+//     executed (opportunistic batching — batch size adapts to load and
+//     idle requests pay no added latency).
+//
+// The dispatcher executing batches serially is the point: under load,
+// arrivals accumulate in the submit channel while a batch runs, so the
+// next batch is bigger and the per-query overhead (lock acquisitions,
+// fan-out hand-offs) shrinks — the inference-amortisation argument of
+// "The Case for Learned Spatial Indexes" applied to concurrent clients.
+type coalescer[Q, R any] struct {
+	in       chan pending[Q, R]
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+	run      func([]Q) []R
+	maxBatch int
+	window   time.Duration
+
+	batches atomic.Int64
+	queries atomic.Int64
+	maxSeen atomic.Int64
+}
+
+// pending is one submitted query awaiting its batch.
+type pending[Q, R any] struct {
+	q     Q
+	reply chan R
+}
+
+// newCoalescer starts the dispatcher goroutine.
+func newCoalescer[Q, R any](maxBatch int, window time.Duration, run func([]Q) []R) *coalescer[Q, R] {
+	c := &coalescer[Q, R]{
+		in:       make(chan pending[Q, R], 2*maxBatch),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		run:      run,
+		maxBatch: maxBatch,
+		window:   window,
+	}
+	go c.loop()
+	return c
+}
+
+// do submits one query and blocks until its batch executed. After
+// shutdown it degrades to direct execution, so late callers never hang.
+func (c *coalescer[Q, R]) do(q Q) R {
+	p := pending[Q, R]{q: q, reply: make(chan R, 1)}
+	select {
+	case c.in <- p:
+	case <-c.stop:
+		// in's buffer is full (or stop won the race): run directly.
+		return c.run([]Q{q})[0]
+	}
+	// The submit channel is buffered, so the send can succeed after stop
+	// closed; if the dispatcher exits without draining our item, fall back
+	// to direct execution (done closes only after the dispatcher's last
+	// reply, so a non-blocking reply check is then definitive).
+	select {
+	case r := <-p.reply:
+		return r
+	case <-c.done:
+		select {
+		case r := <-p.reply:
+			return r
+		default:
+			return c.run([]Q{q})[0]
+		}
+	}
+}
+
+// shutdown stops the dispatcher and waits for it to serve any queries
+// already submitted. It is idempotent, so Server.Shutdown may be called
+// more than once (signal handler plus deferred cleanup).
+func (c *coalescer[Q, R]) shutdown() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+// snapshot returns the batching counters.
+func (c *coalescer[Q, R]) snapshot() (batches, queries, maxSeen int64) {
+	return c.batches.Load(), c.queries.Load(), c.maxSeen.Load()
+}
+
+func (c *coalescer[Q, R]) loop() {
+	defer close(c.done)
+	for {
+		select {
+		case p := <-c.in:
+			c.collectAndRun(p)
+		case <-c.stop:
+			// Drain stragglers that won the submit race, then exit.
+			for {
+				select {
+				case p := <-c.in:
+					c.collectAndRun(p)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// collectAndRun grows a batch from first, executes it, and distributes
+// the answers.
+func (c *coalescer[Q, R]) collectAndRun(first pending[Q, R]) {
+	batch := make([]pending[Q, R], 1, c.maxBatch)
+	batch[0] = first
+	if c.window > 0 {
+		timer := time.NewTimer(c.window)
+	fill:
+		for len(batch) < c.maxBatch {
+			select {
+			case p := <-c.in:
+				batch = append(batch, p)
+			case <-timer.C:
+				break fill
+			case <-c.stop:
+				break fill
+			}
+		}
+		timer.Stop()
+	} else {
+		// Opportunistic: drain whatever queued while the previous batch
+		// executed, without waiting on the clock.
+	drain:
+		for len(batch) < c.maxBatch {
+			select {
+			case p := <-c.in:
+				batch = append(batch, p)
+			default:
+				break drain
+			}
+		}
+	}
+	qs := make([]Q, len(batch))
+	for i, p := range batch {
+		qs[i] = p.q
+	}
+	rs := c.run(qs)
+	for i, p := range batch {
+		p.reply <- rs[i]
+	}
+	c.batches.Add(1)
+	c.queries.Add(int64(len(batch)))
+	if n := int64(len(batch)); n > c.maxSeen.Load() {
+		c.maxSeen.Store(n)
+	}
+}

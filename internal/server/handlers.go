@@ -1,0 +1,366 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"rsmi/internal/geom"
+	"rsmi/internal/shard"
+)
+
+// maxBodyBytes bounds single-op request bodies; batch bodies get
+// maxBatchBodyBytes.
+const (
+	maxBodyBytes      = 4 << 10
+	maxBatchBodyBytes = 8 << 20
+	// maxBatchOps bounds the operations one /v1/batch request may carry.
+	maxBatchOps = 16384
+)
+
+// admit acquires an in-flight slot, shedding with 429 when the server is
+// saturated. It returns a release func and whether the request was
+// admitted.
+func (s *Server) admit(w http.ResponseWriter) (func(), bool) {
+	select {
+	case s.sem <- struct{}{}:
+		s.inFlight.Add(1)
+		return func() {
+			s.inFlight.Add(-1)
+			<-s.sem
+		}, true
+	default:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server saturated; retry")
+		return nil, false
+	}
+}
+
+// decodeBody decodes one JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}, limit int64) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	writeJSONStatus(w, http.StatusOK, v)
+}
+
+func writeJSONStatus(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if code != http.StatusOK {
+		w.WriteHeader(code)
+	}
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The response is already partially written; nothing to recover.
+		_ = err
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
+}
+
+// finite rejects NaN/Inf coordinates, which would corrupt shard routing.
+func finite(fs ...float64) error {
+	for _, f := range fs {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return errors.New("coordinates must be finite")
+		}
+	}
+	return nil
+}
+
+func toRect(r RectJSON) (geom.Rect, error) {
+	if err := finite(r.MinX, r.MinY, r.MaxX, r.MaxY); err != nil {
+		return geom.Rect{}, err
+	}
+	if r.MinX > r.MaxX || r.MinY > r.MaxY {
+		return geom.Rect{}, errors.New("window has min > max")
+	}
+	return geom.Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}, nil
+}
+
+func toPoints(pts []geom.Point) []PointJSON {
+	out := make([]PointJSON, len(pts))
+	for i, p := range pts {
+		out[i] = PointJSON{X: p.X, Y: p.Y}
+	}
+	return out
+}
+
+// queryPoint routes a point probe through the coalescer when enabled.
+func (s *Server) queryPoint(p geom.Point) bool {
+	if s.coPoint != nil {
+		return s.coPoint.do(p)
+	}
+	return s.eng.PointQuery(p)
+}
+
+func (s *Server) queryWindow(q geom.Rect) []geom.Point {
+	if s.coWindow != nil {
+		return s.coWindow.do(q)
+	}
+	return s.eng.WindowQuery(q)
+}
+
+func (s *Server) queryKNN(q shard.KNNQuery) []geom.Point {
+	if s.coKNN != nil {
+		return s.coKNN.do(q)
+	}
+	return s.eng.KNN(q.Q, q.K)
+}
+
+func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	var req PointJSON
+	if !decodeBody(w, r, &req, maxBodyBytes) {
+		return
+	}
+	if err := finite(req.X, req.Y); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	start := time.Now()
+	found := s.queryPoint(geom.Pt(req.X, req.Y))
+	s.histPoint.observe(time.Since(start))
+	writeJSON(w, FoundResponse{Found: found})
+}
+
+func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	var req RectJSON
+	if !decodeBody(w, r, &req, maxBodyBytes) {
+		return
+	}
+	q, err := toRect(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	start := time.Now()
+	pts := s.queryWindow(q)
+	s.histWindow.observe(time.Since(start))
+	writeJSON(w, PointsResponse{Count: len(pts), Points: toPoints(pts)})
+}
+
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	var req KNNJSON
+	if !decodeBody(w, r, &req, maxBodyBytes) {
+		return
+	}
+	if err := finite(req.X, req.Y); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	start := time.Now()
+	pts := s.queryKNN(shard.KNNQuery{Q: geom.Pt(req.X, req.Y), K: req.K})
+	s.histKNN.observe(time.Since(start))
+	writeJSON(w, PointsResponse{Count: len(pts), Points: toPoints(pts)})
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	var req PointJSON
+	if !decodeBody(w, r, &req, maxBodyBytes) {
+		return
+	}
+	if err := finite(req.X, req.Y); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	start := time.Now()
+	s.eng.Insert(geom.Pt(req.X, req.Y))
+	s.histInsert.observe(time.Since(start))
+	writeJSON(w, OKResponse{OK: true})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	var req PointJSON
+	if !decodeBody(w, r, &req, maxBodyBytes) {
+		return
+	}
+	if err := finite(req.X, req.Y); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	start := time.Now()
+	deleted := s.eng.Delete(geom.Pt(req.X, req.Y))
+	s.histDelete.observe(time.Since(start))
+	writeJSON(w, DeletedResponse{Deleted: deleted})
+}
+
+// handleBatch executes a heterogeneous operation list with one engine
+// batch call per query kind: queries are grouped by kind, executed via
+// BatchPointQuery / BatchWindowQuery / BatchKNN (writes run individually,
+// in request order relative to each other), and the answers are
+// reassembled in request order. A batch is not a transaction: queries in
+// a batch may observe the batch's own writes or concurrent writers'.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	var req BatchRequest
+	if !decodeBody(w, r, &req, maxBatchBodyBytes) {
+		return
+	}
+	if len(req.Ops) > maxBatchOps {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch exceeds %d ops", maxBatchOps))
+		return
+	}
+	// Validate everything before executing anything.
+	for i, op := range req.Ops {
+		var err error
+		switch op.Op {
+		case OpPoint, OpKNN, OpInsert, OpDelete:
+			err = finite(op.X, op.Y)
+		case OpWindow:
+			_, err = toRect(RectJSON{MinX: op.MinX, MinY: op.MinY, MaxX: op.MaxX, MaxY: op.MaxY})
+		default:
+			err = fmt.Errorf("unknown op %q", op.Op)
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("op %d: %v", i, err))
+			return
+		}
+	}
+	start := time.Now()
+	results := make([]BatchResult, len(req.Ops))
+	var (
+		points   []geom.Point
+		pointIdx []int
+		windows  []geom.Rect
+		winIdx   []int
+		knns     []shard.KNNQuery
+		knnIdx   []int
+	)
+	for i, op := range req.Ops {
+		switch op.Op {
+		case OpPoint:
+			points = append(points, geom.Pt(op.X, op.Y))
+			pointIdx = append(pointIdx, i)
+		case OpWindow:
+			windows = append(windows, geom.Rect{MinX: op.MinX, MinY: op.MinY, MaxX: op.MaxX, MaxY: op.MaxY})
+			winIdx = append(winIdx, i)
+		case OpKNN:
+			knns = append(knns, shard.KNNQuery{Q: geom.Pt(op.X, op.Y), K: op.K})
+			knnIdx = append(knnIdx, i)
+		case OpInsert:
+			s.eng.Insert(geom.Pt(op.X, op.Y))
+			results[i] = BatchResult{OK: true}
+		case OpDelete:
+			results[i] = BatchResult{Deleted: s.eng.Delete(geom.Pt(op.X, op.Y))}
+		}
+	}
+	if len(points) > 0 {
+		for j, found := range s.eng.BatchPointQuery(points) {
+			results[pointIdx[j]] = BatchResult{Found: found}
+		}
+	}
+	if len(windows) > 0 {
+		for j, pts := range s.eng.BatchWindowQuery(windows) {
+			results[winIdx[j]] = BatchResult{Count: len(pts), Points: toPoints(pts)}
+		}
+	}
+	if len(knns) > 0 {
+		for j, pts := range s.eng.BatchKNN(knns) {
+			results[knnIdx[j]] = BatchResult{Count: len(pts), Points: toPoints(pts)}
+		}
+	}
+	s.histBatch.observe(time.Since(start))
+	writeJSON(w, BatchResponse{Results: results})
+}
+
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if !s.TriggerRebuild() {
+		writeError(w, http.StatusConflict, "rebuild already running")
+		return
+	}
+	writeJSONStatus(w, http.StatusAccepted, OKResponse{OK: true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		Points:         s.eng.Len(),
+		UptimeSec:      time.Since(s.start).Seconds(),
+		BlockAccesses:  s.eng.Accesses(),
+		InFlight:       s.inFlight.Load(),
+		Shed:           s.shed.Load(),
+		Rebuilds:       s.rebuilds.Load(),
+		RebuildRunning: s.rebuildRunning.Load(),
+		Ops: map[string]OpStats{
+			OpPoint:  s.histPoint.stats(),
+			OpWindow: s.histWindow.stats(),
+			OpKNN:    s.histKNN.stats(),
+			OpInsert: s.histInsert.stats(),
+			OpDelete: s.histDelete.stats(),
+			"batch":  s.histBatch.stats(),
+		},
+	}
+	if sc, ok := s.eng.(shardCounter); ok {
+		resp.Shards = sc.NumShards()
+	}
+	if s.coPoint != nil {
+		for _, c := range []interface{ snapshot() (int64, int64, int64) }{
+			s.coPoint, s.coWindow, s.coKNN,
+		} {
+			b, q, m := c.snapshot()
+			resp.Coalesce.Batches += b
+			resp.Coalesce.Queries += q
+			if m > resp.Coalesce.MaxSize {
+				resp.Coalesce.MaxSize = m
+			}
+		}
+		if resp.Coalesce.Batches > 0 {
+			resp.Coalesce.MeanSize = float64(resp.Coalesce.Queries) / float64(resp.Coalesce.Batches)
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,235 @@
+// Package server is the network serving subsystem: it puts a concurrent
+// spatial index (rsmi.Sharded or rsmi.Concurrent) behind an HTTP+JSON API
+// with batched execution, following the deployment argument of the
+// learned-index serving literature (LiLIS; "The Case for Learned Spatial
+// Indexes"): learned indexes pay off when their per-query inference and
+// fan-out overhead is amortised across many lookups, which requires a
+// serving layer that batches.
+//
+// # Endpoints
+//
+//	POST /v1/point    {"x","y"}                → {"found"}
+//	POST /v1/window   {"min_x",…,"max_y"}      → {"count","points"}
+//	POST /v1/knn      {"x","y","k"}            → {"count","points"}
+//	POST /v1/insert   {"x","y"}                → {"ok"}
+//	POST /v1/delete   {"x","y"}                → {"deleted"}
+//	POST /v1/batch    {"ops":[…]}              → {"results":[…]}
+//	POST /v1/rebuild                           → 202 (409 if running)
+//	GET  /v1/stats                             → serving + index counters
+//	GET  /healthz                              → 200 "ok"
+//
+// # Batching
+//
+// Two mechanisms amortise per-query overhead: clients may send explicit
+// batches to /v1/batch (one HTTP round-trip, one engine batch call per op
+// kind), and concurrent single-query requests to /v1/point, /v1/window
+// and /v1/knn are transparently micro-batched by a request coalescer
+// (Config.MaxBatch / Config.BatchWindow) into the engine's
+// BatchPointQuery / BatchWindowQuery / BatchKNN calls.
+//
+// # Admission control and shutdown
+//
+// A bounded in-flight gate sheds excess load with 429 before it queues
+// (Config.MaxInFlight). Shutdown drains in-flight queries, then waits for
+// a running rolling rebuild to finish, so a snapshot taken after Shutdown
+// returns is always consistent.
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"rsmi/internal/geom"
+	"rsmi/internal/shard"
+)
+
+// Engine is the index surface the server serves: the shared method set of
+// rsmi.Sharded and rsmi.Concurrent, batch execution included.
+type Engine interface {
+	PointQuery(q geom.Point) bool
+	WindowQuery(q geom.Rect) []geom.Point
+	KNN(q geom.Point, k int) []geom.Point
+	BatchPointQuery(qs []geom.Point) []bool
+	BatchWindowQuery(qs []geom.Rect) [][]geom.Point
+	BatchKNN(qs []shard.KNNQuery) [][]geom.Point
+	Insert(p geom.Point)
+	Delete(p geom.Point) bool
+	Rebuild()
+	Len() int
+	Accesses() int64
+}
+
+// shardCounter is implemented by sharded engines; /v1/stats reports the
+// shard count when available.
+type shardCounter interface {
+	NumShards() int
+}
+
+// Config configures a Server. The zero value (plus an Engine) serves with
+// the defaults below.
+type Config struct {
+	// Engine is the index to serve. Required.
+	Engine Engine
+	// MaxBatch caps the queries one coalesced engine call executes
+	// (default 64). Values <= 1 disable coalescing: every request runs
+	// its own engine call — the one-query-per-request baseline.
+	MaxBatch int
+	// BatchWindow is the longest a single-query request waits for peers
+	// to fill its micro-batch. 0 (the default) never waits on the clock:
+	// batches form opportunistically from whatever queued while the
+	// previous batch executed.
+	BatchWindow time.Duration
+	// MaxInFlight bounds concurrently admitted requests; excess load is
+	// shed immediately with 429 (default 1024).
+	MaxInFlight int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 1024
+	}
+	return c
+}
+
+// Server serves an Engine over HTTP. Create with New, attach with
+// Handler or Serve/ListenAndServe, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	eng   Engine
+	mux   *http.ServeMux
+	hs    *http.Server
+	start time.Time
+
+	// Admission gate: a semaphore of in-flight request slots.
+	sem      chan struct{}
+	inFlight atomic.Int64
+	shed     atomic.Int64
+
+	// Per-op latency histograms.
+	histPoint  histogram
+	histWindow histogram
+	histKNN    histogram
+	histInsert histogram
+	histDelete histogram
+	histBatch  histogram
+
+	// Single-query coalescers (nil when MaxBatch <= 1).
+	coPoint  *coalescer[geom.Point, bool]
+	coWindow *coalescer[geom.Rect, []geom.Point]
+	coKNN    *coalescer[shard.KNNQuery, []geom.Point]
+
+	// Rolling-rebuild coordination.
+	rebuildRunning atomic.Bool
+	rebuildDonePtr atomic.Pointer[chan struct{}]
+	rebuilds       atomic.Int64
+}
+
+// New builds a Server around cfg.Engine and starts its batch dispatchers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	if cfg.Engine == nil {
+		panic("server: Config.Engine is required")
+	}
+	s := &Server{
+		cfg:   cfg,
+		eng:   cfg.Engine,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+	}
+	if cfg.MaxBatch > 1 {
+		s.coPoint = newCoalescer(cfg.MaxBatch, cfg.BatchWindow, s.eng.BatchPointQuery)
+		s.coWindow = newCoalescer(cfg.MaxBatch, cfg.BatchWindow, s.eng.BatchWindowQuery)
+		s.coKNN = newCoalescer(cfg.MaxBatch, cfg.BatchWindow, s.eng.BatchKNN)
+	}
+	s.mux.HandleFunc("/v1/point", s.handlePoint)
+	s.mux.HandleFunc("/v1/window", s.handleWindow)
+	s.mux.HandleFunc("/v1/knn", s.handleKNN)
+	s.mux.HandleFunc("/v1/insert", s.handleInsert)
+	s.mux.HandleFunc("/v1/delete", s.handleDelete)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/rebuild", s.handleRebuild)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.hs = &http.Server{Handler: s.mux}
+	return s
+}
+
+// Handler returns the HTTP handler (useful for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown; like http.Server.Serve
+// it returns http.ErrServerClosed after a clean shutdown.
+func (s *Server) Serve(l net.Listener) error { return s.hs.Serve(l) }
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown gracefully stops the server: it stops accepting connections,
+// drains in-flight requests (bounded by ctx), stops the batch
+// dispatchers, and waits for a running rolling rebuild to complete, so
+// the engine is quiescent — and safe to snapshot — once Shutdown returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.hs.Shutdown(ctx)
+	if s.coPoint != nil {
+		s.coPoint.shutdown()
+		s.coWindow.shutdown()
+		s.coKNN.shutdown()
+	}
+	if done := s.rebuildDoneChan(); done != nil {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			if err == nil {
+				err = ctx.Err()
+			}
+		}
+	}
+	return err
+}
+
+// TriggerRebuild starts a rolling rebuild on a background goroutine; it
+// reports false if one is already running. Sharded engines keep serving
+// during the rebuild (one shard retrains at a time); Shutdown waits for a
+// running rebuild before returning.
+func (s *Server) TriggerRebuild() bool {
+	if !s.rebuildRunning.CompareAndSwap(false, true) {
+		return false
+	}
+	done := make(chan struct{})
+	s.setRebuildDone(done)
+	go func() {
+		defer func() {
+			s.rebuildRunning.Store(false)
+			close(done)
+		}()
+		s.eng.Rebuild()
+		s.rebuilds.Add(1)
+	}()
+	return true
+}
+
+func (s *Server) setRebuildDone(ch chan struct{}) {
+	s.rebuildDonePtr.Store(&ch)
+}
+
+func (s *Server) rebuildDoneChan() chan struct{} {
+	p := s.rebuildDonePtr.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}

@@ -1,0 +1,197 @@
+package shard
+
+import (
+	"sync/atomic"
+
+	"rsmi/internal/geom"
+)
+
+// Batch execution layer. A network server amortises two per-query costs by
+// batching: the HTTP/decoding overhead (amortised by its callers) and —
+// implemented here — the shard fan-out overhead: instead of one lock
+// acquisition and one worker hand-off per query per shard, a batch groups
+// its queries per shard and executes each shard's whole group under a
+// single read-lock acquisition with a single fan-out, so lock and
+// scheduling costs are paid once per (shard, batch) rather than once per
+// (shard, query). This is the "amortise inference and traversal overhead
+// across lookups" argument of "The Case for Learned Spatial Indexes"
+// (Pandey et al., 2020) applied to the serving path.
+//
+// Batches are not transactions: concurrent updates may land between the
+// per-shard group executions, exactly as they may land between individual
+// queries. Each individual answer carries the same guarantees as its
+// single-query counterpart.
+
+// KNNQuery is one kNN request in a batch: up to K nearest neighbours of Q.
+type KNNQuery struct {
+	Q geom.Point
+	K int
+}
+
+// batchRef locates one query's slot inside a per-shard group: qi indexes
+// the batch, slot is the position of the shard in the query's candidate
+// order (so multi-shard answers can be merged deterministically).
+type batchRef struct {
+	qi   int
+	slot int
+}
+
+// BatchPointQuery answers one point query per element of qs, grouping the
+// probes per shard so each shard's lock is taken once per batch. Answers
+// are exact and identical to calling PointQuery per element.
+func (s *Sharded) BatchPointQuery(qs []geom.Point) []bool {
+	out := make([]bool, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	// found uses atomics: under space partitioning overlapping regions can
+	// assign one query to several shards, whose groups run concurrently.
+	found := make([]atomic.Bool, len(qs))
+	var cands []*state
+	var groups [][]int
+	pos := newShardSlots(len(s.shards))
+	for qi, q := range qs {
+		if s.opts.Partitioning == Hash {
+			si := int(hashPoint(q) % uint64(len(s.shards)))
+			p := slot(pos, si, &cands, &groups, s.shards)
+			groups[p] = append(groups[p], qi)
+			continue
+		}
+		for si, sh := range s.shards {
+			if sh.loadRegion().Contains(q) {
+				p := slot(pos, si, &cands, &groups, s.shards)
+				groups[p] = append(groups[p], qi)
+			}
+		}
+	}
+	s.fanOut(cands, func(i int, sh *state) {
+		for _, qi := range groups[i] {
+			if !found[qi].Load() && sh.idx.PointQuery(qs[qi]) {
+				found[qi].Store(true)
+			}
+		}
+	})
+	for i := range out {
+		out[i] = found[i].Load()
+	}
+	return out
+}
+
+// BatchWindowQuery answers one window query per element of qs, grouping
+// the queries per overlapping shard so each shard's lock is taken once per
+// batch. Every answer equals the one WindowQuery would return (same
+// approximate no-false-positive semantics, same deterministic shard-order
+// concatenation).
+func (s *Sharded) BatchWindowQuery(qs []geom.Rect) [][]geom.Point {
+	out := make([][]geom.Point, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	// parts[qi][slot] is query qi's answer from its slot-th candidate
+	// shard; distinct cells, so group goroutines never share a slot.
+	parts := make([][][]geom.Point, len(qs))
+	var cands []*state
+	var groups [][]batchRef
+	pos := newShardSlots(len(s.shards))
+	for qi, q := range qs {
+		n := 0
+		for si, sh := range s.shards {
+			if !sh.loadRegion().Intersects(q) {
+				continue
+			}
+			p := slot(pos, si, &cands, &groups, s.shards)
+			groups[p] = append(groups[p], batchRef{qi: qi, slot: n})
+			n++
+		}
+		parts[qi] = make([][]geom.Point, n)
+	}
+	s.fanOut(cands, func(i int, sh *state) {
+		for _, ref := range groups[i] {
+			parts[ref.qi][ref.slot] = sh.idx.WindowQuery(qs[ref.qi])
+		}
+	})
+	for qi := range qs {
+		var merged []geom.Point
+		for _, part := range parts[qi] {
+			merged = append(merged, part...)
+		}
+		out[qi] = merged
+	}
+	return out
+}
+
+// BatchKNN answers one kNN query per element of qs. Every non-empty shard
+// is visited once per batch (one lock acquisition covering all queries
+// routed to it); each query keeps a shared distance bound across shards,
+// so a shard whose region provably cannot improve a query's current k-th
+// candidate skips that query. Unlike the single-query KNN, shards are
+// visited in index order rather than per-query MINDIST order — pruning is
+// merely opportunistic — but answers carry the same approximation
+// guarantees as KNN: real indexed points, closest first, at most
+// min(k, Len) of them (k <= 0 yields nil).
+func (s *Sharded) BatchKNN(qs []KNNQuery) [][]geom.Point {
+	out := make([][]geom.Point, len(qs))
+	bounds := make([]*sharedBound, len(qs))
+	any := false
+	for i, q := range qs {
+		if q.K > 0 {
+			bounds[i] = newSharedBound(q.K, q.Q)
+			any = true
+		}
+	}
+	if !any {
+		return out
+	}
+	var cands []*state
+	for _, sh := range s.shards {
+		if !sh.loadRegion().IsEmpty() {
+			cands = append(cands, sh)
+		}
+	}
+	s.fanOut(cands, func(_ int, sh *state) {
+		r := sh.loadRegion()
+		for i, q := range qs {
+			b := bounds[i]
+			if b == nil {
+				continue
+			}
+			// Conservative pruning: the bound only shrinks, and stays +Inf
+			// until k candidates exist, so skipping can never lose a point
+			// that would have entered the final top-k.
+			if r.MinDist2(q.Q) >= b.worst() {
+				continue
+			}
+			b.merge(sh.idx.KNN(q.Q, q.K))
+		}
+	})
+	for i, b := range bounds {
+		if b != nil {
+			out[i] = b.sorted()
+		}
+	}
+	return out
+}
+
+// shardSlots maps shard index → position in a batch's compact candidate
+// list, so grouping stays O(queries × shards) without map allocations.
+type shardSlots []int
+
+func newShardSlots(n int) shardSlots {
+	pos := make(shardSlots, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return pos
+}
+
+// slot returns shard si's position in the compact candidate list, adding
+// the shard (and an empty group) on first use.
+func slot[G any](pos shardSlots, si int, cands *[]*state, groups *[]G, shards []*state) int {
+	if pos[si] < 0 {
+		pos[si] = len(*cands)
+		*cands = append(*cands, shards[si])
+		var zero G
+		*groups = append(*groups, zero)
+	}
+	return pos[si]
+}

@@ -1,0 +1,124 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+
+	"rsmi/internal/dataset"
+	"rsmi/internal/geom"
+	"rsmi/internal/workload"
+)
+
+// TestShardedRoundTrip saves and reloads a sharded index that has seen
+// updates, then requires the loaded index to answer every query class
+// identically to the original — the restart-without-retraining guarantee
+// behind cmd/rsmi-serve -snapshot.
+func TestShardedRoundTrip(t *testing.T) {
+	for _, parts := range []Partitioning{Space, Hash} {
+		parts := parts
+		t.Run(parts.String(), func(t *testing.T) {
+			t.Parallel()
+			pts := dataset.Generate(dataset.Skewed, 2500, 51)
+			s := New(pts, quickOpts(parts, 4))
+			for _, p := range workload.InsertPoints(pts, 400, 52) {
+				s.Insert(p)
+			}
+			for _, p := range workload.DeleteSample(pts, 200, 53) {
+				s.Delete(p)
+			}
+
+			var buf bytes.Buffer
+			if _, err := s.WriteTo(&buf); err != nil {
+				t.Fatalf("WriteTo: %v", err)
+			}
+			loaded, err := Load(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+
+			if loaded.Len() != s.Len() {
+				t.Fatalf("Len: loaded %d, original %d", loaded.Len(), s.Len())
+			}
+			if loaded.NumShards() != s.NumShards() {
+				t.Fatalf("NumShards: loaded %d, original %d", loaded.NumShards(), s.NumShards())
+			}
+			if lo, oo := loaded.Options(), s.Options(); lo != oo {
+				t.Fatalf("Options: loaded %+v, original %+v", lo, oo)
+			}
+
+			// Every query class must answer identically: the loaded models,
+			// blocks, error bounds, and routing regions are bit-identical.
+			for qi, q := range workload.Windows(pts, 30, 0.01, 1, 54) {
+				sameSet(t, "WindowQuery", loaded.WindowQuery(q), s.WindowQuery(q))
+				sameSet(t, "ExactWindow", loaded.ExactWindow(q), s.ExactWindow(q))
+				c := q.Center()
+				for _, k := range []int{1, 5, 25} {
+					g, w := loaded.KNN(c, k), s.KNN(c, k)
+					if len(g) != len(w) {
+						t.Fatalf("KNN(%d) query %d: %d vs %d points", k, qi, len(g), len(w))
+					}
+					for i := range g {
+						if g[i] != w[i] {
+							t.Fatalf("KNN(%d) query %d point %d: %v vs %v", k, qi, i, g[i], w[i])
+						}
+					}
+					sameSet(t, "ExactKNN", loaded.ExactKNN(c, k), s.ExactKNN(c, k))
+				}
+			}
+			for i := 0; i < 300; i++ {
+				p := pts[(i*37)%len(pts)]
+				if loaded.PointQuery(p) != s.PointQuery(p) {
+					t.Fatalf("PointQuery(%v) differs after round-trip", p)
+				}
+			}
+
+			// The loaded index stays fully usable: updates and rebuilds work.
+			p := geom.Pt(0.42, 0.24)
+			loaded.Insert(p)
+			if !loaded.PointQuery(p) {
+				t.Fatal("insert into loaded index lost")
+			}
+			loaded.Rebuild()
+			if !loaded.PointQuery(p) {
+				t.Fatal("point lost across post-load rebuild")
+			}
+		})
+	}
+}
+
+// TestShardedRoundTripEmpty covers the degenerate snapshot.
+func TestShardedRoundTripEmpty(t *testing.T) {
+	s := New(nil, quickOpts(Space, 3))
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.Len() != 0 || loaded.NumShards() != 3 {
+		t.Fatalf("loaded empty index: len=%d shards=%d", loaded.Len(), loaded.NumShards())
+	}
+	loaded.Insert(geom.Pt(0.5, 0.5))
+	if !loaded.PointQuery(geom.Pt(0.5, 0.5)) {
+		t.Fatal("insert into loaded empty index lost")
+	}
+}
+
+// TestLoadRejectsGarbage checks the format guards.
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot at all"))); err == nil {
+		t.Fatal("Load accepted garbage")
+	}
+	// A truncated valid prefix must error, not hang or panic.
+	pts := dataset.Generate(dataset.Uniform, 500, 55)
+	s := New(pts, quickOpts(Space, 2))
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("Load accepted truncated snapshot")
+	}
+}

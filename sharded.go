@@ -1,6 +1,8 @@
 package rsmi
 
 import (
+	"io"
+
 	"rsmi/internal/geom"
 	"rsmi/internal/shard"
 )
@@ -36,10 +38,20 @@ const (
 	HashPartitioned = shard.Hash
 )
 
+// KNNQuery is one kNN request in a batch (see BatchKNN): up to K nearest
+// neighbours of Q.
+type KNNQuery = shard.KNNQuery
+
 // NewSharded builds a sharded RSMI over the points; shards build (and
 // train) in parallel.
 func NewSharded(pts []Point, opts ShardOptions) *Sharded {
 	return shard.New(pts, opts)
+}
+
+// LoadSharded deserialises a sharded index previously saved with
+// Sharded.WriteTo, so a server can restart without retraining any shard.
+func LoadSharded(r io.Reader) (*Sharded, error) {
+	return shard.Load(r)
 }
 
 // shardedOps is the method set shared by Index, Concurrent, and Sharded
@@ -61,4 +73,17 @@ var (
 	_ shardedOps = (*Index)(nil)
 	_ shardedOps = (*Concurrent)(nil)
 	_ shardedOps = (*Sharded)(nil)
+)
+
+// batchOps is the batch execution surface shared by Concurrent and Sharded
+// (the serving layer's amortisation hooks; see internal/server).
+type batchOps interface {
+	BatchPointQuery(qs []geom.Point) []bool
+	BatchWindowQuery(qs []geom.Rect) [][]geom.Point
+	BatchKNN(qs []shard.KNNQuery) [][]geom.Point
+}
+
+var (
+	_ batchOps = (*Concurrent)(nil)
+	_ batchOps = (*Sharded)(nil)
 )
