@@ -1,16 +1,23 @@
-// Command rsmi-loadgen drives an rsmi-serve endpoint with closed-loop
-// clients and reports throughput, status mix (2xx / shed / errors), and
-// per-request latency percentiles.
+// Command rsmi-loadgen drives an rsmi-serve endpoint with closed-loop or
+// open-loop clients and reports throughput, status mix (2xx / shed /
+// errors), and per-request latency percentiles, over either wire
+// protocol.
 //
 // Usage:
 //
 //	rsmi-loadgen -addr 127.0.0.1:8080 -clients 8 -duration 5s
 //	rsmi-loadgen -mix window=90,insert=10 -batch 16
+//	rsmi-loadgen -proto binary -batch 32           # rsmibin/1 instead of JSON
+//	rsmi-loadgen -rate 5000 -clients 32            # open-loop: 5000 req/s arrivals
 //	rsmi-loadgen -duration 2s -min-ok 1.0          # CI smoke: exit 1 unless 100% 2xx
 //
 // -batch n groups n operations per /v1/batch request (one round-trip);
 // -batch 1 sends one operation per request through the per-op endpoints,
-// exercising the server-side micro-batcher instead.
+// exercising the server-side micro-batcher instead. -rate r switches
+// from closed-loop (each client waits for its answer before the next
+// request) to open-loop (requests arrive on a fixed r-per-second
+// schedule; latency counts from the scheduled arrival), which is what
+// makes the server's -batch-window knob measurable.
 package main
 
 import (
@@ -20,18 +27,21 @@ import (
 	"time"
 
 	"rsmi/internal/loadgen"
+	"rsmi/internal/server"
 )
 
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:8080", "server address")
-		clients  = flag.Int("clients", 4, "closed-loop client goroutines")
+		clients  = flag.Int("clients", 4, "client goroutines")
 		duration = flag.Duration("duration", 2*time.Second, "run duration")
 		mix      = flag.String("mix", loadgen.DefaultMix.String(), "operation mix (op=weight,...)")
 		k        = flag.Int("k", 10, "kNN parameter")
 		window   = flag.Float64("window-frac", 0.0001, "window area as a fraction of the data space")
 		batch    = flag.Int("batch", 1, "operations per request (>1 uses /v1/batch)")
 		seed     = flag.Int64("seed", 1, "query generation seed")
+		proto    = flag.String("proto", "json", "wire protocol: json|binary")
+		rate     = flag.Float64("rate", 0, "open-loop arrival rate in requests/s (0 = closed-loop)")
 		minOK    = flag.Float64("min-ok", -1, "exit 1 unless the 2xx rate reaches this fraction (e.g. 1.0)")
 	)
 	flag.Parse()
@@ -39,6 +49,10 @@ func main() {
 	log.SetFlags(0)
 
 	m, err := loadgen.ParseMix(*mix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := server.ParseProto(*proto)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,11 +65,17 @@ func main() {
 		WindowFrac: *window,
 		BatchSize:  *batch,
 		Seed:       *seed,
+		Proto:      p,
+		Rate:       *rate,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s against http://%s (mix %s)\n%s\n", "closed-loop run", *addr, m, rep)
+	mode := "closed-loop run"
+	if *rate > 0 {
+		mode = "open-loop run"
+	}
+	fmt.Printf("%s against http://%s (mix %s)\n%s\n", mode, *addr, m, rep)
 	if *minOK >= 0 && rep.OKRate() < *minOK {
 		log.Fatalf("2xx rate %.4f below required %.4f", rep.OKRate(), *minOK)
 	}

@@ -1,9 +1,12 @@
-// Command rsmi-serve puts a sharded RSMI behind the HTTP+JSON serving API
-// of internal/server: per-operation endpoints plus /v1/batch, transparent
+// Command rsmi-serve puts a sharded RSMI behind the HTTP serving API of
+// internal/server: per-operation endpoints plus /v1/batch, transparent
 // micro-batching of concurrent single-query requests, bounded in-flight
 // admission control with 429 shedding, /v1/stats counters, and graceful
 // shutdown on SIGINT/SIGTERM that drains in-flight queries and waits for
-// a running rolling rebuild.
+// a running rolling rebuild. Every data-plane endpoint speaks both wire
+// protocols, negotiated per request: JSON (the debuggable default) and
+// the length-prefixed rsmibin/1 binary encoding (drive it with
+// rsmi-loadgen -proto binary; see internal/server/binproto.go).
 //
 // Usage:
 //
@@ -73,6 +76,8 @@ func main() {
 	}
 	log.Printf("serving on http://%s (max-batch=%d batch-window=%v max-inflight=%d)",
 		l.Addr(), *maxBatch, *batchWindow, *maxInflight)
+	log.Printf("wire protocols: application/json (default), %s (rsmibin/%d)",
+		server.ContentTypeBinary, server.BinVersion)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(l) }()

@@ -1,11 +1,12 @@
 // Example serve: run the HTTP serving subsystem in-process — build a
 // sharded index, serve it on a loopback port, drive it with the Go
-// client (single ops and a batch), then shut down gracefully.
+// client (single ops and a batch) over both wire protocols (JSON and
+// the rsmibin/1 binary encoding), then shut down gracefully.
 //
 //	go run ./examples/serve
 //
 // For a standalone server and load generator, see cmd/rsmi-serve and
-// cmd/rsmi-loadgen.
+// cmd/rsmi-loadgen (rsmi-loadgen -proto binary drives rsmibin/1).
 package main
 
 import (
@@ -72,6 +73,16 @@ func main() {
 	}
 	fmt.Printf("batch: insert ok=%v, point found=%v, knn %d points, window %d points\n",
 		res[0].OK, res[1].Found, len(res[2].Points), res[3].Count)
+
+	// The same server speaks rsmibin/1: a binary client sees identical
+	// answers, just cheaper on the wire (no JSON encode/decode per point).
+	binCl := server.NewClientProto(l.Addr().String(), server.ProtoBinary)
+	binWin, err := binCl.WindowQuery(win)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("binary client (%s): window query agrees with JSON: %v\n",
+		binCl.Proto(), len(binWin) == len(inWin))
 
 	st, err := cl.Stats()
 	if err != nil {

@@ -25,6 +25,11 @@ import (
 
 // servingCell runs one loadgen measurement against a running server.
 func servingCell(addr string, clients, batch int, dur time.Duration) loadgen.Report {
+	return protoCell(addr, clients, batch, dur, server.ProtoJSON)
+}
+
+// protoCell is servingCell with an explicit wire protocol.
+func protoCell(addr string, clients, batch int, dur time.Duration, proto server.Proto) loadgen.Report {
 	// A dead server yields a zero report, which the table shows.
 	rep, _ := loadgen.Run(loadgen.Config{
 		Addr:       addr,
@@ -33,6 +38,7 @@ func servingCell(addr string, clients, batch int, dur time.Duration) loadgen.Rep
 		Mix:        loadgen.Mix{Window: 1},
 		BatchSize:  batch,
 		WindowFrac: 0.0001,
+		Proto:      proto,
 	})
 	return rep
 }
@@ -133,6 +139,36 @@ func init() {
 			}
 			stop()
 			shedTb.write(w)
+
+			// Wire protocols: the same window workload over JSON vs the
+			// rsmibin/1 binary encoding, per-request and batched. The gap
+			// is the serialisation cost the binary protocol removes.
+			protoTb := newTable(fmt.Sprintf(
+				"Wire protocol: JSON vs rsmibin/1 (window queries, c=4, %s n=%d)",
+				cfg.Dist, cfg.N),
+				"protocol", "ops/s", "p50 (µs)", "p95 (µs)")
+			addr, stop, err = startServing(eng, 64, 0, 1024)
+			if err != nil {
+				fmt.Fprintf(w, "serving: %v\n", err)
+				return
+			}
+			for _, pr := range []struct {
+				proto server.Proto
+				batch int
+			}{
+				{server.ProtoJSON, 1},
+				{server.ProtoBinary, 1},
+				{server.ProtoJSON, 32},
+				{server.ProtoBinary, 32},
+			} {
+				rep := protoCell(addr, 4, pr.batch, cell, pr.proto)
+				protoTb.add(fmt.Sprintf("%s batch=%d", pr.proto, pr.batch),
+					fmt.Sprintf("%.0f", rep.OpsPerSec),
+					fmt.Sprintf("%d", rep.P50.Microseconds()),
+					fmt.Sprintf("%d", rep.P95.Microseconds()))
+			}
+			stop()
+			protoTb.write(w)
 			fmt.Fprintf(w, "\n  (closed-loop clients over HTTP loopback; \"coalesced\" = server-side\n   micro-batching into BatchWindowQuery, \"client batch\" = /v1/batch requests)\n")
 		},
 	})

@@ -1,0 +1,208 @@
+package bench
+
+// The bench-regression CI gate: a short, fixed-configuration run of the
+// `sharded` (engine-level) and `serving` (wire-level) measurements that
+// writes machine-readable metrics and compares them against a committed
+// baseline. The gate exists so the serving-path speed this repository
+// keeps buying (sharding, batching, the binary wire protocol) can never
+// be lost silently: CI fails when p50 latency or throughput regresses
+// beyond the tolerance.
+//
+// The configuration is deliberately small and fixed (10k points, short
+// cells) so the job costs seconds; the compared quantities are the ones
+// EXPERIMENTS.md tracks. Timings on shared CI runners are noisy, which
+// is why the default tolerance is a wide 25% and why the baseline is
+// committed (BENCH_BASELINE.json) rather than derived per run —
+// regenerate it with `rsmi-bench -regress BENCH_BASELINE.json` on the
+// reference host when a PR legitimately shifts the numbers.
+//
+// RSMI_BENCH_SLOWDOWN (a Go duration, e.g. "300µs") injects that much
+// artificial delay into every engine batch call. It exists to prove the
+// gate trips: run the gate once with a ~p50-sized delay and it must
+// fail. CI never sets it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"rsmi/internal/dataset"
+	"rsmi/internal/geom"
+	"rsmi/internal/loadgen"
+	"rsmi/internal/server"
+	"rsmi/internal/shard"
+	"rsmi/internal/workload"
+)
+
+// Metrics is the machine-readable outcome of one regression run.
+// Throughputs regress downward, latencies upward; Compare knows which
+// is which by field.
+type Metrics struct {
+	SchemaVersion int `json:"schema_version"`
+	// ShardedWindowKQPS is engine-level batched window throughput (no
+	// HTTP): the `sharded` experiment's headline quantity.
+	ShardedWindowKQPS float64 `json:"sharded_window_kqps"`
+	// Serving measurements: closed-loop window queries over loopback
+	// HTTP at batch=32, per wire protocol.
+	ServingJSONOpsPerSec   float64 `json:"serving_json_ops_per_sec"`
+	ServingJSONP50Us       float64 `json:"serving_json_p50_us"`
+	ServingBinaryOpsPerSec float64 `json:"serving_binary_ops_per_sec"`
+	ServingBinaryP50Us     float64 `json:"serving_binary_p50_us"`
+}
+
+// metricsSchemaVersion guards baseline/current comparability.
+const metricsSchemaVersion = 1
+
+// slowEngine injects a fixed delay into every batch call — the test
+// hook that demonstrates the regression gate trips (see file comment).
+type slowEngine struct {
+	server.Engine
+	delay time.Duration
+}
+
+func (e slowEngine) BatchPointQuery(qs []geom.Point) []bool {
+	time.Sleep(e.delay)
+	return e.Engine.BatchPointQuery(qs)
+}
+
+func (e slowEngine) BatchWindowQuery(qs []geom.Rect) [][]geom.Point {
+	time.Sleep(e.delay)
+	return e.Engine.BatchWindowQuery(qs)
+}
+
+func (e slowEngine) BatchKNN(qs []shard.KNNQuery) [][]geom.Point {
+	time.Sleep(e.delay)
+	return e.Engine.BatchKNN(qs)
+}
+
+// RunRegression executes the gate's fixed measurement plan and logs
+// progress to w. The configuration is intentionally NOT taken from
+// Config: comparability against the committed baseline requires every
+// run to measure the same thing.
+func RunRegression(w io.Writer) (Metrics, error) {
+	const (
+		n       = 10000
+		shards  = 4
+		queries = 64
+		cell    = 500 * time.Millisecond
+	)
+	var slowdown time.Duration
+	if s := os.Getenv("RSMI_BENCH_SLOWDOWN"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("bad RSMI_BENCH_SLOWDOWN %q: %w", s, err)
+		}
+		slowdown = d
+		fmt.Fprintf(w, "  !! injecting %v per engine batch call (RSMI_BENCH_SLOWDOWN)\n", d)
+	}
+
+	m := Metrics{SchemaVersion: metricsSchemaVersion}
+	pts := dataset.Generate(dataset.Skewed, n, 1)
+	opts := Config{}.Defaults().rsmiOptions()
+	opts.Epochs = 10
+	opts.PartitionThreshold = 0 // auto per-shard threshold
+	eng := shard.New(pts, shard.Options{Shards: shards, Index: opts})
+
+	// Sharded: engine-level batched window throughput.
+	wins := workload.Windows(pts, queries, 0.0001, 1, 2)
+	var ops int
+	start := time.Now()
+	for time.Since(start) < cell {
+		if slowdown > 0 {
+			time.Sleep(slowdown)
+		}
+		eng.BatchWindowQuery(wins)
+		ops += len(wins)
+	}
+	m.ShardedWindowKQPS = float64(ops) / time.Since(start).Seconds() / 1e3
+	fmt.Fprintf(w, "  sharded: %.1f kqps (batched windows, S=%d, n=%d)\n",
+		m.ShardedWindowKQPS, shards, n)
+
+	// Serving: the wire path, both protocols, batch=32.
+	var serveEng server.Engine = eng
+	if slowdown > 0 {
+		serveEng = slowEngine{Engine: eng, delay: slowdown}
+	}
+	addr, stop, err := startServing(serveEng, 64, 0, 1024)
+	if err != nil {
+		return Metrics{}, err
+	}
+	defer stop()
+	for _, proto := range []server.Proto{server.ProtoJSON, server.ProtoBinary} {
+		rep, err := loadgen.Run(loadgen.Config{
+			Addr:       addr,
+			Clients:    4,
+			Duration:   cell,
+			Mix:        loadgen.Mix{Window: 1},
+			BatchSize:  32,
+			WindowFrac: 0.0001,
+			Proto:      proto,
+		})
+		if err != nil {
+			return Metrics{}, fmt.Errorf("serving (%s): %w", proto, err)
+		}
+		p50 := float64(rep.P50.Microseconds())
+		fmt.Fprintf(w, "  serving %s: %.0f ops/s, p50 %v\n", proto, rep.OpsPerSec, rep.P50)
+		if proto == server.ProtoJSON {
+			m.ServingJSONOpsPerSec, m.ServingJSONP50Us = rep.OpsPerSec, p50
+		} else {
+			m.ServingBinaryOpsPerSec, m.ServingBinaryP50Us = rep.OpsPerSec, p50
+		}
+	}
+	return m, nil
+}
+
+// Compare reports every metric that regressed beyond tol (0.25 = 25%)
+// relative to the baseline: throughputs falling, latencies rising.
+// Improvements never fail the gate.
+func Compare(baseline, current Metrics, tol float64) []string {
+	if baseline.SchemaVersion != current.SchemaVersion {
+		return []string{fmt.Sprintf("metrics schema %d does not match baseline schema %d; regenerate the baseline",
+			current.SchemaVersion, baseline.SchemaVersion)}
+	}
+	var regressions []string
+	higher := func(name string, base, cur float64) {
+		if base > 0 && cur < base*(1-tol) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1f is %.0f%% below baseline %.1f (tolerance %.0f%%)",
+					name, cur, 100*(1-cur/base), base, 100*tol))
+		}
+	}
+	lower := func(name string, base, cur float64) {
+		if base > 0 && cur > base*(1+tol) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1f is %.0f%% above baseline %.1f (tolerance %.0f%%)",
+					name, cur, 100*(cur/base-1), base, 100*tol))
+		}
+	}
+	higher("sharded_window_kqps", baseline.ShardedWindowKQPS, current.ShardedWindowKQPS)
+	higher("serving_json_ops_per_sec", baseline.ServingJSONOpsPerSec, current.ServingJSONOpsPerSec)
+	lower("serving_json_p50_us", baseline.ServingJSONP50Us, current.ServingJSONP50Us)
+	higher("serving_binary_ops_per_sec", baseline.ServingBinaryOpsPerSec, current.ServingBinaryOpsPerSec)
+	lower("serving_binary_p50_us", baseline.ServingBinaryP50Us, current.ServingBinaryP50Us)
+	return regressions
+}
+
+// WriteMetrics writes metrics as indented JSON to path.
+func WriteMetrics(path string, m Metrics) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadMetrics reads a metrics JSON file.
+func ReadMetrics(path string) (Metrics, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Metrics{}, err
+	}
+	var m Metrics
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Metrics{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}

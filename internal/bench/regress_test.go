@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// base returns a healthy baseline for comparison tests.
+func base() Metrics {
+	return Metrics{
+		SchemaVersion:          metricsSchemaVersion,
+		ShardedWindowKQPS:      100,
+		ServingJSONOpsPerSec:   50000,
+		ServingJSONP50Us:       2000,
+		ServingBinaryOpsPerSec: 150000,
+		ServingBinaryP50Us:     700,
+	}
+}
+
+// TestCompareDirections pins the gate semantics: throughput regresses
+// downward, latency upward, improvements never fail, and the tolerance
+// is a strict boundary.
+func TestCompareDirections(t *testing.T) {
+	b := base()
+	if regs := Compare(b, b, 0.25); len(regs) != 0 {
+		t.Fatalf("identical metrics flagged: %v", regs)
+	}
+
+	// 2× slowdown everywhere: every metric must trip.
+	slow := Metrics{
+		SchemaVersion:          metricsSchemaVersion,
+		ShardedWindowKQPS:      b.ShardedWindowKQPS / 2,
+		ServingJSONOpsPerSec:   b.ServingJSONOpsPerSec / 2,
+		ServingJSONP50Us:       b.ServingJSONP50Us * 2,
+		ServingBinaryOpsPerSec: b.ServingBinaryOpsPerSec / 2,
+		ServingBinaryP50Us:     b.ServingBinaryP50Us * 2,
+	}
+	if regs := Compare(b, slow, 0.25); len(regs) != 5 {
+		t.Fatalf("2x slowdown tripped %d metrics, want 5: %v", len(regs), regs)
+	}
+
+	// Improvements (faster, cheaper) never fail.
+	fast := Metrics{
+		SchemaVersion:          metricsSchemaVersion,
+		ShardedWindowKQPS:      b.ShardedWindowKQPS * 3,
+		ServingJSONOpsPerSec:   b.ServingJSONOpsPerSec * 3,
+		ServingJSONP50Us:       b.ServingJSONP50Us / 3,
+		ServingBinaryOpsPerSec: b.ServingBinaryOpsPerSec * 3,
+		ServingBinaryP50Us:     b.ServingBinaryP50Us / 3,
+	}
+	if regs := Compare(b, fast, 0.25); len(regs) != 0 {
+		t.Fatalf("improvements flagged: %v", regs)
+	}
+
+	// Inside tolerance passes, outside fails.
+	within := b
+	within.ServingBinaryP50Us = b.ServingBinaryP50Us * 1.2
+	if regs := Compare(b, within, 0.25); len(regs) != 0 {
+		t.Fatalf("20%% drift inside 25%% tolerance flagged: %v", regs)
+	}
+	outside := b
+	outside.ServingBinaryP50Us = b.ServingBinaryP50Us * 1.3
+	regs := Compare(b, outside, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "serving_binary_p50_us") {
+		t.Fatalf("30%% latency drift: %v", regs)
+	}
+
+	// Schema mismatch is its own loud failure.
+	other := b
+	other.SchemaVersion = metricsSchemaVersion + 1
+	if regs := Compare(b, other, 0.25); len(regs) != 1 || !strings.Contains(regs[0], "schema") {
+		t.Fatalf("schema mismatch: %v", regs)
+	}
+}
+
+// TestMetricsRoundTrip checks the JSON file format the CI job exchanges.
+func TestMetricsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	want := base()
+	if err := WriteMetrics(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMetrics(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round-trip: %+v != %+v", got, want)
+	}
+	if _, err := ReadMetrics(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("reading absent baseline succeeded")
+	}
+}

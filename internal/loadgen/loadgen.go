@@ -1,12 +1,23 @@
 // Package loadgen drives a serving endpoint (internal/server) with
-// closed-loop clients and reports throughput, status mix, and latency
-// percentiles. It backs cmd/rsmi-loadgen, the `serving` bench experiment,
-// and the CI smoke job.
+// closed-loop or open-loop clients and reports throughput, status mix,
+// and latency percentiles. It backs cmd/rsmi-loadgen, the `serving`
+// bench experiment, and the CI smoke jobs, speaking either wire protocol
+// (JSON or rsmibin/1, Config.Proto).
 //
-// Closed-loop means each client goroutine issues one request, waits for
-// the answer, and immediately issues the next: offered load rises with
-// the client count, and when the server sheds (429) the client simply
-// continues — the shed rate is part of the report.
+// Closed-loop (the default) means each client goroutine issues one
+// request, waits for the answer, and immediately issues the next:
+// offered load rises with the client count, and when the server sheds
+// (429) the client simply continues — the shed rate is part of the
+// report.
+//
+// Open-loop (Config.Rate > 0) issues requests on a fixed arrival
+// schedule regardless of completions, the way real traffic arrives.
+// Latency is measured from each request's *scheduled* arrival time, so
+// queueing delay when the server falls behind is charged to the server
+// (no coordinated omission). Open-loop load is what makes the server's
+// batch-window knob measurable: closed-loop clients all block on their
+// own requests, so a waiting batch window only ever sees its own
+// submitter (EXPERIMENTS.md "Serving" shows both).
 package loadgen
 
 import (
@@ -105,6 +116,13 @@ type Config struct {
 	BatchSize int
 	// Seed drives query generation (default 1).
 	Seed int64
+	// Proto selects the wire protocol (default server.ProtoJSON).
+	Proto server.Proto
+	// Rate > 0 switches to open-loop mode: requests arrive at this many
+	// requests per second on a fixed schedule, spread across the client
+	// goroutines, regardless of completions (each request still carries
+	// BatchSize operations). 0 is closed-loop.
+	Rate float64
 }
 
 func (c Config) withDefaults() Config {
@@ -129,15 +147,23 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Proto == "" {
+		c.Proto = server.ProtoJSON
+	}
 	return c
 }
 
 // Report is the outcome of a run. Latencies are per HTTP request (a
-// batched request's latency covers its whole batch).
+// batched request's latency covers its whole batch; an open-loop
+// request's latency starts at its scheduled arrival, queueing included).
 type Report struct {
 	Clients   int
 	BatchSize int
-	Elapsed   time.Duration
+	Proto     server.Proto
+	// OfferedRate is the open-loop arrival rate in requests/s (0 for
+	// closed-loop runs).
+	OfferedRate float64
+	Elapsed     time.Duration
 	// Requests counts HTTP round-trips; Ops counts operations (equal
 	// unless batching).
 	Requests int64
@@ -172,12 +198,16 @@ func (r Report) ShedRate() float64 {
 
 // String renders the report for humans.
 func (r Report) String() string {
+	mode := ""
+	if r.OfferedRate > 0 {
+		mode = fmt.Sprintf(" open-loop rate=%.0f/s", r.OfferedRate)
+	}
 	return fmt.Sprintf(
-		"clients=%d batch=%d elapsed=%v\n"+
+		"clients=%d batch=%d proto=%s%s elapsed=%v\n"+
 			"  requests %d (%.1f req/s), ops %d (%.1f ops/s)\n"+
 			"  status: 2xx %d (%.2f%%), 429 %d (%.2f%%), errors %d\n"+
 			"  latency: p50 %v  p95 %v  p99 %v  max %v",
-		r.Clients, r.BatchSize, r.Elapsed.Round(time.Millisecond),
+		r.Clients, r.BatchSize, r.Proto, mode, r.Elapsed.Round(time.Millisecond),
 		r.Requests, float64(r.Requests)/r.Elapsed.Seconds(),
 		r.Ops, r.OpsPerSec,
 		r.OK, 100*r.OKRate(), r.Shed, 100*r.ShedRate(), r.Errors,
@@ -196,16 +226,29 @@ type clientStats struct {
 // all (server down); partial failures are reported in the Report.
 func Run(cfg Config) (Report, error) {
 	cfg = cfg.withDefaults()
-	cl := server.NewClient(cfg.Addr)
+	// Bound the open-loop rate so the per-arrival interval neither
+	// truncates to zero (rate too high: every scheduled arrival pins at
+	// the start time and the schedule never passes the deadline) nor
+	// overflows time.Duration (rate too low: the int64 conversion goes
+	// negative, same symptom). 1e-3..1e6 req/s covers every real run.
+	if cfg.Rate != 0 && (math.IsNaN(cfg.Rate) || cfg.Rate < 1e-3 || cfg.Rate > 1e6) {
+		return Report{}, fmt.Errorf("loadgen: rate %v out of range (want 0 or 1e-3..1e6 req/s)", cfg.Rate)
+	}
+	cl := server.NewClientProto(cfg.Addr, cfg.Proto)
 	stats := make([]clientStats, cfg.Clients)
-	deadline := time.Now().Add(cfg.Duration)
 	start := time.Now()
+	deadline := start.Add(cfg.Duration)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Clients; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			runClient(cl, cfg, rand.New(rand.NewSource(cfg.Seed+int64(w)*7919)), deadline, &stats[w])
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			if cfg.Rate > 0 {
+				runOpenClient(cl, cfg, rng, w, start, deadline, &stats[w])
+			} else {
+				runClient(cl, cfg, rng, deadline, &stats[w])
+			}
 		}(w)
 	}
 	wg.Wait()
@@ -214,6 +257,8 @@ func Run(cfg Config) (Report, error) {
 	var rep Report
 	rep.Clients = cfg.Clients
 	rep.BatchSize = cfg.BatchSize
+	rep.Proto = cfg.Proto
+	rep.OfferedRate = cfg.Rate
 	rep.Elapsed = elapsed
 	var all []time.Duration
 	for i := range stats {
@@ -245,41 +290,72 @@ func Run(cfg Config) (Report, error) {
 	return rep, nil
 }
 
+// issueOne sends one request (a whole batch when configured) and
+// returns how many operations it carried.
+func issueOne(cl *server.Client, cfg Config, rng *rand.Rand, w float64) (int, error) {
+	if cfg.BatchSize > 1 {
+		ops := make([]server.BatchOp, cfg.BatchSize)
+		for i := range ops {
+			ops[i] = randomOp(cfg, rng, w)
+		}
+		_, err := cl.Batch(ops)
+		return len(ops), err
+	}
+	return 1, sendOne(cl, randomOp(cfg, rng, w))
+}
+
+// record tallies one completed request; it reports whether the caller
+// should back off (transport error, likely a dead server).
+func (st *clientStats) record(lat time.Duration, nOps int, err error) bool {
+	st.requests++
+	if err == nil {
+		st.ok++
+		st.ops += int64(nOps)
+		st.lat = append(st.lat, lat)
+		return false
+	}
+	var se *server.StatusError
+	if errors.As(err, &se) && se.Code == http.StatusTooManyRequests {
+		st.shed++
+		return false
+	}
+	st.errs++
+	return true
+}
+
 // runClient is one closed-loop client.
 func runClient(cl *server.Client, cfg Config, rng *rand.Rand, deadline time.Time, st *clientStats) {
 	w := math.Sqrt(cfg.WindowFrac)
 	for time.Now().Before(deadline) {
-		var (
-			start = time.Now()
-			err   error
-			nOps  = 1
-		)
-		if cfg.BatchSize > 1 {
-			ops := make([]server.BatchOp, cfg.BatchSize)
-			for i := range ops {
-				ops[i] = randomOp(cfg, rng, w)
-			}
-			nOps = len(ops)
-			_, err = cl.Batch(ops)
-		} else {
-			err = sendOne(cl, randomOp(cfg, rng, w))
+		start := time.Now()
+		nOps, err := issueOne(cl, cfg, rng, w)
+		if st.record(time.Since(start), nOps, err) {
+			// Back off briefly so a dead server does not spin the CPU.
+			time.Sleep(10 * time.Millisecond)
 		}
-		lat := time.Since(start)
-		st.requests++
-		switch {
-		case err == nil:
-			st.ok++
-			st.ops += int64(nOps)
-			st.lat = append(st.lat, lat)
-		default:
-			var se *server.StatusError
-			if errors.As(err, &se) && se.Code == http.StatusTooManyRequests {
-				st.shed++
-			} else {
-				st.errs++
-				// Back off briefly so a dead server does not spin the CPU.
-				time.Sleep(10 * time.Millisecond)
-			}
+	}
+}
+
+// runOpenClient is one open-loop worker: arrival i is scheduled at
+// start + i/Rate, and worker w handles arrivals w, w+Clients, … — a
+// fixed schedule the pool executes regardless of completions. A worker
+// that falls behind issues its overdue arrivals immediately, and their
+// latency still counts from the scheduled time, so server queueing
+// (or worker starvation — raise Clients) is measured, not hidden.
+func runOpenClient(cl *server.Client, cfg Config, rng *rand.Rand, worker int, start, deadline time.Time, st *clientStats) {
+	w := math.Sqrt(cfg.WindowFrac)
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	for i := worker; ; i += cfg.Clients {
+		sched := start.Add(time.Duration(i) * interval)
+		if sched.After(deadline) {
+			return
+		}
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
+		}
+		nOps, err := issueOne(cl, cfg, rng, w)
+		if st.record(time.Since(sched), nOps, err) {
+			time.Sleep(10 * time.Millisecond)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"context"
+	"math"
 	"net"
 	"testing"
 	"time"
@@ -80,6 +81,105 @@ func TestRunAgainstServer(t *testing.T) {
 		if rep.P50 == 0 || rep.P99 < rep.P50 || rep.Max < rep.P99 {
 			t.Fatalf("batch=%d percentiles: %+v", batch, rep)
 		}
+	}
+}
+
+// TestRunBinaryProto drives the same server over rsmibin/1, single-op
+// and batched, and checks the run is clean — the protocol switch must
+// not change loadgen semantics.
+func TestRunBinaryProto(t *testing.T) {
+	addr, cleanup := startLoadgenServer(t)
+	defer cleanup()
+	for _, batch := range []int{1, 8} {
+		rep, err := Run(Config{
+			Addr:      addr,
+			Clients:   3,
+			Duration:  300 * time.Millisecond,
+			BatchSize: batch,
+			Proto:     server.ProtoBinary,
+		})
+		if err != nil {
+			t.Fatalf("Run(binary, batch=%d): %v", batch, err)
+		}
+		if rep.Proto != server.ProtoBinary {
+			t.Fatalf("report proto = %q", rep.Proto)
+		}
+		if rep.Requests == 0 || rep.OK != rep.Requests || rep.Errors != 0 {
+			t.Fatalf("binary batch=%d report: %+v", batch, rep)
+		}
+		if rep.Ops != rep.OK*int64(batch) {
+			t.Fatalf("binary batch=%d: ops %d, want %d", batch, rep.Ops, rep.OK*int64(batch))
+		}
+	}
+}
+
+// TestRunOpenLoop checks the -rate mode: the request count tracks the
+// arrival schedule (not the client count), and the run is clean.
+func TestRunOpenLoop(t *testing.T) {
+	addr, cleanup := startLoadgenServer(t)
+	defer cleanup()
+	const rate, dur = 200.0, 500 * time.Millisecond
+	rep, err := Run(Config{
+		Addr:     addr,
+		Clients:  4,
+		Duration: dur,
+		Rate:     rate,
+		Mix:      Mix{Window: 1},
+	})
+	if err != nil {
+		t.Fatalf("Run(open-loop): %v", err)
+	}
+	if rep.OfferedRate != rate {
+		t.Fatalf("report rate = %v", rep.OfferedRate)
+	}
+	if rep.Errors != 0 || rep.OK != rep.Requests {
+		t.Fatalf("open-loop report: %+v", rep)
+	}
+	// The schedule admits ~rate*dur arrivals; allow generous slack for a
+	// loaded CI machine (workers issue overdue arrivals immediately, so
+	// only an early deadline can lose them).
+	want := rate * dur.Seconds()
+	if float64(rep.Requests) < 0.5*want || float64(rep.Requests) > 1.2*want {
+		t.Fatalf("open-loop issued %d requests, schedule says ~%.0f", rep.Requests, want)
+	}
+}
+
+// TestRunRejectsBadRate pins the open-loop rate bounds: a rate whose
+// arrival interval would truncate to zero (or is not a number at all)
+// must error out instead of looping forever.
+func TestRunRejectsBadRate(t *testing.T) {
+	for _, rate := range []float64{-1, math.Inf(1), math.NaN(), 2e9, 1e-10} {
+		if _, err := Run(Config{Addr: "127.0.0.1:1", Duration: 50 * time.Millisecond, Rate: rate}); err == nil {
+			t.Errorf("Run accepted rate %v", rate)
+		}
+	}
+}
+
+// startLoadgenServer boots an in-process server for loadgen tests.
+func startLoadgenServer(t *testing.T) (string, func()) {
+	t.Helper()
+	pts := dataset.Generate(dataset.Uniform, 2000, 71)
+	eng := shard.New(pts, shard.Options{
+		Shards: 2,
+		Index: core.Options{
+			BlockCapacity:      50,
+			PartitionThreshold: 500,
+			Epochs:             10,
+			LearningRate:       0.1,
+			Seed:               1,
+		},
+	})
+	srv := server.New(server.Config{Engine: eng, MaxBatch: 16})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	return l.Addr().String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		l.Close()
 	}
 }
 

@@ -1,0 +1,484 @@
+package server
+
+// rsmibin/1 — the length-prefixed binary wire protocol served alongside
+// JSON. At 1M points JSON encode/decode of ~100 result points per window
+// dominates per-request cost (EXPERIMENTS.md "Serving"); this encoding
+// makes the wire as cheap as the engine while JSON stays the debuggable
+// default.
+//
+// Negotiation is per-request: a body with Content-Type
+// "application/x-rsmibin" is decoded as binary, and a request whose
+// Accept header names that type is answered in binary. The two are
+// independent, so mixed pairs (JSON request, binary response) work, and
+// JSON and binary clients share one server. Errors (non-2xx) are always
+// JSON ErrorResponse, whatever the Accept header says — error paths are
+// rare and debuggability wins there.
+//
+// # Framing
+//
+// Every frame starts with a 3-byte header: magic 'R','B' plus a version
+// byte (1). Multi-byte integers are little-endian; counts and k are
+// uvarints; coordinates are fixed-width float64 bit patterns — the same
+// point encoding as the internal/dataset point files, grown a header and
+// varint lengths.
+//
+//	request  (per-op)    header, entry
+//	request  (/v1/batch) header, uvarint n, n × entry
+//	entry                op byte, payload
+//	  point|insert|delete  x f64, y f64
+//	  window               minX f64, minY f64, maxX f64, maxY f64
+//	  knn                  x f64, y f64, uvarint k
+//	response (per-op)    header, result
+//	response (/v1/batch) header, uvarint n, n × result
+//	result               tag byte, payload
+//	  bool                 1 byte (0|1)    — found / ok / deleted, by op
+//	  points               uvarint n, n × (x f64, y f64)
+//
+// # Zero-copy batch responses
+//
+// Batch answers are encoded straight from the engine's []geom.Point into
+// a pooled response buffer: no per-point wire structs, no per-result
+// slices, O(1) allocations per batch whatever the batch size (asserted
+// by TestBatchBinaryEncodeAllocs). This closes the ROADMAP "Zero-copy
+// batch responses" item for the binary path.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+
+	"rsmi/internal/geom"
+)
+
+// ContentTypeBinary is the media type that selects rsmibin/1; JSON is
+// served for everything else.
+const ContentTypeBinary = "application/x-rsmibin"
+
+// BinVersion is the rsmibin protocol version carried in every frame
+// header.
+const BinVersion = 1
+
+// binMagic starts every rsmibin frame.
+var binMagic = [2]byte{'R', 'B'}
+
+// Op bytes of request entries.
+const (
+	binOpPoint byte = iota + 1
+	binOpWindow
+	binOpKNN
+	binOpInsert
+	binOpDelete
+)
+
+// Result tags.
+const (
+	binResBool byte = iota + 1
+	binResPoints
+)
+
+// binMaxK bounds the kNN parameter on the wire; it exists so a malformed
+// uvarint cannot turn into an absurd allocation, not as an API limit.
+const binMaxK = 1 << 20
+
+// opByte maps an op name to its wire byte.
+func opByte(op string) (byte, bool) {
+	switch op {
+	case OpPoint:
+		return binOpPoint, true
+	case OpWindow:
+		return binOpWindow, true
+	case OpKNN:
+		return binOpKNN, true
+	case OpInsert:
+		return binOpInsert, true
+	case OpDelete:
+		return binOpDelete, true
+	}
+	return 0, false
+}
+
+// opName maps a wire byte back to its op name.
+func opName(b byte) (string, bool) {
+	switch b {
+	case binOpPoint:
+		return OpPoint, true
+	case binOpWindow:
+		return OpWindow, true
+	case binOpKNN:
+		return OpKNN, true
+	case binOpInsert:
+		return OpInsert, true
+	case binOpDelete:
+		return OpDelete, true
+	}
+	return "", false
+}
+
+// isBinaryRequest reports whether the request body is an rsmibin frame.
+func isBinaryRequest(r *http.Request) bool {
+	return strings.HasPrefix(r.Header.Get("Content-Type"), ContentTypeBinary)
+}
+
+// wantsBinaryResponse reports whether the client asked for an rsmibin
+// answer.
+func wantsBinaryResponse(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), ContentTypeBinary)
+}
+
+// ---- Encoding (append-style, allocation-free on a warm buffer) ----
+
+// appendBinHeader starts a frame.
+func appendBinHeader(b []byte) []byte {
+	return append(b, binMagic[0], binMagic[1], BinVersion)
+}
+
+// appendUvarint appends v as a uvarint.
+func appendUvarint(b []byte, v uint64) []byte {
+	var s [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(s[:], v)
+	return append(b, s[:n]...)
+}
+
+// appendF64 appends one coordinate as a little-endian float64 bit
+// pattern (the internal/dataset point encoding).
+func appendF64(b []byte, v float64) []byte {
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], math.Float64bits(v))
+	return append(b, s[:]...)
+}
+
+// appendOp appends one request entry.
+func appendOp(b []byte, op BatchOp) ([]byte, error) {
+	k, ok := opByte(op.Op)
+	if !ok {
+		return b, fmt.Errorf("rsmibin: unknown op %q", op.Op)
+	}
+	b = append(b, k)
+	switch k {
+	case binOpWindow:
+		b = appendF64(b, op.MinX)
+		b = appendF64(b, op.MinY)
+		b = appendF64(b, op.MaxX)
+		b = appendF64(b, op.MaxY)
+	case binOpKNN:
+		b = appendF64(b, op.X)
+		b = appendF64(b, op.Y)
+		// Clamp negative k to 0 rather than letting the uint64
+		// conversion wrap: the engine defines k <= 0 as an empty answer,
+		// and the JSON path passes it through, so the protocols must
+		// agree on the same input.
+		k := op.K
+		if k < 0 {
+			k = 0
+		}
+		b = appendUvarint(b, uint64(k))
+	default:
+		b = appendF64(b, op.X)
+		b = appendF64(b, op.Y)
+	}
+	return b, nil
+}
+
+// appendBoolResult appends a bool result.
+func appendBoolResult(b []byte, v bool) []byte {
+	b = append(b, binResBool)
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// appendPointsResult appends a points result straight from engine points
+// — no intermediate wire structs.
+func appendPointsResult(b []byte, pts []geom.Point) []byte {
+	b = append(b, binResPoints)
+	b = appendUvarint(b, uint64(len(pts)))
+	for _, p := range pts {
+		b = appendF64(b, p.X)
+		b = appendF64(b, p.Y)
+	}
+	return b
+}
+
+// batchAnswer is one executed batch operation before response encoding:
+// the engine's points are referenced, not copied, so the binary path can
+// encode them into the pooled buffer with no per-result allocation.
+type batchAnswer struct {
+	op   string
+	flag bool
+	pts  []geom.Point
+}
+
+// appendBatchAnswers encodes a whole batch response body (everything
+// after the frame header).
+func appendBatchAnswers(b []byte, answers []batchAnswer) []byte {
+	b = appendUvarint(b, uint64(len(answers)))
+	for _, a := range answers {
+		switch a.op {
+		case OpWindow, OpKNN:
+			b = appendPointsResult(b, a.pts)
+		default:
+			b = appendBoolResult(b, a.flag)
+		}
+	}
+	return b
+}
+
+// toBatchResults converts executed answers to the JSON wire shape.
+func toBatchResults(answers []batchAnswer) []BatchResult {
+	out := make([]BatchResult, len(answers))
+	for i, a := range answers {
+		switch a.op {
+		case OpPoint:
+			out[i] = BatchResult{Found: a.flag}
+		case OpInsert:
+			out[i] = BatchResult{OK: a.flag}
+		case OpDelete:
+			out[i] = BatchResult{Deleted: a.flag}
+		default:
+			out[i] = BatchResult{Count: len(a.pts), Points: toPoints(a.pts)}
+		}
+	}
+	return out
+}
+
+// binBufPool recycles response buffers so batch responses are encoded
+// with O(1) allocations regardless of batch and result sizes.
+var binBufPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// binBufPoolMax caps the capacity a buffer may keep when returned to
+// the pool: one huge batch response must not pin its memory forever.
+const binBufPoolMax = 1 << 20
+
+// writeBinary writes one rsmibin response frame: header plus whatever
+// fill appends, from a pooled buffer.
+func writeBinary(w http.ResponseWriter, fill func([]byte) []byte) {
+	bp := binBufPool.Get().(*[]byte)
+	b := fill(appendBinHeader((*bp)[:0]))
+	w.Header().Set("Content-Type", ContentTypeBinary)
+	_, _ = w.Write(b)
+	if cap(b) <= binBufPoolMax {
+		*bp = b[:0] // keep the grown capacity for the next response
+		binBufPool.Put(bp)
+	}
+}
+
+// ---- Decoding ----
+
+// errBinTruncated reports a frame shorter than its own lengths claim.
+var errBinTruncated = errors.New("rsmibin: truncated frame")
+
+// binReader is a bounds-checked cursor over one frame. Every getter
+// degrades to zero values once err is set, so decode loops stay simple
+// and malformed frames can only ever produce an error, never a panic or
+// an oversized allocation.
+type binReader struct {
+	data []byte
+	err  error
+}
+
+func (r *binReader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *binReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.data) {
+		r.fail(errBinTruncated)
+		return nil
+	}
+	b := r.data[:n]
+	r.data = r.data[n:]
+	return b
+}
+
+func (r *binReader) byte() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *binReader) f64() float64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func (r *binReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.fail(errors.New("rsmibin: bad uvarint"))
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+// header consumes and validates the frame header.
+func (r *binReader) header() {
+	b := r.take(3)
+	if b == nil {
+		return
+	}
+	if b[0] != binMagic[0] || b[1] != binMagic[1] {
+		r.fail(errors.New("rsmibin: bad magic"))
+		return
+	}
+	if b[2] != BinVersion {
+		r.fail(fmt.Errorf("rsmibin: unsupported version %d", b[2]))
+	}
+}
+
+// entry decodes one request entry.
+func (r *binReader) entry() BatchOp {
+	kind := r.byte()
+	if r.err != nil {
+		return BatchOp{}
+	}
+	name, ok := opName(kind)
+	if !ok {
+		r.fail(fmt.Errorf("rsmibin: unknown op byte 0x%02x", kind))
+		return BatchOp{}
+	}
+	op := BatchOp{Op: name}
+	switch kind {
+	case binOpWindow:
+		op.MinX, op.MinY = r.f64(), r.f64()
+		op.MaxX, op.MaxY = r.f64(), r.f64()
+	case binOpKNN:
+		op.X, op.Y = r.f64(), r.f64()
+		k := r.uvarint()
+		if k > binMaxK {
+			r.fail(fmt.Errorf("rsmibin: k %d exceeds %d", k, binMaxK))
+			return BatchOp{}
+		}
+		op.K = int(k)
+	default:
+		op.X, op.Y = r.f64(), r.f64()
+	}
+	return op
+}
+
+// binMinEntryBytes is the smallest possible entry (op byte + one point),
+// used to reject counts a frame cannot possibly hold before allocating.
+const binMinEntryBytes = 17
+
+// decodeBinaryOps parses a request frame: exactly one entry for the
+// per-op endpoints (single), a counted list for /v1/batch.
+func decodeBinaryOps(data []byte, single bool) ([]BatchOp, error) {
+	r := &binReader{data: data}
+	r.header()
+	n := uint64(1)
+	if !single {
+		n = r.uvarint()
+		if r.err == nil && n > uint64(maxBatchOps) {
+			return nil, fmt.Errorf("rsmibin: batch exceeds %d ops", maxBatchOps)
+		}
+		if r.err == nil && n*binMinEntryBytes > uint64(len(r.data)) {
+			return nil, errBinTruncated
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	ops := make([]BatchOp, 0, n)
+	for i := uint64(0); i < n; i++ {
+		op := r.entry()
+		if r.err != nil {
+			return nil, r.err
+		}
+		ops = append(ops, op)
+	}
+	if len(r.data) != 0 {
+		return nil, errors.New("rsmibin: trailing bytes after frame")
+	}
+	return ops, nil
+}
+
+// binResult is one decoded response result.
+type binResult struct {
+	tag  byte
+	flag bool
+	pts  []geom.Point
+}
+
+// result decodes one response result.
+func (r *binReader) result() binResult {
+	tag := r.byte()
+	if r.err != nil {
+		return binResult{}
+	}
+	switch tag {
+	case binResBool:
+		return binResult{tag: tag, flag: r.byte() != 0}
+	case binResPoints:
+		n := r.uvarint()
+		// Divide, don't multiply: n*16 could wrap uint64 and slip past
+		// the bound into a makeslice panic.
+		if r.err == nil && n > uint64(len(r.data))/16 {
+			r.fail(errBinTruncated)
+		}
+		if r.err != nil {
+			return binResult{}
+		}
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Pt(r.f64(), r.f64())
+		}
+		return binResult{tag: tag, pts: pts}
+	default:
+		r.fail(fmt.Errorf("rsmibin: unknown result tag 0x%02x", tag))
+		return binResult{}
+	}
+}
+
+// decodeBinaryResults parses a response frame: one result for the per-op
+// endpoints (single), a counted list for /v1/batch.
+func decodeBinaryResults(data []byte, single bool) ([]binResult, error) {
+	r := &binReader{data: data}
+	r.header()
+	n := uint64(1)
+	if !single {
+		n = r.uvarint()
+		// Each result is at least 2 bytes (tag + bool, or tag + 0-count);
+		// divide rather than multiply so huge counts cannot wrap uint64.
+		if r.err == nil && n > uint64(len(r.data))/2 {
+			return nil, errBinTruncated
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	out := make([]binResult, 0, n)
+	for i := uint64(0); i < n; i++ {
+		res := r.result()
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, res)
+	}
+	if len(r.data) != 0 {
+		return nil, errors.New("rsmibin: trailing bytes after frame")
+	}
+	return out, nil
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,22 +13,56 @@ import (
 	"rsmi/internal/geom"
 )
 
+// Proto selects the wire protocol a Client speaks for data-plane
+// operations (queries, writes, batches). Control-plane calls (stats,
+// rebuild, health) are always JSON.
+type Proto string
+
+const (
+	// ProtoJSON is the debuggable default: JSON bodies both ways.
+	ProtoJSON Proto = "json"
+	// ProtoBinary speaks rsmibin/1 both ways (see binproto.go).
+	ProtoBinary Proto = "binary"
+)
+
+// ParseProto parses a -proto flag value.
+func ParseProto(s string) (Proto, error) {
+	switch Proto(s) {
+	case ProtoJSON, ProtoBinary:
+		return Proto(s), nil
+	}
+	return "", fmt.Errorf("unknown protocol %q (want json|binary)", s)
+}
+
 // Client is a Go client for the serving API, used by cmd/rsmi-loadgen,
 // the bench harness, and the examples. It is safe for concurrent use; one
 // Client pools keep-alive connections across all its callers.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	proto Proto
 }
 
-// NewClient returns a client for the server at addr ("host:port" or a
-// full http:// URL).
+// NewClient returns a JSON client for the server at addr ("host:port" or
+// a full http:// URL).
 func NewClient(addr string) *Client {
+	return NewClientProto(addr, ProtoJSON)
+}
+
+// NewClientProto returns a client speaking the given wire protocol.
+// Anything other than ProtoBinary (including the zero value) normalises
+// to ProtoJSON, so Proto() always reports what the client actually
+// speaks.
+func NewClientProto(addr string, proto Proto) *Client {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
+	if proto != ProtoBinary {
+		proto = ProtoJSON
+	}
 	return &Client{
-		base: strings.TrimRight(addr, "/"),
+		base:  strings.TrimRight(addr, "/"),
+		proto: proto,
 		hc: &http.Client{
 			Timeout: 30 * time.Second,
 			Transport: &http.Transport{
@@ -40,6 +75,9 @@ func NewClient(addr string) *Client {
 		},
 	}
 }
+
+// Proto reports the client's data-plane wire protocol.
+func (c *Client) Proto() Proto { return c.proto }
 
 // StatusError reports a non-2xx response. Callers distinguishing shed
 // load check Code == http.StatusTooManyRequests.
@@ -100,9 +138,83 @@ func fromPoints(pts []PointJSON) []geom.Point {
 	return out
 }
 
+// errBinResultKind reports a response whose result kind does not match
+// the op that was sent.
+var errBinResultKind = errors.New("client: rsmibin result kind does not match op")
+
+// postBinary sends one rsmibin request frame and decodes the response
+// frame (single selects the per-op response shape). Non-2xx answers are
+// JSON in either protocol and surface as *StatusError.
+func (c *Client) postBinary(path string, frame []byte, single bool) ([]binResult, error) {
+	req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(frame))
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Content-Type", ContentTypeBinary)
+	req.Header.Set("Accept", ContentTypeBinary)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, &StatusError{Code: resp.StatusCode, Msg: e.Error}
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: read response: %w", err)
+	}
+	return decodeBinaryResults(body, single)
+}
+
+// binSingle executes one data-plane op over rsmibin.
+func (c *Client) binSingle(path string, op BatchOp) (binResult, error) {
+	b, err := appendOp(appendBinHeader(make([]byte, 0, 64)), op)
+	if err != nil {
+		return binResult{}, err
+	}
+	rs, err := c.postBinary(path, b, true)
+	if err != nil {
+		return binResult{}, err
+	}
+	return rs[0], nil
+}
+
+// binBool executes a bool-valued op over rsmibin.
+func (c *Client) binBool(path string, op BatchOp) (bool, error) {
+	res, err := c.binSingle(path, op)
+	if err != nil {
+		return false, err
+	}
+	if res.tag != binResBool {
+		return false, errBinResultKind
+	}
+	return res.flag, nil
+}
+
+// binPoints executes a points-valued op over rsmibin.
+func (c *Client) binPoints(path string, op BatchOp) ([]geom.Point, error) {
+	res, err := c.binSingle(path, op)
+	if err != nil {
+		return nil, err
+	}
+	if res.tag != binResPoints {
+		return nil, errBinResultKind
+	}
+	return res.pts, nil
+}
+
 // PointQuery reports whether a point with exactly p's coordinates is
 // indexed.
 func (c *Client) PointQuery(p geom.Point) (bool, error) {
+	if c.proto == ProtoBinary {
+		return c.binBool("/v1/point", BatchOp{Op: OpPoint, X: p.X, Y: p.Y})
+	}
 	var resp FoundResponse
 	err := c.post("/v1/point", PointJSON{X: p.X, Y: p.Y}, &resp)
 	return resp.Found, err
@@ -110,6 +222,9 @@ func (c *Client) PointQuery(p geom.Point) (bool, error) {
 
 // WindowQuery returns the indexed points inside the window.
 func (c *Client) WindowQuery(q geom.Rect) ([]geom.Point, error) {
+	if c.proto == ProtoBinary {
+		return c.binPoints("/v1/window", BatchOp{Op: OpWindow, MinX: q.MinX, MinY: q.MinY, MaxX: q.MaxX, MaxY: q.MaxY})
+	}
 	var resp PointsResponse
 	err := c.post("/v1/window", RectJSON{MinX: q.MinX, MinY: q.MinY, MaxX: q.MaxX, MaxY: q.MaxY}, &resp)
 	return fromPoints(resp.Points), err
@@ -117,6 +232,9 @@ func (c *Client) WindowQuery(q geom.Rect) ([]geom.Point, error) {
 
 // KNN returns up to k nearest neighbours of q, closest first.
 func (c *Client) KNN(q geom.Point, k int) ([]geom.Point, error) {
+	if c.proto == ProtoBinary {
+		return c.binPoints("/v1/knn", BatchOp{Op: OpKNN, X: q.X, Y: q.Y, K: k})
+	}
 	var resp PointsResponse
 	err := c.post("/v1/knn", KNNJSON{X: q.X, Y: q.Y, K: k}, &resp)
 	return fromPoints(resp.Points), err
@@ -124,12 +242,19 @@ func (c *Client) KNN(q geom.Point, k int) ([]geom.Point, error) {
 
 // Insert adds a point.
 func (c *Client) Insert(p geom.Point) error {
+	if c.proto == ProtoBinary {
+		_, err := c.binBool("/v1/insert", BatchOp{Op: OpInsert, X: p.X, Y: p.Y})
+		return err
+	}
 	return c.post("/v1/insert", PointJSON{X: p.X, Y: p.Y}, nil)
 }
 
 // Delete removes the point with exactly p's coordinates, reporting
 // whether it existed.
 func (c *Client) Delete(p geom.Point) (bool, error) {
+	if c.proto == ProtoBinary {
+		return c.binBool("/v1/delete", BatchOp{Op: OpDelete, X: p.X, Y: p.Y})
+	}
 	var resp DeletedResponse
 	err := c.post("/v1/delete", PointJSON{X: p.X, Y: p.Y}, &resp)
 	return resp.Deleted, err
@@ -138,9 +263,55 @@ func (c *Client) Delete(p geom.Point) (bool, error) {
 // Batch executes a heterogeneous operation list in one round-trip and
 // returns the per-op results in request order.
 func (c *Client) Batch(ops []BatchOp) ([]BatchResult, error) {
+	if c.proto == ProtoBinary {
+		return c.binBatch(ops)
+	}
 	var resp BatchResponse
 	err := c.post("/v1/batch", BatchRequest{Ops: ops}, &resp)
 	return resp.Results, err
+}
+
+// binBatch executes a batch over rsmibin, mapping results back to the
+// JSON result shape so both protocols share one client API.
+func (c *Client) binBatch(ops []BatchOp) ([]BatchResult, error) {
+	b := appendBinHeader(make([]byte, 0, 16+24*len(ops)))
+	b = appendUvarint(b, uint64(len(ops)))
+	var err error
+	for _, op := range ops {
+		if b, err = appendOp(b, op); err != nil {
+			return nil, err
+		}
+	}
+	rs, err := c.postBinary("/v1/batch", b, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) != len(ops) {
+		return nil, fmt.Errorf("client: batch returned %d results for %d ops", len(rs), len(ops))
+	}
+	out := make([]BatchResult, len(rs))
+	for i, r := range rs {
+		switch ops[i].Op {
+		case OpPoint, OpInsert, OpDelete:
+			if r.tag != binResBool {
+				return nil, errBinResultKind
+			}
+			switch ops[i].Op {
+			case OpPoint:
+				out[i] = BatchResult{Found: r.flag}
+			case OpInsert:
+				out[i] = BatchResult{OK: r.flag}
+			default:
+				out[i] = BatchResult{Deleted: r.flag}
+			}
+		default:
+			if r.tag != binResPoints {
+				return nil, errBinResultKind
+			}
+			out[i] = BatchResult{Count: len(r.pts), Points: toPoints(r.pts)}
+		}
+	}
+	return out, nil
 }
 
 // Rebuild triggers a rolling rebuild; it returns a *StatusError with code

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"time"
@@ -52,6 +53,67 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}, limit int
 		return false
 	}
 	return true
+}
+
+// decodeOps decodes a request body in either wire protocol into op
+// structs: exactly one op (whose kind must match wantOp) for the per-op
+// endpoints, a list for /v1/batch (wantOp empty). Error responses are
+// always JSON, whatever the request encoding.
+func decodeOps(w http.ResponseWriter, r *http.Request, wantOp string, limit int64) ([]BatchOp, bool) {
+	single := wantOp != ""
+	if isBinaryRequest(r) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST required")
+			return nil, false
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return nil, false
+		}
+		ops, err := decodeBinaryOps(body, single)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return nil, false
+		}
+		if single && ops[0].Op != wantOp {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("rsmibin: op %q sent to the %s endpoint", ops[0].Op, wantOp))
+			return nil, false
+		}
+		return ops, true
+	}
+	if single {
+		// JSON per-op bodies keep their historical shapes (PointJSON,
+		// RectJSON, KNNJSON); fold them into the shared op struct.
+		op := BatchOp{Op: wantOp}
+		switch wantOp {
+		case OpWindow:
+			var req RectJSON
+			if !decodeBody(w, r, &req, limit) {
+				return nil, false
+			}
+			op.MinX, op.MinY, op.MaxX, op.MaxY = req.MinX, req.MinY, req.MaxX, req.MaxY
+		case OpKNN:
+			var req KNNJSON
+			if !decodeBody(w, r, &req, limit) {
+				return nil, false
+			}
+			op.X, op.Y, op.K = req.X, req.Y, req.K
+		default:
+			var req PointJSON
+			if !decodeBody(w, r, &req, limit) {
+				return nil, false
+			}
+			op.X, op.Y = req.X, req.Y
+		}
+		return []BatchOp{op}, true
+	}
+	var req BatchRequest
+	if !decodeBody(w, r, &req, limit) {
+		return nil, false
+	}
+	return req.Ops, true
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -103,6 +165,28 @@ func toPoints(pts []geom.Point) []PointJSON {
 	return out
 }
 
+// respondBool answers a bool-valued op in the negotiated encoding;
+// jsonBody carries the op's historical JSON shape (FoundResponse,
+// OKResponse, DeletedResponse).
+func respondBool(w http.ResponseWriter, r *http.Request, jsonBody interface{}, v bool) {
+	if wantsBinaryResponse(r) {
+		writeBinary(w, func(b []byte) []byte { return appendBoolResult(b, v) })
+		return
+	}
+	writeJSON(w, jsonBody)
+}
+
+// respondPoints answers a points-valued op in the negotiated encoding.
+// The binary path encodes the engine's points directly into the pooled
+// frame buffer; the JSON path copies them into wire structs.
+func respondPoints(w http.ResponseWriter, r *http.Request, pts []geom.Point) {
+	if wantsBinaryResponse(r) {
+		writeBinary(w, func(b []byte) []byte { return appendPointsResult(b, pts) })
+		return
+	}
+	writeJSON(w, PointsResponse{Count: len(pts), Points: toPoints(pts)})
+}
+
 // queryPoint routes a point probe through the coalescer when enabled.
 func (s *Server) queryPoint(p geom.Point) bool {
 	if s.coPoint != nil {
@@ -131,18 +215,19 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	var req PointJSON
-	if !decodeBody(w, r, &req, maxBodyBytes) {
+	ops, ok := decodeOps(w, r, OpPoint, maxBodyBytes)
+	if !ok {
 		return
 	}
-	if err := finite(req.X, req.Y); err != nil {
+	op := ops[0]
+	if err := finite(op.X, op.Y); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	start := time.Now()
-	found := s.queryPoint(geom.Pt(req.X, req.Y))
+	found := s.queryPoint(geom.Pt(op.X, op.Y))
 	s.histPoint.observe(time.Since(start))
-	writeJSON(w, FoundResponse{Found: found})
+	respondBool(w, r, FoundResponse{Found: found}, found)
 }
 
 func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
@@ -151,11 +236,12 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	var req RectJSON
-	if !decodeBody(w, r, &req, maxBodyBytes) {
+	ops, ok := decodeOps(w, r, OpWindow, maxBodyBytes)
+	if !ok {
 		return
 	}
-	q, err := toRect(req)
+	op := ops[0]
+	q, err := toRect(RectJSON{MinX: op.MinX, MinY: op.MinY, MaxX: op.MaxX, MaxY: op.MaxY})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -163,7 +249,7 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	pts := s.queryWindow(q)
 	s.histWindow.observe(time.Since(start))
-	writeJSON(w, PointsResponse{Count: len(pts), Points: toPoints(pts)})
+	respondPoints(w, r, pts)
 }
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
@@ -172,18 +258,19 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	var req KNNJSON
-	if !decodeBody(w, r, &req, maxBodyBytes) {
+	ops, ok := decodeOps(w, r, OpKNN, maxBodyBytes)
+	if !ok {
 		return
 	}
-	if err := finite(req.X, req.Y); err != nil {
+	op := ops[0]
+	if err := finite(op.X, op.Y); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	start := time.Now()
-	pts := s.queryKNN(shard.KNNQuery{Q: geom.Pt(req.X, req.Y), K: req.K})
+	pts := s.queryKNN(shard.KNNQuery{Q: geom.Pt(op.X, op.Y), K: op.K})
 	s.histKNN.observe(time.Since(start))
-	writeJSON(w, PointsResponse{Count: len(pts), Points: toPoints(pts)})
+	respondPoints(w, r, pts)
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
@@ -192,18 +279,19 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	var req PointJSON
-	if !decodeBody(w, r, &req, maxBodyBytes) {
+	ops, ok := decodeOps(w, r, OpInsert, maxBodyBytes)
+	if !ok {
 		return
 	}
-	if err := finite(req.X, req.Y); err != nil {
+	op := ops[0]
+	if err := finite(op.X, op.Y); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	start := time.Now()
-	s.eng.Insert(geom.Pt(req.X, req.Y))
+	s.eng.Insert(geom.Pt(op.X, op.Y))
 	s.histInsert.observe(time.Since(start))
-	writeJSON(w, OKResponse{OK: true})
+	respondBool(w, r, OKResponse{OK: true}, true)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -212,18 +300,19 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	var req PointJSON
-	if !decodeBody(w, r, &req, maxBodyBytes) {
+	ops, ok := decodeOps(w, r, OpDelete, maxBodyBytes)
+	if !ok {
 		return
 	}
-	if err := finite(req.X, req.Y); err != nil {
+	op := ops[0]
+	if err := finite(op.X, op.Y); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	start := time.Now()
-	deleted := s.eng.Delete(geom.Pt(req.X, req.Y))
+	deleted := s.eng.Delete(geom.Pt(op.X, op.Y))
 	s.histDelete.observe(time.Since(start))
-	writeJSON(w, DeletedResponse{Deleted: deleted})
+	respondBool(w, r, DeletedResponse{Deleted: deleted}, deleted)
 }
 
 // handleBatch executes a heterogeneous operation list with one engine
@@ -238,16 +327,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	var req BatchRequest
-	if !decodeBody(w, r, &req, maxBatchBodyBytes) {
+	ops, ok := decodeOps(w, r, "", maxBatchBodyBytes)
+	if !ok {
 		return
 	}
-	if len(req.Ops) > maxBatchOps {
+	if len(ops) > maxBatchOps {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch exceeds %d ops", maxBatchOps))
 		return
 	}
 	// Validate everything before executing anything.
-	for i, op := range req.Ops {
+	for i, op := range ops {
 		var err error
 		switch op.Op {
 		case OpPoint, OpKNN, OpInsert, OpDelete:
@@ -263,7 +352,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	start := time.Now()
-	results := make([]BatchResult, len(req.Ops))
+	answers := make([]batchAnswer, len(ops))
 	var (
 		points   []geom.Point
 		pointIdx []int
@@ -272,7 +361,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		knns     []shard.KNNQuery
 		knnIdx   []int
 	)
-	for i, op := range req.Ops {
+	for i, op := range ops {
+		answers[i].op = op.Op
 		switch op.Op {
 		case OpPoint:
 			points = append(points, geom.Pt(op.X, op.Y))
@@ -285,28 +375,34 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			knnIdx = append(knnIdx, i)
 		case OpInsert:
 			s.eng.Insert(geom.Pt(op.X, op.Y))
-			results[i] = BatchResult{OK: true}
+			answers[i].flag = true
 		case OpDelete:
-			results[i] = BatchResult{Deleted: s.eng.Delete(geom.Pt(op.X, op.Y))}
+			answers[i].flag = s.eng.Delete(geom.Pt(op.X, op.Y))
 		}
 	}
 	if len(points) > 0 {
 		for j, found := range s.eng.BatchPointQuery(points) {
-			results[pointIdx[j]] = BatchResult{Found: found}
+			answers[pointIdx[j]].flag = found
 		}
 	}
 	if len(windows) > 0 {
 		for j, pts := range s.eng.BatchWindowQuery(windows) {
-			results[winIdx[j]] = BatchResult{Count: len(pts), Points: toPoints(pts)}
+			answers[winIdx[j]].pts = pts
 		}
 	}
 	if len(knns) > 0 {
 		for j, pts := range s.eng.BatchKNN(knns) {
-			results[knnIdx[j]] = BatchResult{Count: len(pts), Points: toPoints(pts)}
+			answers[knnIdx[j]].pts = pts
 		}
 	}
 	s.histBatch.observe(time.Since(start))
-	writeJSON(w, BatchResponse{Results: results})
+	if wantsBinaryResponse(r) {
+		// The engine's result points are encoded straight into the pooled
+		// frame buffer: O(1) allocations per batch, whatever its size.
+		writeBinary(w, func(b []byte) []byte { return appendBatchAnswers(b, answers) })
+		return
+	}
+	writeJSON(w, BatchResponse{Results: toBatchResults(answers)})
 }
 
 func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
