@@ -8,12 +8,15 @@
 //	rsmi-loadgen -addr 127.0.0.1:8080 -clients 8 -duration 5s
 //	rsmi-loadgen -mix window=90,insert=10 -batch 16
 //	rsmi-loadgen -proto binary -batch 32           # rsmibin/1 instead of JSON
+//	rsmi-loadgen -transport tcp -addr 127.0.0.1:8081  # rsmistream (serve -stream-addr)
 //	rsmi-loadgen -rate 5000 -clients 32            # open-loop: 5000 req/s arrivals
 //	rsmi-loadgen -duration 2s -min-ok 1.0          # CI smoke: exit 1 unless 100% 2xx
 //
 // -batch n groups n operations per /v1/batch request (one round-trip);
 // -batch 1 sends one operation per request through the per-op endpoints,
-// exercising the server-side micro-batcher instead. -rate r switches
+// exercising the server-side micro-batcher instead. -transport tcp
+// replaces HTTP with the persistent pipelined rsmistream connections
+// (always rsmibin; -addr is the server's -stream-addr). -rate r switches
 // from closed-loop (each client waits for its answer before the next
 // request) to open-loop (requests arrive on a fixed r-per-second
 // schedule; latency counts from the scheduled arrival), which is what
@@ -40,7 +43,9 @@ func main() {
 		window   = flag.Float64("window-frac", 0.0001, "window area as a fraction of the data space")
 		batch    = flag.Int("batch", 1, "operations per request (>1 uses /v1/batch)")
 		seed     = flag.Int64("seed", 1, "query generation seed")
-		proto    = flag.String("proto", "json", "wire protocol: json|binary")
+		proto    = flag.String("proto", "json", "HTTP wire protocol: json|binary (tcp transport is always binary)")
+		trans    = flag.String("transport", "http", "transport: http|tcp (tcp = rsmistream persistent connections; -addr is the server's -stream-addr)")
+		timeout  = flag.Duration("timeout", 0, "per-request client timeout (0 = default 30s)")
 		rate     = flag.Float64("rate", 0, "open-loop arrival rate in requests/s (0 = closed-loop)")
 		minOK    = flag.Float64("min-ok", -1, "exit 1 unless the 2xx rate reaches this fraction (e.g. 1.0)")
 	)
@@ -56,6 +61,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	tr, err := server.ParseTransport(*trans)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rep, err := loadgen.Run(loadgen.Config{
 		Addr:       *addr,
 		Clients:    *clients,
@@ -66,6 +75,8 @@ func main() {
 		BatchSize:  *batch,
 		Seed:       *seed,
 		Proto:      p,
+		Transport:  tr,
+		Timeout:    *timeout,
 		Rate:       *rate,
 	})
 	if err != nil {
@@ -75,7 +86,11 @@ func main() {
 	if *rate > 0 {
 		mode = "open-loop run"
 	}
-	fmt.Printf("%s against http://%s (mix %s)\n%s\n", mode, *addr, m, rep)
+	scheme := "http"
+	if tr == server.TransportTCP {
+		scheme = "tcp"
+	}
+	fmt.Printf("%s against %s://%s (mix %s)\n%s\n", mode, scheme, *addr, m, rep)
 	if *minOK >= 0 && rep.OKRate() < *minOK {
 		log.Fatalf("2xx rate %.4f below required %.4f", rep.OKRate(), *minOK)
 	}

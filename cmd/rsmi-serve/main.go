@@ -6,13 +6,18 @@
 // a running rolling rebuild. Every data-plane endpoint speaks both wire
 // protocols, negotiated per request: JSON (the debuggable default) and
 // the length-prefixed rsmibin/1 binary encoding (drive it with
-// rsmi-loadgen -proto binary; see internal/server/binproto.go).
+// rsmi-loadgen -proto binary; see internal/server/binproto.go). With
+// -stream-addr, the same rsmibin encoding is additionally served over
+// persistent pipelined TCP connections — no HTTP framing at all (the
+// rsmistream transport, internal/server/stream.go; drive it with
+// rsmi-loadgen -transport tcp).
 //
 // Usage:
 //
 //	rsmi-serve -addr :8080 -dist skewed -n 100000 -shards 8
 //	rsmi-serve -dataset skewed_1m.bin -snapshot skewed_1m.idx
 //	rsmi-serve -batch-window 1ms -max-batch 128 -max-inflight 512
+//	rsmi-serve -addr :8080 -stream-addr :8081
 //
 // With -snapshot, the index is loaded from the snapshot when it exists
 // (restart without retraining) and built-then-saved when it does not.
@@ -40,7 +45,8 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		addr        = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		streamAddr  = flag.String("stream-addr", "", "rsmistream TCP listen address (rsmibin/1 over persistent pipelined connections; empty disables)")
 		datasetPath = flag.String("dataset", "", "binary point file (rsmi-datagen format); empty generates -dist/-n")
 		dist        = flag.String("dist", "skewed", "generated distribution: uniform|normal|skewed|tiger|osm")
 		n           = flag.Int("n", 100000, "generated data set cardinality")
@@ -69,6 +75,7 @@ func main() {
 		MaxBatch:    *maxBatch,
 		BatchWindow: *batchWindow,
 		MaxInFlight: *maxInflight,
+		StreamAddr:  *streamAddr,
 	})
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -79,7 +86,16 @@ func main() {
 	log.Printf("wire protocols: application/json (default), %s (rsmibin/%d)",
 		server.ContentTypeBinary, server.BinVersion)
 
-	errCh := make(chan error, 1)
+	errCh := make(chan error, 2)
+	if *streamAddr != "" {
+		sl, err := net.Listen("tcp", *streamAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("stream transport on tcp://%s (rsmibin/%d over persistent connections; drive with rsmi-loadgen -transport tcp)",
+			sl.Addr(), server.BinVersion)
+		go func() { errCh <- srv.ServeStream(sl) }()
+	}
 	go func() { errCh <- srv.Serve(l) }()
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

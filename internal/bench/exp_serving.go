@@ -43,9 +43,23 @@ func protoCell(addr string, clients, batch int, dur time.Duration, proto server.
 	return rep
 }
 
-// startServing spins up a Server for eng on an ephemeral port and returns
-// its address and a stop func.
-func startServing(eng server.Engine, maxBatch int, window time.Duration, maxInflight int) (string, func(), error) {
+// streamCell runs one measurement over the TCP stream transport.
+func streamCell(streamAddr string, clients, batch int, dur time.Duration) loadgen.Report {
+	rep, _ := loadgen.Run(loadgen.Config{
+		Addr:       streamAddr,
+		Clients:    clients,
+		Duration:   dur,
+		Mix:        loadgen.Mix{Window: 1},
+		BatchSize:  batch,
+		WindowFrac: 0.0001,
+		Transport:  server.TransportTCP,
+	})
+	return rep
+}
+
+// startServing spins up a Server for eng on ephemeral HTTP and stream
+// ports and returns both addresses and a stop func.
+func startServing(eng server.Engine, maxBatch int, window time.Duration, maxInflight int) (addr, streamAddr string, stop func(), err error) {
 	srv := server.New(server.Config{
 		Engine:      eng,
 		MaxBatch:    maxBatch,
@@ -54,16 +68,22 @@ func startServing(eng server.Engine, maxBatch int, window time.Duration, maxInfl
 	})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return "", nil, err
+		return "", "", nil, err
+	}
+	sl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		l.Close()
+		return "", "", nil, err
 	}
 	go srv.Serve(l)
-	stop := func() {
+	go srv.ServeStream(sl)
+	stop = func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		srv.Shutdown(ctx)
 		l.Close()
 	}
-	return l.Addr().String(), stop, nil
+	return l.Addr().String(), sl.Addr().String(), stop, nil
 }
 
 func init() {
@@ -102,7 +122,7 @@ func init() {
 				cfg.Dist, cfg.N, cfg.Shards), header...)
 			p99 := newTable("Per-request p99 latency (ms); a batched request carries its whole batch", header...)
 			for _, r := range rows {
-				addr, stop, err := startServing(eng, r.maxBatch, r.window, 1024)
+				addr, _, stop, err := startServing(eng, r.maxBatch, r.window, 1024)
 				if err != nil {
 					fmt.Fprintf(w, "serving: %v\n", err)
 					return
@@ -125,7 +145,7 @@ func init() {
 			// a bounded p99.
 			shedTb := newTable("Admission control at saturation (max-inflight=2)",
 				"clients", "ops/s", "shed rate", "p99 (ms)")
-			addr, stop, err := startServing(eng, 64, 0, 2)
+			addr, _, stop, err := startServing(eng, 64, 0, 2)
 			if err != nil {
 				fmt.Fprintf(w, "serving: %v\n", err)
 				return
@@ -140,36 +160,48 @@ func init() {
 			stop()
 			shedTb.write(w)
 
-			// Wire protocols: the same window workload over JSON vs the
-			// rsmibin/1 binary encoding, per-request and batched. The gap
-			// is the serialisation cost the binary protocol removes.
+			// Wire protocols and transports: the same window workload over
+			// HTTP JSON, HTTP rsmibin, and rsmibin over the persistent TCP
+			// stream, per-request and batched. The JSON→binary gap is the
+			// serialisation cost the binary protocol removes; the
+			// HTTP→stream gap is the HTTP framing the stream transport
+			// sheds.
 			protoTb := newTable(fmt.Sprintf(
-				"Wire protocol: JSON vs rsmibin/1 (window queries, c=4, %s n=%d)",
+				"Transport × protocol: HTTP JSON vs HTTP rsmibin vs TCP stream (window queries, c=4, %s n=%d)",
 				cfg.Dist, cfg.N),
-				"protocol", "ops/s", "p50 (µs)", "p95 (µs)")
-			addr, stop, err = startServing(eng, 64, 0, 1024)
+				"transport", "ops/s", "p50 (µs)", "p95 (µs)")
+			addr, streamAddr, stop, err := startServing(eng, 64, 0, 1024)
 			if err != nil {
 				fmt.Fprintf(w, "serving: %v\n", err)
 				return
 			}
 			for _, pr := range []struct {
-				proto server.Proto
-				batch int
+				name   string
+				proto  server.Proto
+				stream bool
+				batch  int
 			}{
-				{server.ProtoJSON, 1},
-				{server.ProtoBinary, 1},
-				{server.ProtoJSON, 32},
-				{server.ProtoBinary, 32},
+				{"http json", server.ProtoJSON, false, 1},
+				{"http binary", server.ProtoBinary, false, 1},
+				{"tcp stream", "", true, 1},
+				{"http json", server.ProtoJSON, false, 32},
+				{"http binary", server.ProtoBinary, false, 32},
+				{"tcp stream", "", true, 32},
 			} {
-				rep := protoCell(addr, 4, pr.batch, cell, pr.proto)
-				protoTb.add(fmt.Sprintf("%s batch=%d", pr.proto, pr.batch),
+				var rep loadgen.Report
+				if pr.stream {
+					rep = streamCell(streamAddr, 4, pr.batch, cell)
+				} else {
+					rep = protoCell(addr, 4, pr.batch, cell, pr.proto)
+				}
+				protoTb.add(fmt.Sprintf("%s batch=%d", pr.name, pr.batch),
 					fmt.Sprintf("%.0f", rep.OpsPerSec),
 					fmt.Sprintf("%d", rep.P50.Microseconds()),
 					fmt.Sprintf("%d", rep.P95.Microseconds()))
 			}
 			stop()
 			protoTb.write(w)
-			fmt.Fprintf(w, "\n  (closed-loop clients over HTTP loopback; \"coalesced\" = server-side\n   micro-batching into BatchWindowQuery, \"client batch\" = /v1/batch requests)\n")
+			fmt.Fprintf(w, "\n  (closed-loop clients over loopback; \"coalesced\" = server-side\n   micro-batching into BatchWindowQuery, \"client batch\" = /v1/batch\n   requests, \"tcp stream\" = rsmibin/1 over persistent pipelined\n   connections)\n")
 		},
 	})
 }

@@ -44,16 +44,20 @@ type Metrics struct {
 	// ShardedWindowKQPS is engine-level batched window throughput (no
 	// HTTP): the `sharded` experiment's headline quantity.
 	ShardedWindowKQPS float64 `json:"sharded_window_kqps"`
-	// Serving measurements: closed-loop window queries over loopback
-	// HTTP at batch=32, per wire protocol.
+	// Serving measurements: closed-loop window queries over loopback at
+	// batch=32, per wire protocol/transport (JSON and binary over HTTP,
+	// binary over the persistent TCP stream).
 	ServingJSONOpsPerSec   float64 `json:"serving_json_ops_per_sec"`
 	ServingJSONP50Us       float64 `json:"serving_json_p50_us"`
 	ServingBinaryOpsPerSec float64 `json:"serving_binary_ops_per_sec"`
 	ServingBinaryP50Us     float64 `json:"serving_binary_p50_us"`
+	ServingStreamOpsPerSec float64 `json:"serving_stream_ops_per_sec"`
+	ServingStreamP50Us     float64 `json:"serving_stream_p50_us"`
 }
 
-// metricsSchemaVersion guards baseline/current comparability.
-const metricsSchemaVersion = 1
+// metricsSchemaVersion guards baseline/current comparability (2: stream
+// transport metrics added).
+const metricsSchemaVersion = 2
 
 // slowEngine injects a fixed delay into every batch call — the test
 // hook that demonstrates the regression gate trips (see file comment).
@@ -125,30 +129,46 @@ func RunRegression(w io.Writer) (Metrics, error) {
 	if slowdown > 0 {
 		serveEng = slowEngine{Engine: eng, delay: slowdown}
 	}
-	addr, stop, err := startServing(serveEng, 64, 0, 1024)
+	addr, streamAddr, stop, err := startServing(serveEng, 64, 0, 1024)
 	if err != nil {
 		return Metrics{}, err
 	}
 	defer stop()
-	for _, proto := range []server.Proto{server.ProtoJSON, server.ProtoBinary} {
+	for _, tc := range []struct {
+		name      string
+		proto     server.Proto
+		transport server.Transport
+	}{
+		{"json", server.ProtoJSON, server.TransportHTTP},
+		{"binary", server.ProtoBinary, server.TransportHTTP},
+		{"stream", server.ProtoBinary, server.TransportTCP},
+	} {
+		target := addr
+		if tc.transport == server.TransportTCP {
+			target = streamAddr
+		}
 		rep, err := loadgen.Run(loadgen.Config{
-			Addr:       addr,
+			Addr:       target,
 			Clients:    4,
 			Duration:   cell,
 			Mix:        loadgen.Mix{Window: 1},
 			BatchSize:  32,
 			WindowFrac: 0.0001,
-			Proto:      proto,
+			Proto:      tc.proto,
+			Transport:  tc.transport,
 		})
 		if err != nil {
-			return Metrics{}, fmt.Errorf("serving (%s): %w", proto, err)
+			return Metrics{}, fmt.Errorf("serving (%s): %w", tc.name, err)
 		}
 		p50 := float64(rep.P50.Microseconds())
-		fmt.Fprintf(w, "  serving %s: %.0f ops/s, p50 %v\n", proto, rep.OpsPerSec, rep.P50)
-		if proto == server.ProtoJSON {
+		fmt.Fprintf(w, "  serving %s: %.0f ops/s, p50 %v\n", tc.name, rep.OpsPerSec, rep.P50)
+		switch tc.name {
+		case "json":
 			m.ServingJSONOpsPerSec, m.ServingJSONP50Us = rep.OpsPerSec, p50
-		} else {
+		case "binary":
 			m.ServingBinaryOpsPerSec, m.ServingBinaryP50Us = rep.OpsPerSec, p50
+		case "stream":
+			m.ServingStreamOpsPerSec, m.ServingStreamP50Us = rep.OpsPerSec, p50
 		}
 	}
 	return m, nil
@@ -182,6 +202,8 @@ func Compare(baseline, current Metrics, tol float64) []string {
 	lower("serving_json_p50_us", baseline.ServingJSONP50Us, current.ServingJSONP50Us)
 	higher("serving_binary_ops_per_sec", baseline.ServingBinaryOpsPerSec, current.ServingBinaryOpsPerSec)
 	lower("serving_binary_p50_us", baseline.ServingBinaryP50Us, current.ServingBinaryP50Us)
+	higher("serving_stream_ops_per_sec", baseline.ServingStreamOpsPerSec, current.ServingStreamOpsPerSec)
+	lower("serving_stream_p50_us", baseline.ServingStreamP50Us, current.ServingStreamP50Us)
 	return regressions
 }
 

@@ -15,6 +15,8 @@ func base() Metrics {
 		ServingJSONP50Us:       2000,
 		ServingBinaryOpsPerSec: 150000,
 		ServingBinaryP50Us:     700,
+		ServingStreamOpsPerSec: 200000,
+		ServingStreamP50Us:     500,
 	}
 }
 
@@ -35,9 +37,11 @@ func TestCompareDirections(t *testing.T) {
 		ServingJSONP50Us:       b.ServingJSONP50Us * 2,
 		ServingBinaryOpsPerSec: b.ServingBinaryOpsPerSec / 2,
 		ServingBinaryP50Us:     b.ServingBinaryP50Us * 2,
+		ServingStreamOpsPerSec: b.ServingStreamOpsPerSec / 2,
+		ServingStreamP50Us:     b.ServingStreamP50Us * 2,
 	}
-	if regs := Compare(b, slow, 0.25); len(regs) != 5 {
-		t.Fatalf("2x slowdown tripped %d metrics, want 5: %v", len(regs), regs)
+	if regs := Compare(b, slow, 0.25); len(regs) != 7 {
+		t.Fatalf("2x slowdown tripped %d metrics, want 7: %v", len(regs), regs)
 	}
 
 	// Improvements (faster, cheaper) never fail.
@@ -48,6 +52,8 @@ func TestCompareDirections(t *testing.T) {
 		ServingJSONP50Us:       b.ServingJSONP50Us / 3,
 		ServingBinaryOpsPerSec: b.ServingBinaryOpsPerSec * 3,
 		ServingBinaryP50Us:     b.ServingBinaryP50Us / 3,
+		ServingStreamOpsPerSec: b.ServingStreamOpsPerSec * 3,
+		ServingStreamP50Us:     b.ServingStreamP50Us / 3,
 	}
 	if regs := Compare(b, fast, 0.25); len(regs) != 0 {
 		t.Fatalf("improvements flagged: %v", regs)

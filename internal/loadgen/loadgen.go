@@ -2,7 +2,8 @@
 // closed-loop or open-loop clients and reports throughput, status mix,
 // and latency percentiles. It backs cmd/rsmi-loadgen, the `serving`
 // bench experiment, and the CI smoke jobs, speaking either wire protocol
-// (JSON or rsmibin/1, Config.Proto).
+// (JSON or rsmibin/1, Config.Proto) over either transport (per-request
+// HTTP or the persistent pipelined TCP stream, Config.Transport).
 //
 // Closed-loop (the default) means each client goroutine issues one
 // request, waits for the answer, and immediately issues the next:
@@ -116,8 +117,16 @@ type Config struct {
 	BatchSize int
 	// Seed drives query generation (default 1).
 	Seed int64
-	// Proto selects the wire protocol (default server.ProtoJSON).
+	// Proto selects the HTTP wire protocol (default server.ProtoJSON).
+	// Ignored by the TCP transport, which always speaks rsmibin.
 	Proto server.Proto
+	// Transport selects HTTP requests or the persistent pipelined TCP
+	// stream (default server.TransportHTTP). With TransportTCP, Addr is
+	// the server's -stream-addr listener.
+	Transport server.Transport
+	// Timeout bounds one request round-trip (default 30 s; see
+	// server.Options.Timeout).
+	Timeout time.Duration
 	// Rate > 0 switches to open-loop mode: requests arrive at this many
 	// requests per second on a fixed schedule, spread across the client
 	// goroutines, regardless of completions (each request still carries
@@ -147,7 +156,13 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
-	if c.Proto == "" {
+	if c.Transport == "" {
+		c.Transport = server.TransportHTTP
+	}
+	if c.Transport == server.TransportTCP {
+		// The stream transport is binary-only.
+		c.Proto = server.ProtoBinary
+	} else if c.Proto == "" {
 		c.Proto = server.ProtoJSON
 	}
 	return c
@@ -160,6 +175,7 @@ type Report struct {
 	Clients   int
 	BatchSize int
 	Proto     server.Proto
+	Transport server.Transport
 	// OfferedRate is the open-loop arrival rate in requests/s (0 for
 	// closed-loop runs).
 	OfferedRate float64
@@ -202,6 +218,9 @@ func (r Report) String() string {
 	if r.OfferedRate > 0 {
 		mode = fmt.Sprintf(" open-loop rate=%.0f/s", r.OfferedRate)
 	}
+	if r.Transport == server.TransportTCP {
+		mode = " transport=tcp" + mode
+	}
 	return fmt.Sprintf(
 		"clients=%d batch=%d proto=%s%s elapsed=%v\n"+
 			"  requests %d (%.1f req/s), ops %d (%.1f ops/s)\n"+
@@ -234,7 +253,12 @@ func Run(cfg Config) (Report, error) {
 	if cfg.Rate != 0 && (math.IsNaN(cfg.Rate) || cfg.Rate < 1e-3 || cfg.Rate > 1e6) {
 		return Report{}, fmt.Errorf("loadgen: rate %v out of range (want 0 or 1e-3..1e6 req/s)", cfg.Rate)
 	}
-	cl := server.NewClientProto(cfg.Addr, cfg.Proto)
+	cl := server.NewClientOptions(cfg.Addr, server.Options{
+		Proto:     cfg.Proto,
+		Transport: cfg.Transport,
+		Timeout:   cfg.Timeout,
+	})
+	defer cl.Close()
 	stats := make([]clientStats, cfg.Clients)
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
@@ -258,6 +282,7 @@ func Run(cfg Config) (Report, error) {
 	rep.Clients = cfg.Clients
 	rep.BatchSize = cfg.BatchSize
 	rep.Proto = cfg.Proto
+	rep.Transport = cfg.Transport
 	rep.OfferedRate = cfg.Rate
 	rep.Elapsed = elapsed
 	var all []time.Duration

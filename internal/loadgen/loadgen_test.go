@@ -158,6 +158,14 @@ func TestRunRejectsBadRate(t *testing.T) {
 // startLoadgenServer boots an in-process server for loadgen tests.
 func startLoadgenServer(t *testing.T) (string, func()) {
 	t.Helper()
+	addr, _, cleanup := startLoadgenServerStream(t)
+	return addr, cleanup
+}
+
+// startLoadgenServerStream boots a server with both an HTTP and a stream
+// listener.
+func startLoadgenServerStream(t *testing.T) (addr, streamAddr string, cleanup func()) {
+	t.Helper()
 	pts := dataset.Generate(dataset.Uniform, 2000, 71)
 	eng := shard.New(pts, shard.Options{
 		Shards: 2,
@@ -174,12 +182,45 @@ func startLoadgenServer(t *testing.T) (string, func()) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	sl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
 	go srv.Serve(l)
-	return l.Addr().String(), func() {
+	go srv.ServeStream(sl)
+	return l.Addr().String(), sl.Addr().String(), func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		srv.Shutdown(ctx)
 		l.Close()
+	}
+}
+
+// TestRunTCPTransport drives the stream transport end to end, single-op
+// and batched: clean runs, ops counted, and the report labelled tcp.
+func TestRunTCPTransport(t *testing.T) {
+	_, streamAddr, cleanup := startLoadgenServerStream(t)
+	defer cleanup()
+	for _, batch := range []int{1, 8} {
+		rep, err := Run(Config{
+			Addr:      streamAddr,
+			Clients:   3,
+			Duration:  300 * time.Millisecond,
+			BatchSize: batch,
+			Transport: server.TransportTCP,
+		})
+		if err != nil {
+			t.Fatalf("Run(tcp, batch=%d): %v", batch, err)
+		}
+		if rep.Transport != server.TransportTCP || rep.Proto != server.ProtoBinary {
+			t.Fatalf("report transport=%q proto=%q", rep.Transport, rep.Proto)
+		}
+		if rep.Requests == 0 || rep.OK != rep.Requests || rep.Errors != 0 {
+			t.Fatalf("tcp batch=%d report: %+v", batch, rep)
+		}
+		if rep.Ops != rep.OK*int64(batch) {
+			t.Fatalf("tcp batch=%d: ops %d, want %d", batch, rep.Ops, rep.OK*int64(batch))
+		}
 	}
 }
 

@@ -107,12 +107,16 @@ type OpStats struct {
 }
 
 // CoalesceStats reports how well the request coalescer is amortising
-// engine calls: Queries/Batches is the mean micro-batch size.
+// engine calls: Queries/Batches is the mean micro-batch size. Direct
+// counts queries that ran outside any batch through the post-shutdown
+// fallback (drain-time traffic), so Queries+Direct is every query the
+// coalescers answered.
 type CoalesceStats struct {
 	Batches  int64   `json:"batches"`
 	Queries  int64   `json:"queries"`
 	MeanSize float64 `json:"mean_size"`
 	MaxSize  int64   `json:"max_size"`
+	Direct   int64   `json:"direct"`
 }
 
 // StatsResponse answers /v1/stats.

@@ -34,13 +34,62 @@ func ParseProto(s string) (Proto, error) {
 	return "", fmt.Errorf("unknown protocol %q (want json|binary)", s)
 }
 
+// Transport selects how a Client reaches the server for data-plane
+// operations.
+type Transport string
+
+const (
+	// TransportHTTP sends one HTTP request per operation or batch (JSON
+	// or rsmibin body per Proto). The default.
+	TransportHTTP Transport = "http"
+	// TransportTCP speaks rsmibin/1 over the persistent pipelined
+	// rsmistream connection pool (stream.go); the addr is the server's
+	// stream listener. The stream transport is binary-only, and the
+	// HTTP-only control plane (Stats, Rebuild, Health) is unavailable.
+	TransportTCP Transport = "tcp"
+)
+
+// ParseTransport parses a -transport flag value.
+func ParseTransport(s string) (Transport, error) {
+	switch Transport(s) {
+	case TransportHTTP, TransportTCP:
+		return Transport(s), nil
+	}
+	return "", fmt.Errorf("unknown transport %q (want http|tcp)", s)
+}
+
+// Options configures a Client beyond its address.
+type Options struct {
+	// Proto selects the HTTP data-plane encoding (default ProtoJSON).
+	// Ignored by TransportTCP, which is always rsmibin.
+	Proto Proto
+	// Transport selects HTTP or the persistent TCP stream (default
+	// TransportHTTP).
+	Transport Transport
+	// Timeout bounds one request round-trip: the HTTP client timeout,
+	// and the stream transport's dial/write deadlines and per-request
+	// response wait (default 30s). Large batches against a loaded
+	// 1M-point server or a slow link may need more.
+	Timeout time.Duration
+	// StreamConns sizes the TCP connection pool (default 4). More
+	// connections raise pipelining fan-out; the server batches
+	// back-to-back frames from all of them.
+	StreamConns int
+}
+
+// DefaultTimeout is the per-request client timeout when Options.Timeout
+// is zero.
+const DefaultTimeout = 30 * time.Second
+
 // Client is a Go client for the serving API, used by cmd/rsmi-loadgen,
 // the bench harness, and the examples. It is safe for concurrent use; one
-// Client pools keep-alive connections across all its callers.
+// Client pools keep-alive HTTP connections — or persistent stream
+// connections — across all its callers.
 type Client struct {
-	base  string
-	hc    *http.Client
-	proto Proto
+	base   string
+	hc     *http.Client
+	proto  Proto
+	stream *streamClient
 }
 
 // NewClient returns a JSON client for the server at addr ("host:port" or
@@ -49,22 +98,42 @@ func NewClient(addr string) *Client {
 	return NewClientProto(addr, ProtoJSON)
 }
 
-// NewClientProto returns a client speaking the given wire protocol.
+// NewClientProto returns an HTTP client speaking the given wire protocol.
 // Anything other than ProtoBinary (including the zero value) normalises
 // to ProtoJSON, so Proto() always reports what the client actually
 // speaks.
 func NewClientProto(addr string, proto Proto) *Client {
+	return NewClientOptions(addr, Options{Proto: proto})
+}
+
+// NewClientOptions returns a client for the server at addr. With
+// Options.Transport == TransportTCP, addr is the server's rsmistream
+// listener ("host:port") and data-plane calls ride the persistent
+// connection pool; otherwise addr is the HTTP address.
+func NewClientOptions(addr string, o Options) *Client {
+	if o.Timeout <= 0 {
+		o.Timeout = DefaultTimeout
+	}
+	if o.Transport == TransportTCP {
+		if o.StreamConns <= 0 {
+			o.StreamConns = 4
+		}
+		return &Client{
+			proto:  ProtoBinary,
+			stream: newStreamClient(addr, o.StreamConns, o.Timeout),
+		}
+	}
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
-	if proto != ProtoBinary {
-		proto = ProtoJSON
+	if o.Proto != ProtoBinary {
+		o.Proto = ProtoJSON
 	}
 	return &Client{
 		base:  strings.TrimRight(addr, "/"),
-		proto: proto,
+		proto: o.Proto,
 		hc: &http.Client{
-			Timeout: 30 * time.Second,
+			Timeout: o.Timeout,
 			Transport: &http.Transport{
 				// Closed-loop load generators run hundreds of concurrent
 				// clients against one host; the default per-host idle pool
@@ -79,6 +148,29 @@ func NewClientProto(addr string, proto Proto) *Client {
 // Proto reports the client's data-plane wire protocol.
 func (c *Client) Proto() Proto { return c.proto }
 
+// Transport reports the client's data-plane transport.
+func (c *Client) Transport() Transport {
+	if c.stream != nil {
+		return TransportTCP
+	}
+	return TransportHTTP
+}
+
+// Close releases the client's pooled connections. A closed stream client
+// fails subsequent calls; a closed HTTP client only drops idle
+// connections.
+func (c *Client) Close() {
+	if c.stream != nil {
+		c.stream.close()
+	}
+	if c.hc != nil {
+		c.hc.CloseIdleConnections()
+	}
+}
+
+// errNoHTTP reports a control-plane call on a TCP-only client.
+var errNoHTTP = errors.New("client: control-plane calls need the HTTP transport")
+
 // StatusError reports a non-2xx response. Callers distinguishing shed
 // load check Code == http.StatusTooManyRequests.
 type StatusError struct {
@@ -92,6 +184,9 @@ func (e *StatusError) Error() string {
 
 // post sends one JSON request and decodes the 2xx answer into out.
 func (c *Client) post(path string, in, out interface{}) error {
+	if c.hc == nil {
+		return errNoHTTP
+	}
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("client: marshal: %w", err)
@@ -104,6 +199,9 @@ func (c *Client) post(path string, in, out interface{}) error {
 }
 
 func (c *Client) get(path string, out interface{}) error {
+	if c.hc == nil {
+		return errNoHTTP
+	}
 	resp, err := c.hc.Get(c.base + path)
 	if err != nil {
 		return err
@@ -187,7 +285,7 @@ func (c *Client) binSingle(path string, op BatchOp) (binResult, error) {
 
 // binBool executes a bool-valued op over rsmibin.
 func (c *Client) binBool(path string, op BatchOp) (bool, error) {
-	res, err := c.binSingle(path, op)
+	res, err := c.singleResult(path, op)
 	if err != nil {
 		return false, err
 	}
@@ -199,7 +297,7 @@ func (c *Client) binBool(path string, op BatchOp) (bool, error) {
 
 // binPoints executes a points-valued op over rsmibin.
 func (c *Client) binPoints(path string, op BatchOp) ([]geom.Point, error) {
-	res, err := c.binSingle(path, op)
+	res, err := c.singleResult(path, op)
 	if err != nil {
 		return nil, err
 	}
@@ -207,6 +305,19 @@ func (c *Client) binPoints(path string, op BatchOp) ([]geom.Point, error) {
 		return nil, errBinResultKind
 	}
 	return res.pts, nil
+}
+
+// singleResult executes one op over whichever binary path the client
+// uses: a one-op stream frame, or an rsmibin HTTP request to path.
+func (c *Client) singleResult(path string, op BatchOp) (binResult, error) {
+	if c.stream != nil {
+		rs, err := c.stream.streamDo([]BatchOp{op})
+		if err != nil {
+			return binResult{}, err
+		}
+		return rs[0], nil
+	}
+	return c.binSingle(path, op)
 }
 
 // PointQuery reports whether a point with exactly p's coordinates is
@@ -271,24 +382,36 @@ func (c *Client) Batch(ops []BatchOp) ([]BatchResult, error) {
 	return resp.Results, err
 }
 
-// binBatch executes a batch over rsmibin, mapping results back to the
-// JSON result shape so both protocols share one client API.
+// binBatch executes a batch over rsmibin — a stream frame or an HTTP
+// /v1/batch request — mapping results back to the JSON result shape so
+// every protocol/transport shares one client API.
 func (c *Client) binBatch(ops []BatchOp) ([]BatchResult, error) {
-	b := appendBinHeader(make([]byte, 0, 16+24*len(ops)))
-	b = appendUvarint(b, uint64(len(ops)))
+	var rs []binResult
 	var err error
-	for _, op := range ops {
-		if b, err = appendOp(b, op); err != nil {
-			return nil, err
+	if c.stream != nil {
+		rs, err = c.stream.streamDo(ops)
+	} else {
+		b := appendBinHeader(make([]byte, 0, 16+24*len(ops)))
+		b = appendUvarint(b, uint64(len(ops)))
+		for _, op := range ops {
+			if b, err = appendOp(b, op); err != nil {
+				return nil, err
+			}
 		}
+		rs, err = c.postBinary("/v1/batch", b, false)
 	}
-	rs, err := c.postBinary("/v1/batch", b, false)
 	if err != nil {
 		return nil, err
 	}
 	if len(rs) != len(ops) {
 		return nil, fmt.Errorf("client: batch returned %d results for %d ops", len(rs), len(ops))
 	}
+	return batchResultsFromBin(ops, rs)
+}
+
+// batchResultsFromBin maps raw binary results onto the per-op API result
+// shapes, enforcing result-kind/op-kind agreement.
+func batchResultsFromBin(ops []BatchOp, rs []binResult) ([]BatchResult, error) {
 	out := make([]BatchResult, len(rs))
 	for i, r := range rs {
 		switch ops[i].Op {

@@ -36,6 +36,10 @@ type coalescer[Q, R any] struct {
 	batches atomic.Int64
 	queries atomic.Int64
 	maxSeen atomic.Int64
+	// direct counts queries executed by the post-shutdown fallback in do,
+	// outside any batch: without it, drain-time traffic would vanish from
+	// the stats snapshot.
+	direct atomic.Int64
 }
 
 // pending is one submitted query awaiting its batch.
@@ -66,6 +70,7 @@ func (c *coalescer[Q, R]) do(q Q) R {
 	case c.in <- p:
 	case <-c.stop:
 		// in's buffer is full (or stop won the race): run directly.
+		c.direct.Add(1)
 		return c.run([]Q{q})[0]
 	}
 	// The submit channel is buffered, so the send can succeed after stop
@@ -80,6 +85,7 @@ func (c *coalescer[Q, R]) do(q Q) R {
 		case r := <-p.reply:
 			return r
 		default:
+			c.direct.Add(1)
 			return c.run([]Q{q})[0]
 		}
 	}
@@ -94,8 +100,8 @@ func (c *coalescer[Q, R]) shutdown() {
 }
 
 // snapshot returns the batching counters.
-func (c *coalescer[Q, R]) snapshot() (batches, queries, maxSeen int64) {
-	return c.batches.Load(), c.queries.Load(), c.maxSeen.Load()
+func (c *coalescer[Q, R]) snapshot() (batches, queries, maxSeen, direct int64) {
+	return c.batches.Load(), c.queries.Load(), c.maxSeen.Load(), c.direct.Load()
 }
 
 func (c *coalescer[Q, R]) loop() {

@@ -22,10 +22,11 @@ const (
 	maxBatchOps = 16384
 )
 
-// admit acquires an in-flight slot, shedding with 429 when the server is
-// saturated. It returns a release func and whether the request was
-// admitted.
-func (s *Server) admit(w http.ResponseWriter) (func(), bool) {
+// admitSlot acquires an in-flight slot, counting a shed when the server
+// is saturated. It is the transport-neutral admission gate; both the
+// HTTP and stream paths go through it. It returns a release func and
+// whether the request was admitted.
+func (s *Server) admitSlot() (func(), bool) {
 	select {
 	case s.sem <- struct{}{}:
 		s.inFlight.Add(1)
@@ -35,10 +36,18 @@ func (s *Server) admit(w http.ResponseWriter) (func(), bool) {
 		}, true
 	default:
 		s.shed.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "server saturated; retry")
 		return nil, false
 	}
+}
+
+// admit is admitSlot for HTTP handlers: shed requests are answered 429.
+func (s *Server) admit(w http.ResponseWriter) (func(), bool) {
+	release, ok := s.admitSlot()
+	if !ok {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server saturated; retry")
+	}
+	return release, ok
 }
 
 // decodeBody decodes one JSON request body into v.
@@ -315,27 +324,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	respondBool(w, r, DeletedResponse{Deleted: deleted}, deleted)
 }
 
-// handleBatch executes a heterogeneous operation list with one engine
-// batch call per query kind: queries are grouped by kind, executed via
-// BatchPointQuery / BatchWindowQuery / BatchKNN (writes run individually,
-// in request order relative to each other), and the answers are
-// reassembled in request order. A batch is not a transaction: queries in
-// a batch may observe the batch's own writes or concurrent writers'.
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	release, ok := s.admit(w)
-	if !ok {
-		return
-	}
-	defer release()
-	ops, ok := decodeOps(w, r, "", maxBatchBodyBytes)
-	if !ok {
-		return
-	}
-	if len(ops) > maxBatchOps {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch exceeds %d ops", maxBatchOps))
-		return
-	}
-	// Validate everything before executing anything.
+// validateOps checks every operation of a batch before any execution,
+// returning the first offending op's error.
+func validateOps(ops []BatchOp) error {
 	for i, op := range ops {
 		var err error
 		switch op.Op {
@@ -347,10 +338,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			err = fmt.Errorf("unknown op %q", op.Op)
 		}
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("op %d: %v", i, err))
-			return
+			return fmt.Errorf("op %d: %v", i, err)
 		}
 	}
+	return nil
+}
+
+// executeBatch runs a validated heterogeneous operation list with one
+// engine batch call per query kind: queries are grouped by kind, executed
+// via BatchPointQuery / BatchWindowQuery / BatchKNN (writes run
+// individually, in request order relative to each other), and the answers
+// are reassembled in request order. It observes histBatch. Both the HTTP
+// /v1/batch handler and the stream transport execute batches through
+// here.
+func (s *Server) executeBatch(ops []BatchOp) []batchAnswer {
 	start := time.Now()
 	answers := make([]batchAnswer, len(ops))
 	var (
@@ -396,6 +397,32 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.histBatch.observe(time.Since(start))
+	return answers
+}
+
+// handleBatch answers /v1/batch via executeBatch. A batch is not a
+// transaction: queries in a batch may observe the batch's own writes or
+// concurrent writers'.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ops, ok := decodeOps(w, r, "", maxBatchBodyBytes)
+	if !ok {
+		return
+	}
+	if len(ops) > maxBatchOps {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch exceeds %d ops", maxBatchOps))
+		return
+	}
+	// Validate everything before executing anything.
+	if err := validateOps(ops); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	answers := s.executeBatch(ops)
 	if wantsBinaryResponse(r) {
 		// The engine's result points are encoded straight into the pooled
 		// frame buffer: O(1) allocations per batch, whatever its size.
@@ -439,12 +466,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Shards = sc.NumShards()
 	}
 	if s.coPoint != nil {
-		for _, c := range []interface{ snapshot() (int64, int64, int64) }{
+		for _, c := range []interface {
+			snapshot() (int64, int64, int64, int64)
+		}{
 			s.coPoint, s.coWindow, s.coKNN,
 		} {
-			b, q, m := c.snapshot()
+			b, q, m, d := c.snapshot()
 			resp.Coalesce.Batches += b
 			resp.Coalesce.Queries += q
+			resp.Coalesce.Direct += d
 			if m > resp.Coalesce.MaxSize {
 				resp.Coalesce.MaxSize = m
 			}

@@ -34,17 +34,32 @@ func bucketOf(d time.Duration) int {
 	return i
 }
 
-// observe records one latency sample.
+// observe records one latency sample. The bucket is incremented before
+// count: quantile loads count first and then sums buckets, so any count
+// increment it sees has its bucket increment visible too, and the summed
+// buckets can only meet or exceed the rank derived from count — never
+// fall short of it.
 func (h *histogram) observe(d time.Duration) {
-	h.count.Add(1)
-	h.sumNS.Add(d.Nanoseconds())
 	h.buckets[bucketOf(d)].Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+	h.count.Add(1)
+}
+
+// bucketMid returns the geometric midpoint of bucket i,
+// [2^(i/4), 2^((i+1)/4)) µs.
+func bucketMid(i int) time.Duration {
+	us := math.Exp2((float64(i) + 0.5) / 4)
+	return time.Duration(us * 1e3)
 }
 
 // quantile estimates the q-th latency quantile (q in (0, 1]) as the
 // geometric midpoint of the bucket holding the q-th sample; it returns 0
 // when no samples were recorded. Concurrent observes make the estimate
-// approximate, which is fine for a stats endpoint.
+// approximate, which is fine for a stats endpoint — but never wrong by
+// construction: if the summed buckets fall short of count (an observe
+// between the count load and the bucket scan), the answer clamps to the
+// last non-empty bucket instead of running off the end and reporting the
+// ~2^30 µs top of range as a latency.
 func (h *histogram) quantile(q float64) time.Duration {
 	total := h.count.Load()
 	if total == 0 {
@@ -55,15 +70,22 @@ func (h *histogram) quantile(q float64) time.Duration {
 		rank = 1
 	}
 	var cum int64
+	last := -1
 	for i := range h.buckets {
-		cum += h.buckets[i].Load()
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		last = i
+		cum += n
 		if cum >= rank {
-			// Geometric midpoint of [2^(i/4), 2^((i+1)/4)) µs.
-			us := math.Exp2((float64(i) + 0.5) / 4)
-			return time.Duration(us * 1e3)
+			return bucketMid(i)
 		}
 	}
-	return time.Duration(math.Exp2(float64(histBuckets)/4) * 1e3)
+	if last >= 0 {
+		return bucketMid(last)
+	}
+	return 0
 }
 
 // stats summarises the histogram for /v1/stats.

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQuantileTornObserve is the regression test for the observe/quantile
+// race: count used to be incremented before the bucket, so a concurrent
+// quantile could load a count its bucket scan cannot account for, run off
+// the end of the buckets, and report the ~2^30 µs (≈18 min) top of range
+// as p50/p95/p99. This reproduces the torn state deterministically: on
+// the old code the quantile comes back ≈18 minutes, on the fixed code it
+// clamps to the last non-empty bucket (≈100 µs here).
+func TestQuantileTornObserve(t *testing.T) {
+	var h histogram
+	for i := 0; i < 10; i++ {
+		h.observe(100 * time.Microsecond)
+	}
+	// A concurrent observe caught between its count and bucket updates:
+	// count says 11 samples, the buckets hold 10.
+	h.count.Add(1)
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		got := h.quantile(q)
+		if got > time.Millisecond {
+			t.Fatalf("quantile(%v) = %v with a torn observe in flight; want ≈100µs, not the top-of-range fallback", q, got)
+		}
+		if got == 0 {
+			t.Fatalf("quantile(%v) = 0 with 10 recorded samples", q)
+		}
+	}
+	// A torn observe on an otherwise empty histogram must read as "no
+	// data", not as an 18-minute latency.
+	var empty histogram
+	empty.count.Add(1)
+	if got := empty.quantile(0.99); got != 0 {
+		t.Fatalf("quantile on empty buckets with torn count = %v, want 0", got)
+	}
+}
+
+// TestQuantileConcurrent hammers observe and quantile from concurrent
+// goroutines (run under -race in CI): every estimate must stay within the
+// range of values actually observed, whatever interleaving happens.
+func TestQuantileConcurrent(t *testing.T) {
+	var h histogram
+	const (
+		writers = 4
+		perG    = 5000
+		maxObs  = 800 * time.Microsecond
+	)
+	var writeWG, readWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < perG; i++ {
+				h.observe(time.Duration(50+(i+w*137)%750) * time.Microsecond)
+			}
+		}(w)
+	}
+	readWG.Add(1)
+	go func() {
+		defer readWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, q := range []float64{0.5, 0.95, 0.99} {
+				got := h.quantile(q)
+				// The histogram is quarter-octave; allow one bucket (~19%)
+				// of estimator slack above the largest observed value.
+				if got > maxObs+maxObs/4 {
+					t.Errorf("quantile(%v) = %v exceeds max observed %v", q, got, maxObs)
+					return
+				}
+			}
+		}
+	}()
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+	if got := h.quantile(0.99); got == 0 || got > maxObs+maxObs/4 {
+		t.Fatalf("final p99 = %v out of range", got)
+	}
+}

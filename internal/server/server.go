@@ -33,12 +33,20 @@
 // (Config.MaxInFlight). Shutdown drains in-flight queries, then waits for
 // a running rolling rebuild to finish, so a snapshot taken after Shutdown
 // returns is always consistent.
+//
+// # Stream transport
+//
+// Beyond HTTP, the server can serve rsmibin/1 over persistent pipelined
+// TCP connections (Config.StreamAddr / ServeStream — the rsmistream
+// transport, stream.go), with identical semantics: the same coalescers,
+// admission gate, histograms, and shutdown draining.
 package server
 
 import (
 	"context"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -85,6 +93,12 @@ type Config struct {
 	// MaxInFlight bounds concurrently admitted requests; excess load is
 	// shed immediately with 429 (default 1024).
 	MaxInFlight int
+	// StreamAddr, when non-empty, makes ListenAndServe also open a raw
+	// TCP listener on this address serving rsmibin/1 over persistent
+	// pipelined connections (the rsmistream transport, see stream.go).
+	// Tests and embedders may instead hand ServeStream a listener
+	// directly.
+	StreamAddr string
 }
 
 // withDefaults fills unset fields.
@@ -129,6 +143,17 @@ type Server struct {
 	rebuildRunning atomic.Bool
 	rebuildDonePtr atomic.Pointer[chan struct{}]
 	rebuilds       atomic.Int64
+
+	// Stream transport state (stream.go): live listeners and
+	// connections, the shutdown signal, and the per-connection loops'
+	// WaitGroup.
+	streamMu       sync.Mutex
+	streamLs       []net.Listener
+	streamConns    map[net.Conn]struct{}
+	streamClosed   bool
+	streamStop     chan struct{}
+	streamStopOnce sync.Once
+	streamWG       sync.WaitGroup
 }
 
 // New builds a Server around cfg.Engine and starts its batch dispatchers.
@@ -138,11 +163,13 @@ func New(cfg Config) *Server {
 		panic("server: Config.Engine is required")
 	}
 	s := &Server{
-		cfg:   cfg,
-		eng:   cfg.Engine,
-		mux:   http.NewServeMux(),
-		start: time.Now(),
-		sem:   make(chan struct{}, cfg.MaxInFlight),
+		cfg:         cfg,
+		eng:         cfg.Engine,
+		mux:         http.NewServeMux(),
+		start:       time.Now(),
+		sem:         make(chan struct{}, cfg.MaxInFlight),
+		streamConns: make(map[net.Conn]struct{}),
+		streamStop:  make(chan struct{}),
 	}
 	if cfg.MaxBatch > 1 {
 		s.coPoint = newCoalescer(cfg.MaxBatch, cfg.BatchWindow, s.eng.BatchPointQuery)
@@ -169,21 +196,35 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // it returns http.ErrServerClosed after a clean shutdown.
 func (s *Server) Serve(l net.Listener) error { return s.hs.Serve(l) }
 
-// ListenAndServe listens on addr and serves until Shutdown.
+// ListenAndServe listens on addr and serves until Shutdown. When
+// Config.StreamAddr is set, it also opens the rsmistream TCP listener
+// there (served on a background goroutine; Shutdown stops both).
 func (s *Server) ListenAndServe(addr string) error {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
+	if s.cfg.StreamAddr != "" {
+		sl, err := net.Listen("tcp", s.cfg.StreamAddr)
+		if err != nil {
+			l.Close()
+			return err
+		}
+		go s.ServeStream(sl)
+	}
 	return s.Serve(l)
 }
 
-// Shutdown gracefully stops the server: it stops accepting connections,
-// drains in-flight requests (bounded by ctx), stops the batch
-// dispatchers, and waits for a running rolling rebuild to complete, so
-// the engine is quiescent — and safe to snapshot — once Shutdown returns.
+// Shutdown gracefully stops the server: it stops accepting connections
+// (HTTP and stream), drains in-flight requests on both transports
+// (bounded by ctx), stops the batch dispatchers, and waits for a running
+// rolling rebuild to complete, so the engine is quiescent — and safe to
+// snapshot — once Shutdown returns.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.hs.Shutdown(ctx)
+	if serr := s.shutdownStream(ctx); err == nil {
+		err = serr
+	}
 	if s.coPoint != nil {
 		s.coPoint.shutdown()
 		s.coWindow.shutdown()

@@ -331,9 +331,14 @@ func TestGracefulShutdown(t *testing.T) {
 	if !eng.PointQuery(pts[0]) {
 		t.Fatal("engine lost data across rebuild + shutdown")
 	}
-	// Coalescers are stopped but late do() calls degrade gracefully.
+	// Coalescers are stopped but late do() calls degrade gracefully —
+	// and the direct-execution fallback is counted, so drain-time traffic
+	// does not vanish from the stats snapshot.
 	if got := s.queryPoint(pts[0]); !got {
 		t.Fatal("post-shutdown query failed")
+	}
+	if _, _, _, direct := s.coPoint.snapshot(); direct == 0 {
+		t.Fatal("post-shutdown direct execution not counted in coalescer stats")
 	}
 }
 
@@ -371,7 +376,7 @@ func TestCoalescerBatches(t *testing.T) {
 	for e := range errs {
 		t.Fatal(e)
 	}
-	batches, queries, maxSeen := co.snapshot()
+	batches, queries, maxSeen, _ := co.snapshot()
 	if queries != n {
 		t.Fatalf("queries = %d, want %d", queries, n)
 	}

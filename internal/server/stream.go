@@ -1,0 +1,368 @@
+package server
+
+// rsmistream — rsmibin/1 over a persistent TCP connection. PR 3 measured
+// ~200 µs of HTTP per-request overhead left on the binary path at 1M
+// points; rsmibin frames are self-delimiting, so the same encoding can
+// run over a raw TCP stream and shed HTTP framing entirely. Persistent
+// pipelined connections also hand the request coalescer back-to-back
+// frames to batch — the inference-amortisation argument of "The Case for
+// Learned Spatial Indexes" carried one layer further down the stack.
+//
+// # Framing
+//
+// Both directions carry length-prefixed frames over one long-lived TCP
+// connection. Integers are little-endian; varints are uvarints:
+//
+//	frame       uint32 payload length, payload
+//	request     uvarint request id, rsmibin batch request frame
+//	            (RB+version header, uvarint n, n × entry — the exact
+//	            /v1/batch request encoding of binproto.go; a single-query
+//	            op is a batch of one)
+//	response    uvarint request id, status byte
+//	  status 0    rsmibin batch response frame (header, uvarint n,
+//	              n × result)
+//	  status 1    uvarint code (HTTP status semantics: 400, 429, 503),
+//	              uvarint msg length, msg bytes
+//
+// The request id tags each frame so clients may pipeline: many requests
+// can be in flight on one connection and responses are matched by id, in
+// whatever order the server finishes them. Ids need only be unique among
+// a connection's in-flight requests.
+//
+// # Semantics
+//
+// A stream request is served exactly like its HTTP equivalent: one-op
+// frames with a query op run through the request coalescers and observe
+// the per-op latency histograms (point/window/knn/insert/delete);
+// multi-op frames run through executeBatch and observe the batch
+// histogram. Admission control is the same bounded in-flight gate —
+// saturation answers status 429 on the stream where HTTP sheds with 429
+// — and Shutdown drains stream requests exactly as it drains HTTP ones:
+// frames already read are executed and answered before their connection
+// closes. Frame-level corruption (bad length, bad request id) closes the
+// connection; request-level errors (malformed rsmibin payload, invalid
+// coordinates) answer status 1 and keep the connection alive.
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"rsmi/internal/geom"
+	"rsmi/internal/shard"
+)
+
+const (
+	// streamMaxRequestFrame bounds a request frame's payload, mirroring
+	// the HTTP maxBatchBodyBytes limit.
+	streamMaxRequestFrame = maxBatchBodyBytes
+	// streamMaxResponseFrame bounds a response frame's payload on the
+	// client side. It guards against allocating on a garbage length
+	// prefix, not against legal answers: a maximal batch (16384 window
+	// ops of ~4k result points each) stays under it, so any batch the
+	// HTTP transport can answer, the stream can too.
+	streamMaxResponseFrame = 1 << 30
+	// streamWriteTimeout bounds one response write on the server; a
+	// client that stops reading cannot pin a handler goroutine forever.
+	streamWriteTimeout = 30 * time.Second
+	// streamReadBuf sizes the per-connection read buffer.
+	streamReadBuf = 64 << 10
+	// streamMaxPipeline bounds requests concurrently dispatched per
+	// connection. When a client pipelines faster than the server
+	// answers, the read loop stops reading — TCP backpressure, the
+	// stream analogue of HTTP's one-request-per-connection lockstep —
+	// instead of growing a goroutine per frame without limit.
+	streamMaxPipeline = 256
+)
+
+// Stream response status bytes.
+const (
+	streamStatusOK    byte = 0
+	streamStatusError byte = 1
+)
+
+// errStreamFrameTooBig reports a frame whose declared length exceeds the
+// receiver's bound; the connection is unrecoverable.
+var errStreamFrameTooBig = errors.New("rsmistream: frame exceeds size limit")
+
+// readStreamFrame reads one length-prefixed frame and splits off the
+// request id. io.EOF is returned untouched for a clean close before any
+// length bytes.
+func readStreamFrame(br *bufio.Reader, maxLen uint32) (id uint64, payload []byte, err error) {
+	var lb [4]byte
+	if _, err := io.ReadFull(br, lb[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, fmt.Errorf("rsmistream: truncated frame length: %w", err)
+		}
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(lb[:])
+	if n == 0 {
+		return 0, nil, errors.New("rsmistream: empty frame")
+	}
+	if n > maxLen {
+		return 0, nil, errStreamFrameTooBig
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return 0, nil, fmt.Errorf("rsmistream: truncated frame: %w", err)
+	}
+	id, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return 0, nil, errors.New("rsmistream: bad request id")
+	}
+	return id, buf[w:], nil
+}
+
+// streamWriter serialises response frames onto one connection. Handler
+// goroutines finish in any order, so every write happens under the mutex;
+// the first write error poisons the writer and the connection loop tears
+// the connection down.
+type streamWriter struct {
+	conn net.Conn
+	mu   sync.Mutex
+	err  error
+}
+
+// writeFrame frames and writes one payload built by fill (which receives
+// a buffer already holding the request id). The frame is encoded into a
+// pooled buffer — the same zero-copy path as HTTP binary responses.
+func (w *streamWriter) writeFrame(id uint64, fill func([]byte) []byte) {
+	bp := binBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, 0, 0, 0, 0) // length, patched below
+	b = appendUvarint(b, id)
+	b = fill(b)
+	binary.LittleEndian.PutUint32(b[:4], uint32(len(b)-4))
+	w.mu.Lock()
+	if w.err == nil {
+		w.conn.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+		_, err := w.conn.Write(b)
+		w.err = err
+	}
+	w.mu.Unlock()
+	if cap(b) <= binBufPoolMax {
+		*bp = b[:0]
+		binBufPool.Put(bp)
+	}
+}
+
+// writeAnswers writes a status-0 response: the rsmibin batch response
+// frame encoded straight from the engine's points.
+func (w *streamWriter) writeAnswers(id uint64, answers []batchAnswer) {
+	w.writeFrame(id, func(b []byte) []byte {
+		b = append(b, streamStatusOK)
+		return appendBatchAnswers(appendBinHeader(b), answers)
+	})
+}
+
+// writeError writes a status-1 response carrying an HTTP-semantics code.
+func (w *streamWriter) writeError(id uint64, code int, msg string) {
+	w.writeFrame(id, func(b []byte) []byte {
+		b = append(b, streamStatusError)
+		b = appendUvarint(b, uint64(code))
+		b = appendUvarint(b, uint64(len(msg)))
+		return append(b, msg...)
+	})
+}
+
+// failed reports whether a write on the connection has errored.
+func (w *streamWriter) failed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err != nil
+}
+
+// ServeStream accepts rsmistream connections on l until Shutdown; like
+// Serve it returns http.ErrServerClosed after a clean shutdown.
+func (s *Server) ServeStream(l net.Listener) error {
+	s.streamMu.Lock()
+	if s.streamClosed {
+		s.streamMu.Unlock()
+		l.Close()
+		return http.ErrServerClosed
+	}
+	s.streamLs = append(s.streamLs, l)
+	s.streamMu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.streamStop:
+				return http.ErrServerClosed
+			default:
+				return err
+			}
+		}
+		s.streamWG.Add(1)
+		go func() {
+			defer s.streamWG.Done()
+			s.serveStreamConn(conn)
+		}()
+	}
+}
+
+// ListenAndServeStream listens on addr and serves rsmistream connections
+// until Shutdown.
+func (s *Server) ListenAndServeStream(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.ServeStream(l)
+}
+
+// trackStreamConn registers or unregisters a live connection so Shutdown
+// can interrupt blocked reads (deadline) and, past its context, force
+// close.
+func (s *Server) trackStreamConn(c net.Conn, add bool) bool {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	if add {
+		if s.streamClosed {
+			return false
+		}
+		s.streamConns[c] = struct{}{}
+		return true
+	}
+	delete(s.streamConns, c)
+	return true
+}
+
+// serveStreamConn runs one connection: read frames, dispatch each to its
+// own goroutine (pipelining — a slow query must not head-of-line block
+// the frames behind it), answer through the shared writer. The read loop
+// exits on connection error, frame corruption, or shutdown (Shutdown sets
+// a past read deadline on every live connection); requests already
+// dispatched always finish and write their responses before the
+// connection closes.
+func (s *Server) serveStreamConn(conn net.Conn) {
+	if !s.trackStreamConn(conn, true) {
+		conn.Close()
+		return
+	}
+	defer conn.Close()
+	defer s.trackStreamConn(conn, false)
+	sw := &streamWriter{conn: conn}
+	br := bufio.NewReaderSize(conn, streamReadBuf)
+	var reqWG sync.WaitGroup
+	pipeline := make(chan struct{}, streamMaxPipeline)
+	for {
+		id, payload, err := readStreamFrame(br, streamMaxRequestFrame)
+		if err != nil || sw.failed() {
+			break
+		}
+		// Blocks when streamMaxPipeline requests are already in flight on
+		// this connection; dispatched handlers always finish (admission
+		// shedding, engine execution, bounded response writes), so the
+		// loop resumes as they drain.
+		pipeline <- struct{}{}
+		reqWG.Add(1)
+		go func(id uint64, payload []byte) {
+			defer func() {
+				<-pipeline
+				reqWG.Done()
+			}()
+			s.handleStreamRequest(sw, id, payload)
+		}(id, payload)
+	}
+	reqWG.Wait()
+}
+
+// handleStreamRequest serves one decoded frame with the exact HTTP
+// semantics: admission gate, validation, coalescers for one-op query
+// frames, executeBatch for multi-op frames, per-op/batch histograms.
+func (s *Server) handleStreamRequest(sw *streamWriter, id uint64, payload []byte) {
+	release, ok := s.admitSlot()
+	if !ok {
+		sw.writeError(id, http.StatusTooManyRequests, "server saturated; retry")
+		return
+	}
+	defer release()
+	ops, err := decodeBinaryOps(payload, false)
+	if err != nil {
+		sw.writeError(id, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := validateOps(ops); err != nil {
+		sw.writeError(id, http.StatusBadRequest, err.Error())
+		return
+	}
+	var answers []batchAnswer
+	if len(ops) == 1 {
+		answers = []batchAnswer{s.executeSingle(ops[0])}
+	} else {
+		answers = s.executeBatch(ops)
+	}
+	sw.writeAnswers(id, answers)
+}
+
+// executeSingle runs a one-op frame the way the per-op HTTP endpoints do:
+// queries through the request coalescer (so back-to-back frames from
+// pipelined connections micro-batch), writes directly, each observing its
+// per-op histogram.
+func (s *Server) executeSingle(op BatchOp) batchAnswer {
+	a := batchAnswer{op: op.Op}
+	start := time.Now()
+	switch op.Op {
+	case OpPoint:
+		a.flag = s.queryPoint(geom.Pt(op.X, op.Y))
+		s.histPoint.observe(time.Since(start))
+	case OpWindow:
+		a.pts = s.queryWindow(geom.Rect{MinX: op.MinX, MinY: op.MinY, MaxX: op.MaxX, MaxY: op.MaxY})
+		s.histWindow.observe(time.Since(start))
+	case OpKNN:
+		a.pts = s.queryKNN(shard.KNNQuery{Q: geom.Pt(op.X, op.Y), K: op.K})
+		s.histKNN.observe(time.Since(start))
+	case OpInsert:
+		s.eng.Insert(geom.Pt(op.X, op.Y))
+		a.flag = true
+		s.histInsert.observe(time.Since(start))
+	case OpDelete:
+		a.flag = s.eng.Delete(geom.Pt(op.X, op.Y))
+		s.histDelete.observe(time.Since(start))
+	}
+	return a
+}
+
+// shutdownStream stops the stream transport: close listeners, interrupt
+// every connection's blocked read with a past deadline (requests already
+// read still execute and answer), and wait for the connection loops —
+// bounded by ctx, past which live connections are force-closed.
+func (s *Server) shutdownStream(ctx context.Context) error {
+	s.streamStopOnce.Do(func() { close(s.streamStop) })
+	s.streamMu.Lock()
+	s.streamClosed = true
+	ls := s.streamLs
+	s.streamLs = nil
+	for c := range s.streamConns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.streamMu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.streamWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.streamMu.Lock()
+		for c := range s.streamConns {
+			c.Close()
+		}
+		s.streamMu.Unlock()
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,276 @@
+package server
+
+// Client side of the rsmistream transport (stream.go): a small pool of
+// persistent TCP connections, each carrying pipelined length-prefixed
+// rsmibin frames matched to callers by request id. Many goroutines share
+// one pool, so concurrent requests ride the same few connections
+// back-to-back — which is exactly what lets the server-side coalescer
+// batch them.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// streamClient is the connection pool. Connections are dialed lazily and
+// replaced on failure; requests are distributed round-robin. Each slot
+// has its own lock, so a slow dial on one slot (unreachable server,
+// timeout-long) never stalls requests riding the other slots' live
+// connections.
+type streamClient struct {
+	addr    string
+	timeout time.Duration
+
+	closed atomic.Bool
+	slots  []streamSlot
+	next   atomic.Uint64
+}
+
+// streamSlot is one pool slot: its lock covers checking and (re)dialing
+// the slot's connection.
+type streamSlot struct {
+	mu   sync.Mutex
+	conn *streamConn
+}
+
+func newStreamClient(addr string, conns int, timeout time.Duration) *streamClient {
+	return &streamClient{
+		addr:    addr,
+		timeout: timeout,
+		slots:   make([]streamSlot, conns),
+	}
+}
+
+// get returns a live connection for the next request, dialing if the
+// slot is empty or its connection has failed.
+func (sc *streamClient) get() (*streamConn, error) {
+	slot := &sc.slots[int(sc.next.Add(1)%uint64(len(sc.slots)))]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if sc.closed.Load() {
+		return nil, errStreamClientClosed
+	}
+	if slot.conn != nil && !slot.conn.dead() {
+		return slot.conn, nil
+	}
+	nc, err := net.DialTimeout("tcp", sc.addr, sc.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("stream: dial %s: %w", sc.addr, err)
+	}
+	c := &streamConn{
+		c:       nc,
+		timeout: sc.timeout,
+		pending: make(map[uint64]chan streamAnswer),
+	}
+	go c.readLoop()
+	slot.conn = c
+	return c, nil
+}
+
+// close tears down every pooled connection and fails subsequent calls.
+// closed is set before the slot sweep, so a get() racing close either
+// observes it or dials into a slot the sweep has not reached yet and has
+// its fresh connection failed by the sweep.
+func (sc *streamClient) close() {
+	sc.closed.Store(true)
+	for i := range sc.slots {
+		slot := &sc.slots[i]
+		slot.mu.Lock()
+		if slot.conn != nil {
+			slot.conn.fail(errStreamClientClosed)
+			slot.conn = nil
+		}
+		slot.mu.Unlock()
+	}
+}
+
+var errStreamClientClosed = errors.New("stream: client closed")
+
+// streamAnswer is one matched response (or the connection's fatal error).
+type streamAnswer struct {
+	results []binResult
+	err     error
+}
+
+// streamConn is one pipelined connection: a write mutex serialises
+// request frames, a reader goroutine matches response frames to waiting
+// callers by request id. The first failure (dial-level I/O error, frame
+// corruption, timeout) poisons the connection: every pending and future
+// caller gets the error, and the pool dials a replacement.
+type streamConn struct {
+	c       net.Conn
+	timeout time.Duration
+	wmu     sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan streamAnswer
+	err     error
+}
+
+func (c *streamConn) dead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err != nil
+}
+
+// fail poisons the connection and wakes every pending caller.
+func (c *streamConn) fail(err error) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = err
+	pending := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	c.c.Close()
+	for _, ch := range pending {
+		ch <- streamAnswer{err: err}
+	}
+}
+
+// readLoop reads response frames and dispatches them by request id.
+func (c *streamConn) readLoop() {
+	br := bufio.NewReaderSize(c.c, streamReadBuf)
+	for {
+		id, payload, err := readStreamFrame(br, streamMaxResponseFrame)
+		if err != nil {
+			c.fail(fmt.Errorf("stream: %w", err))
+			return
+		}
+		results, rerr := decodeStreamResponse(payload)
+		if rerr != nil && !isStatusError(rerr) {
+			// Frame-level garbage: the stream is unsynchronised.
+			c.fail(rerr)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if !ok {
+			c.fail(fmt.Errorf("stream: response for unknown request id %d", id))
+			return
+		}
+		ch <- streamAnswer{results: results, err: rerr}
+	}
+}
+
+func isStatusError(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se)
+}
+
+// roundTrip sends one rsmibin batch request body (everything after the
+// request id) and blocks for its matched response, bounded by the
+// client timeout. A timeout poisons the connection — the response may
+// still arrive later, and a connection whose stream position is unknown
+// cannot be reused.
+func (c *streamConn) roundTrip(body []byte) ([]binResult, error) {
+	ch := make(chan streamAnswer, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	frame := make([]byte, 0, 4+binary.MaxVarintLen64+len(body))
+	frame = append(frame, 0, 0, 0, 0)
+	frame = appendUvarint(frame, id)
+	frame = append(frame, body...)
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+
+	c.wmu.Lock()
+	c.c.SetWriteDeadline(time.Now().Add(c.timeout))
+	_, err := c.c.Write(frame)
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(fmt.Errorf("stream: write: %w", err))
+		// fail delivered the error to our channel (or we deliver the
+		// write error directly if fail lost the race to another caller).
+		a := <-ch
+		if a.err != nil {
+			return nil, a.err
+		}
+		return nil, err
+	}
+
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	select {
+	case a := <-ch:
+		return a.results, a.err
+	case <-timer.C:
+		c.fail(fmt.Errorf("stream: request timed out after %v", c.timeout))
+		return nil, fmt.Errorf("stream: request timed out after %v", c.timeout)
+	}
+}
+
+// decodeStreamResponse parses a response payload (after the request id):
+// status 0 wraps an rsmibin batch response frame, status 1 an error code
+// and message, surfaced as *StatusError exactly like HTTP non-2xx
+// answers.
+func decodeStreamResponse(payload []byte) ([]binResult, error) {
+	if len(payload) == 0 {
+		return nil, errors.New("stream: empty response payload")
+	}
+	switch payload[0] {
+	case streamStatusOK:
+		return decodeBinaryResults(payload[1:], false)
+	case streamStatusError:
+		r := bytes.NewReader(payload[1:])
+		code, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, errors.New("stream: bad error code")
+		}
+		n, err := binary.ReadUvarint(r)
+		if err != nil || n > uint64(r.Len()) {
+			return nil, errors.New("stream: bad error message length")
+		}
+		msg := make([]byte, n)
+		r.Read(msg)
+		return nil, &StatusError{Code: int(code), Msg: string(msg)}
+	default:
+		return nil, fmt.Errorf("stream: unknown response status 0x%02x", payload[0])
+	}
+}
+
+// streamDo executes an op list over the stream transport and returns the
+// raw results; the Client maps them to API shapes exactly as it does for
+// HTTP binary responses.
+func (sc *streamClient) streamDo(ops []BatchOp) ([]binResult, error) {
+	body := appendBinHeader(make([]byte, 0, 16+24*len(ops)))
+	body = appendUvarint(body, uint64(len(ops)))
+	var err error
+	for _, op := range ops {
+		if body, err = appendOp(body, op); err != nil {
+			return nil, err
+		}
+	}
+	conn, err := sc.get()
+	if err != nil {
+		return nil, err
+	}
+	rs, err := conn.roundTrip(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) != len(ops) {
+		return nil, fmt.Errorf("stream: %d results for %d ops", len(rs), len(ops))
+	}
+	return rs, nil
+}
