@@ -1,0 +1,208 @@
+package rsmi
+
+// Baseline adapter engines: the paper's comparison indexes (R*-tree, Grid
+// File, K-D-B-tree) lifted onto the context-aware Engine surface, so
+// rsmi-serve, rsmi-bench, and rsmi-loadgen can drive every backend of the
+// paper's evaluation through the identical serving stack — the
+// "identical harness" requirement of the learned-spatial-index evaluation
+// literature. The baselines themselves are single-goroutine structures
+// (matching the paper's per-query timing methodology); the adapter adds a
+// RWMutex so queries run in parallel and updates exclusively, exactly
+// like Concurrent does for a single RSMI.
+//
+// Baselines answer exactly, so ExactWindowContext ≡ WindowQueryContext
+// and ExactKNNContext ≡ KNNContext. RebuildContext is a no-op: there is
+// no model to retrain, and the trees rebalance on insert.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"rsmi/internal/gridfile"
+	"rsmi/internal/index"
+	"rsmi/internal/kdb"
+	"rsmi/internal/rstar"
+)
+
+// NewRStarEngine builds an R*-tree-backed Engine over the points. A
+// fanout of 0 selects the paper's default (100 entries per node).
+func NewRStarEngine(pts []Point, fanout int) Engine {
+	return &baselineEngine{ix: rstar.New(pts, fanout)}
+}
+
+// NewGridFileEngine builds a Grid-File-backed Engine over the points. A
+// blockCapacity of 0 selects the paper's default (100 points per block).
+func NewGridFileEngine(pts []Point, blockCapacity int) Engine {
+	return &baselineEngine{ix: gridfile.New(pts, blockCapacity)}
+}
+
+// NewKDBEngine builds a K-D-B-tree-backed Engine over the points. A
+// fanout of 0 selects the paper's default (100 entries per page).
+func NewKDBEngine(pts []Point, fanout int) Engine {
+	return &baselineEngine{ix: kdb.New(pts, fanout)}
+}
+
+// NewBaselineEngine builds a baseline-backed Engine by name — "rstar",
+// "grid" (or "gridfile"), "kdb" — with paper-default parameters. It backs
+// the cmds' -engine flags.
+func NewBaselineEngine(name string, pts []Point) (Engine, error) {
+	switch name {
+	case "rstar":
+		return NewRStarEngine(pts, 0), nil
+	case "grid", "gridfile":
+		return NewGridFileEngine(pts, 0), nil
+	case "kdb":
+		return NewKDBEngine(pts, 0), nil
+	}
+	return nil, fmt.Errorf("unknown baseline engine %q (want rstar|grid|kdb)", name)
+}
+
+// baselineEngine adapts an index.Index to the Engine interface: a RWMutex
+// for concurrency, entry context checks for the single queries (a
+// baseline query runs in microseconds on the calling goroutine), and
+// between-element checks for the batch variants, whose single lock
+// acquisition per batch amortises lock overhead exactly as Concurrent's
+// batches do.
+type baselineEngine struct {
+	mu sync.RWMutex
+	ix index.Index
+}
+
+var _ Engine = (*baselineEngine)(nil)
+
+// Name reports the wrapped baseline's display name ("RR*", "Grid", "KDB").
+func (e *baselineEngine) Name() string { return e.ix.Name() }
+
+func (e *baselineEngine) PointQueryContext(ctx context.Context, q Point) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.ix.PointQuery(q), nil
+}
+
+func (e *baselineEngine) WindowQueryContext(ctx context.Context, q Rect) ([]Point, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.ix.WindowQuery(q), nil
+}
+
+func (e *baselineEngine) WindowQueryAppend(ctx context.Context, dst []Point, q Rect) ([]Point, error) {
+	if err := ctx.Err(); err != nil {
+		return dst, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append(dst, e.ix.WindowQuery(q)...), nil
+}
+
+// ExactWindowContext equals WindowQueryContext: baselines are exact.
+func (e *baselineEngine) ExactWindowContext(ctx context.Context, q Rect) ([]Point, error) {
+	return e.WindowQueryContext(ctx, q)
+}
+
+func (e *baselineEngine) KNNContext(ctx context.Context, q Point, k int) ([]Point, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.ix.KNN(q, k), nil
+}
+
+// ExactKNNContext equals KNNContext: baselines are exact.
+func (e *baselineEngine) ExactKNNContext(ctx context.Context, q Point, k int) ([]Point, error) {
+	return e.KNNContext(ctx, q, k)
+}
+
+func (e *baselineEngine) BatchPointQueryContext(ctx context.Context, qs []Point) ([]bool, error) {
+	out := make([]bool, len(qs))
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for i, q := range qs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out[i] = e.ix.PointQuery(q)
+	}
+	return out, nil
+}
+
+func (e *baselineEngine) BatchWindowQueryContext(ctx context.Context, qs []Rect) ([][]Point, error) {
+	out := make([][]Point, len(qs))
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for i, q := range qs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out[i] = e.ix.WindowQuery(q)
+	}
+	return out, nil
+}
+
+func (e *baselineEngine) BatchKNNContext(ctx context.Context, qs []KNNQuery) ([][]Point, error) {
+	out := make([][]Point, len(qs))
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for i, q := range qs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out[i] = e.ix.KNN(q.Q, q.K)
+	}
+	return out, nil
+}
+
+func (e *baselineEngine) InsertContext(ctx context.Context, p Point) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ix.Insert(p)
+	return nil
+}
+
+func (e *baselineEngine) DeleteContext(ctx context.Context, p Point) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ix.Delete(p), nil
+}
+
+// RebuildContext is a no-op for baselines: nothing to retrain.
+func (e *baselineEngine) RebuildContext(ctx context.Context) error {
+	return ctx.Err()
+}
+
+func (e *baselineEngine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.ix.Len()
+}
+
+func (e *baselineEngine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.ix.Stats()
+}
+
+func (e *baselineEngine) Accesses() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.ix.Accesses()
+}
+
+func (e *baselineEngine) ResetAccesses() {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.ix.ResetAccesses()
+}

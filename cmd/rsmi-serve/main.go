@@ -1,28 +1,42 @@
-// Command rsmi-serve puts a sharded RSMI behind the HTTP serving API of
-// internal/server: per-operation endpoints plus /v1/batch, transparent
-// micro-batching of concurrent single-query requests, bounded in-flight
-// admission control with 429 shedding, /v1/stats counters, and graceful
-// shutdown on SIGINT/SIGTERM that drains in-flight queries and waits for
-// a running rolling rebuild. Every data-plane endpoint speaks both wire
-// protocols, negotiated per request: JSON (the debuggable default) and
-// the length-prefixed rsmibin/1 binary encoding (drive it with
-// rsmi-loadgen -proto binary; see internal/server/binproto.go). With
+// Command rsmi-serve puts a spatial index — the sharded RSMI by default,
+// or any backend of the paper's evaluation via -engine — behind the HTTP
+// serving API of internal/server: per-operation endpoints plus /v1/batch,
+// transparent micro-batching of concurrent single-query requests, bounded
+// in-flight admission control with 429 shedding, /v1/stats counters, and
+// graceful shutdown on SIGINT/SIGTERM that drains in-flight queries and
+// waits for a running rolling rebuild. Every data-plane endpoint speaks
+// both wire protocols, negotiated per request: JSON (the debuggable
+// default) and the length-prefixed rsmibin/1 binary encoding (drive it
+// with rsmi-loadgen -proto binary; see internal/server/binproto.go). With
 // -stream-addr, the same rsmibin encoding is additionally served over
 // persistent pipelined TCP connections — no HTTP framing at all (the
 // rsmistream transport, internal/server/stream.go; drive it with
 // rsmi-loadgen -transport tcp).
 //
+// Request contexts are threaded into the engine: a disconnected client's
+// query stops between shard visits instead of running to completion, and
+// -stream-request-timeout bounds each stream request with a server-side
+// deadline the engine observes the same way.
+//
 // Usage:
 //
 //	rsmi-serve -addr :8080 -dist skewed -n 100000 -shards 8
+//	rsmi-serve -engine rstar -dist skewed -n 100000
 //	rsmi-serve -dataset skewed_1m.bin -snapshot skewed_1m.idx
 //	rsmi-serve -batch-window 1ms -max-batch 128 -max-inflight 512
-//	rsmi-serve -addr :8080 -stream-addr :8081
+//	rsmi-serve -addr :8080 -stream-addr :8081 -stream-request-timeout 5s
 //
-// With -snapshot, the index is loaded from the snapshot when it exists
-// (restart without retraining) and built-then-saved when it does not.
-// Training at paper scale takes hours, so production deployments always
-// run with a snapshot.
+// -engine selects the backend: "sharded" (the default: S parallel RSMI
+// shards), "concurrent" (one RSMI behind a RWMutex), or a baseline of the
+// paper's comparison — "rstar" (R*-tree), "grid" (Grid File), "kdb"
+// (K-D-B-tree) — all served through the identical stack, which is what
+// makes cross-engine serving numbers comparable (EXPERIMENTS.md "Serving
+// across backends").
+//
+// With -snapshot (sharded engine only), the index is loaded from the
+// snapshot when it exists (restart without retraining) and
+// built-then-saved when it does not. Training at paper scale takes hours,
+// so production deployments always run with a snapshot.
 package main
 
 import (
@@ -36,53 +50,56 @@ import (
 	"syscall"
 	"time"
 
-	"rsmi/internal/core"
+	"rsmi"
 	"rsmi/internal/dataset"
-	"rsmi/internal/geom"
 	"rsmi/internal/server"
-	"rsmi/internal/shard"
 )
 
 func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
 		streamAddr  = flag.String("stream-addr", "", "rsmistream TCP listen address (rsmibin/1 over persistent pipelined connections; empty disables)")
+		streamRTO   = flag.Duration("stream-request-timeout", 0, "server-side per-request deadline on the stream transport (0 = none)")
+		engine      = flag.String("engine", "sharded", "backend: sharded|concurrent|rstar|grid|kdb")
 		datasetPath = flag.String("dataset", "", "binary point file (rsmi-datagen format); empty generates -dist/-n")
 		dist        = flag.String("dist", "skewed", "generated distribution: uniform|normal|skewed|tiger|osm")
 		n           = flag.Int("n", 100000, "generated data set cardinality")
 		seed        = flag.Int64("seed", 1, "generation and training seed")
-		shards      = flag.Int("shards", 0, "shard count (default GOMAXPROCS)")
+		shards      = flag.Int("shards", 0, "shard count for -engine sharded (default GOMAXPROCS)")
 		partition   = flag.String("partition", "space", "shard partitioning: space|hash")
 		epochs      = flag.Int("epochs", 30, "training epochs per sub-model (paper: 500)")
 		lr          = flag.Float64("lr", 0.1, "training learning rate (paper: 0.01)")
 		batchWindow = flag.Duration("batch-window", 0, "max wait for micro-batch peers (0 = opportunistic batching)")
 		maxBatch    = flag.Int("max-batch", 64, "max queries per coalesced engine call (1 = no coalescing)")
 		maxInflight = flag.Int("max-inflight", 1024, "admitted in-flight requests before 429 shedding")
-		snapshot    = flag.String("snapshot", "", "index snapshot: load if present, else build and save")
+		snapshot    = flag.String("snapshot", "", "index snapshot, -engine sharded only: load if present, else build and save")
 	)
 	flag.Parse()
 	log.SetPrefix("rsmi-serve: ")
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 
-	idx, err := buildOrLoad(*snapshot, *datasetPath, *dist, *n, *seed, *shards, *partition, *epochs, *lr)
+	warnIgnoredFlags(*engine)
+	eng, err := buildEngine(*engine, *snapshot, *datasetPath, *dist, *n, *seed, *shards, *partition, *epochs, *lr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("engine ready: %v (build/load %v)", idx, idx.Stats().BuildTime.Round(time.Millisecond))
+	log.Printf("engine ready: %s (n=%d, build/load %v)",
+		eng.Name(), eng.Len(), eng.Stats().BuildTime.Round(time.Millisecond))
 
 	srv := server.New(server.Config{
-		Engine:      idx,
-		MaxBatch:    *maxBatch,
-		BatchWindow: *batchWindow,
-		MaxInFlight: *maxInflight,
-		StreamAddr:  *streamAddr,
+		Engine:               eng,
+		MaxBatch:             *maxBatch,
+		BatchWindow:          *batchWindow,
+		MaxInFlight:          *maxInflight,
+		StreamAddr:           *streamAddr,
+		StreamRequestTimeout: *streamRTO,
 	})
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("serving on http://%s (max-batch=%d batch-window=%v max-inflight=%d)",
-		l.Addr(), *maxBatch, *batchWindow, *maxInflight)
+	log.Printf("serving %s on http://%s (max-batch=%d batch-window=%v max-inflight=%d)",
+		eng.Name(), l.Addr(), *maxBatch, *batchWindow, *maxInflight)
 	log.Printf("wire protocols: application/json (default), %s (rsmibin/%d)",
 		server.ContentTypeBinary, server.BinVersion)
 
@@ -108,10 +125,12 @@ func main() {
 			log.Printf("shutdown: %v", err)
 		}
 		if *snapshot != "" {
-			if err := saveSnapshot(idx, *snapshot); err != nil {
-				log.Printf("snapshot: %v", err)
-			} else {
-				log.Printf("snapshot saved to %s", *snapshot)
+			if idx, ok := eng.(*rsmi.Sharded); ok {
+				if err := saveSnapshot(idx, *snapshot); err != nil {
+					log.Printf("snapshot: %v", err)
+				} else {
+					log.Printf("snapshot saved to %s", *snapshot)
+				}
 			}
 		}
 		log.Print("bye")
@@ -120,46 +139,110 @@ func main() {
 	}
 }
 
-// buildOrLoad resolves the engine: snapshot if present, else a fresh
-// build from the data set (saved back when -snapshot names a path).
-func buildOrLoad(snapshot, datasetPath, dist string, n int, seed int64, shards int, partition string, epochs int, lr float64) (*shard.Sharded, error) {
+// warnIgnoredFlags flags explicitly-set options the chosen engine cannot
+// honour, so measured numbers are never attributed to configurations
+// that were silently dropped: baselines have no training or sharding
+// knobs, and the concurrent engine has no shards.
+func warnIgnoredFlags(engine string) {
+	var ignored []string
+	switch engine {
+	case "sharded":
+		return
+	case "concurrent":
+		ignored = []string{"shards", "partition"}
+	default: // baselines
+		ignored = []string{"shards", "partition", "epochs", "lr"}
+	}
+	flag.Visit(func(f *flag.Flag) {
+		for _, name := range ignored {
+			if f.Name == name {
+				log.Printf("warning: -%s has no effect with -engine %s", f.Name, engine)
+			}
+		}
+	})
+}
+
+// loadPoints resolves the data set: a point file, or a generated
+// distribution.
+func loadPoints(datasetPath, dist string, n int, seed int64) ([]rsmi.Point, error) {
+	if datasetPath != "" {
+		pts, err := dataset.LoadFile(datasetPath)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("loaded %d points from %s", len(pts), datasetPath)
+		return pts, nil
+	}
+	kind, err := dataset.Parse(dist)
+	if err != nil {
+		return nil, err
+	}
+	pts := dataset.Generate(kind, n, seed)
+	log.Printf("generated %d %s points (seed %d)", len(pts), kind, seed)
+	return pts, nil
+}
+
+// buildEngine resolves -engine: the sharded RSMI (with snapshot support),
+// the RWMutex-wrapped single RSMI, or a baseline adapter — every one a
+// server.Engine, so the serving stack is identical whatever the backend.
+func buildEngine(engine, snapshot, datasetPath, dist string, n int, seed int64, shards int, partition string, epochs int, lr float64) (server.Engine, error) {
+	if snapshot != "" && engine != "sharded" {
+		return nil, fmt.Errorf("-snapshot is only supported with -engine sharded (got %q)", engine)
+	}
+	switch engine {
+	case "sharded":
+		return buildOrLoadSharded(snapshot, datasetPath, dist, n, seed, shards, partition, epochs, lr)
+	case "concurrent":
+		pts, err := loadPoints(datasetPath, dist, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("building concurrent index (%d points, epochs=%d)...", len(pts), epochs)
+		return rsmi.NewConcurrent(pts, rsmi.Options{Epochs: epochs, LearningRate: lr, Seed: seed}), nil
+	default:
+		pts, err := loadPoints(datasetPath, dist, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("building %s baseline engine (%d points)...", engine, len(pts))
+		eng, err := rsmi.NewBaselineEngine(engine, pts)
+		if err != nil {
+			return nil, fmt.Errorf("-engine: %v (or sharded|concurrent)", err)
+		}
+		return eng, nil
+	}
+}
+
+// buildOrLoadSharded resolves the sharded engine: snapshot if present,
+// else a fresh build from the data set (saved back when -snapshot names a
+// path).
+func buildOrLoadSharded(snapshot, datasetPath, dist string, n int, seed int64, shards int, partition string, epochs int, lr float64) (*rsmi.Sharded, error) {
 	if snapshot != "" {
 		if f, err := os.Open(snapshot); err == nil {
 			defer f.Close()
 			log.Printf("loading snapshot %s", snapshot)
-			return shard.Load(f)
+			return rsmi.LoadSharded(f)
 		}
 		log.Printf("snapshot %s not found; building", snapshot)
 	}
-	var pts []geom.Point
-	if datasetPath != "" {
-		var err error
-		if pts, err = dataset.LoadFile(datasetPath); err != nil {
-			return nil, err
-		}
-		log.Printf("loaded %d points from %s", len(pts), datasetPath)
-	} else {
-		kind, err := dataset.Parse(dist)
-		if err != nil {
-			return nil, err
-		}
-		pts = dataset.Generate(kind, n, seed)
-		log.Printf("generated %d %s points (seed %d)", len(pts), kind, seed)
+	pts, err := loadPoints(datasetPath, dist, n, seed)
+	if err != nil {
+		return nil, err
 	}
-	var parts shard.Partitioning
+	var parts rsmi.Partitioning
 	switch partition {
 	case "space":
-		parts = shard.Space
+		parts = rsmi.SpacePartitioned
 	case "hash":
-		parts = shard.Hash
+		parts = rsmi.HashPartitioned
 	default:
 		return nil, fmt.Errorf("unknown -partition %q (want space|hash)", partition)
 	}
 	log.Printf("building sharded index (%d points, epochs=%d)...", len(pts), epochs)
-	idx := shard.New(pts, shard.Options{
+	idx := rsmi.NewSharded(pts, rsmi.ShardOptions{
 		Shards:       shards,
 		Partitioning: parts,
-		Index: core.Options{
+		Index: rsmi.Options{
 			Epochs:       epochs,
 			LearningRate: lr,
 			Seed:         seed,
@@ -176,7 +259,7 @@ func buildOrLoad(snapshot, datasetPath, dist string, n int, seed int64, shards i
 
 // saveSnapshot writes the index atomically (tmp + rename), so a crash
 // mid-save never corrupts an existing snapshot.
-func saveSnapshot(idx *shard.Sharded, path string) error {
+func saveSnapshot(idx *rsmi.Sharded, path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {

@@ -1,6 +1,7 @@
 package rsmi
 
 import (
+	"context"
 	"sync"
 )
 
@@ -136,6 +137,117 @@ func (c *Concurrent) Stats() Stats {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.idx.Stats()
+}
+
+// Name identifies the backend in stats and bench reports.
+func (c *Concurrent) Name() string { return "Concurrent" }
+
+// The context-aware Engine surface. One lock acquisition covers one
+// query, which then runs in microseconds on the calling goroutine, so —
+// like Index — cancellation is observed at entry (and between elements of
+// the batch variants), not mid-query.
+
+// PointQueryContext is PointQuery honouring ctx at entry.
+func (c *Concurrent) PointQueryContext(ctx context.Context, q Point) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return c.PointQuery(q), nil
+}
+
+// WindowQueryContext is WindowQuery honouring ctx at entry.
+func (c *Concurrent) WindowQueryContext(ctx context.Context, q Rect) ([]Point, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.WindowQuery(q), nil
+}
+
+// WindowQueryAppend appends the window answer to dst under the read lock,
+// for callers that reuse result buffers across queries.
+func (c *Concurrent) WindowQueryAppend(ctx context.Context, dst []Point, q Rect) ([]Point, error) {
+	if err := ctx.Err(); err != nil {
+		return dst, err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.WindowQueryAppend(ctx, dst, q)
+}
+
+// ExactWindowContext is ExactWindow honouring ctx at entry.
+func (c *Concurrent) ExactWindowContext(ctx context.Context, q Rect) ([]Point, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.ExactWindow(q), nil
+}
+
+// KNNContext is KNN honouring ctx at entry.
+func (c *Concurrent) KNNContext(ctx context.Context, q Point, k int) ([]Point, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.KNN(q, k), nil
+}
+
+// ExactKNNContext is ExactKNN honouring ctx at entry.
+func (c *Concurrent) ExactKNNContext(ctx context.Context, q Point, k int) ([]Point, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.ExactKNN(q, k), nil
+}
+
+// BatchPointQueryContext is BatchPointQuery observing ctx between
+// elements, under a single read-lock acquisition.
+func (c *Concurrent) BatchPointQueryContext(ctx context.Context, qs []Point) ([]bool, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.BatchPointQueryContext(ctx, qs)
+}
+
+// BatchWindowQueryContext is BatchWindowQuery observing ctx between
+// elements, under a single read-lock acquisition.
+func (c *Concurrent) BatchWindowQueryContext(ctx context.Context, qs []Rect) ([][]Point, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.BatchWindowQueryContext(ctx, qs)
+}
+
+// BatchKNNContext is BatchKNN observing ctx between elements, under a
+// single read-lock acquisition.
+func (c *Concurrent) BatchKNNContext(ctx context.Context, qs []KNNQuery) ([][]Point, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.idx.BatchKNNContext(ctx, qs)
+}
+
+// InsertContext is Insert honouring ctx at entry; an admitted insert
+// always completes.
+func (c *Concurrent) InsertContext(ctx context.Context, p Point) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.Insert(p)
+	return nil
+}
+
+// DeleteContext is Delete honouring ctx at entry.
+func (c *Concurrent) DeleteContext(ctx context.Context, p Point) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return c.Delete(p), nil
+}
+
+// RebuildContext is Rebuild honouring ctx at entry; a started rebuild
+// runs to completion behind the write lock.
+func (c *Concurrent) RebuildContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.Rebuild()
+	return nil
 }
 
 // Accesses returns block accesses since the last reset (the paper's

@@ -7,6 +7,7 @@ import (
 	"net"
 	"time"
 
+	"rsmi"
 	"rsmi/internal/dataset"
 	"rsmi/internal/loadgen"
 	"rsmi/internal/server"
@@ -201,6 +202,42 @@ func init() {
 			}
 			stop()
 			protoTb.write(w)
+
+			// Serving across backends: the same wire stack over every
+			// engine the v2 rsmi.Engine API admits — the sharded RSMI and
+			// the paper's baseline indexes behind their adapters. Same
+			// workload, same transports, same coalescers: the comparative
+			// serving numbers the learned-index serving literature asks
+			// for.
+			engTb := newTable(fmt.Sprintf(
+				"Serving across backends (window queries, c=4, %s n=%d)",
+				cfg.Dist, cfg.N),
+				"engine", "json b=1 ops/s", "binary b=32 ops/s", "stream b=32 ops/s", "stream b=32 p50 (µs)")
+			for _, e := range []struct {
+				name string
+				eng  server.Engine
+			}{
+				{"Sharded RSMI", eng},
+				{"R*-tree", rsmi.NewRStarEngine(pts, 0)},
+				{"Grid File", rsmi.NewGridFileEngine(pts, 0)},
+				{"K-D-B-tree", rsmi.NewKDBEngine(pts, 0)},
+			} {
+				addr, streamAddr, stop, err := startServing(e.eng, 64, 0, 1024)
+				if err != nil {
+					fmt.Fprintf(w, "serving: %v\n", err)
+					return
+				}
+				perOp := protoCell(addr, 4, 1, cell, server.ProtoJSON)
+				binB := protoCell(addr, 4, 32, cell, server.ProtoBinary)
+				strB := streamCell(streamAddr, 4, 32, cell)
+				stop()
+				engTb.add(e.name,
+					fmt.Sprintf("%.0f", perOp.OpsPerSec),
+					fmt.Sprintf("%.0f", binB.OpsPerSec),
+					fmt.Sprintf("%.0f", strB.OpsPerSec),
+					fmt.Sprintf("%d", strB.P50.Microseconds()))
+			}
+			engTb.write(w)
 			fmt.Fprintf(w, "\n  (closed-loop clients over loopback; \"coalesced\" = server-side\n   micro-batching into BatchWindowQuery, \"client batch\" = /v1/batch\n   requests, \"tcp stream\" = rsmibin/1 over persistent pipelined\n   connections)\n")
 		},
 	})

@@ -22,6 +22,7 @@ package bench
 // fail. CI never sets it.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -41,6 +42,10 @@ import (
 // is which by field.
 type Metrics struct {
 	SchemaVersion int `json:"schema_version"`
+	// Engine names the backend the serving rows were measured against
+	// (additive field — absent in pre-v2 baselines — so per-engine rows
+	// stay comparable across PRs without a schema bump).
+	Engine string `json:"engine,omitempty"`
 	// ShardedWindowKQPS is engine-level batched window throughput (no
 	// HTTP): the `sharded` experiment's headline quantity.
 	ShardedWindowKQPS float64 `json:"sharded_window_kqps"`
@@ -66,19 +71,19 @@ type slowEngine struct {
 	delay time.Duration
 }
 
-func (e slowEngine) BatchPointQuery(qs []geom.Point) []bool {
+func (e slowEngine) BatchPointQueryContext(ctx context.Context, qs []geom.Point) ([]bool, error) {
 	time.Sleep(e.delay)
-	return e.Engine.BatchPointQuery(qs)
+	return e.Engine.BatchPointQueryContext(ctx, qs)
 }
 
-func (e slowEngine) BatchWindowQuery(qs []geom.Rect) [][]geom.Point {
+func (e slowEngine) BatchWindowQueryContext(ctx context.Context, qs []geom.Rect) ([][]geom.Point, error) {
 	time.Sleep(e.delay)
-	return e.Engine.BatchWindowQuery(qs)
+	return e.Engine.BatchWindowQueryContext(ctx, qs)
 }
 
-func (e slowEngine) BatchKNN(qs []shard.KNNQuery) [][]geom.Point {
+func (e slowEngine) BatchKNNContext(ctx context.Context, qs []shard.KNNQuery) ([][]geom.Point, error) {
 	time.Sleep(e.delay)
-	return e.Engine.BatchKNN(qs)
+	return e.Engine.BatchKNNContext(ctx, qs)
 }
 
 // RunRegression executes the gate's fixed measurement plan and logs
@@ -108,6 +113,7 @@ func RunRegression(w io.Writer) (Metrics, error) {
 	opts.Epochs = 10
 	opts.PartitionThreshold = 0 // auto per-shard threshold
 	eng := shard.New(pts, shard.Options{Shards: shards, Index: opts})
+	m.Engine = eng.Name()
 
 	// Sharded: engine-level batched window throughput.
 	wins := workload.Windows(pts, queries, 0.0001, 1, 2)

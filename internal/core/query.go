@@ -148,11 +148,17 @@ func (t *RSMI) findPointIn(q geom.Point, lo, hi int) (baseID, slot int, found bo
 // positives; it may miss points whose blocks fall outside the predicted
 // range (the approximate behaviour evaluated in §6.2.3, recall > 87%).
 func (t *RSMI) WindowQuery(q geom.Rect) []geom.Point {
+	return t.windowQueryAppend(nil, q)
+}
+
+// windowQueryAppend is WindowQuery appending into dst (which may be nil),
+// the shared implementation behind WindowQuery and WindowQueryAppend.
+func (t *RSMI) windowQueryAppend(dst []geom.Point, q geom.Rect) []geom.Point {
 	begin, end, ok := t.windowBounds(q)
 	if !ok || end < begin {
-		return nil
+		return dst
 	}
-	var out []geom.Point
+	out := dst
 	t.scanRange(begin, end, func(b *store.Block, _ int) bool {
 		// Skip blocks whose cached MBR misses the window without touching
 		// their points (cheap filter; the block read is already counted).

@@ -54,6 +54,14 @@ type Index interface {
 	Accesses() int64
 }
 
+// KNNQuery is one kNN request in a batch: up to K nearest neighbours of Q.
+// It lives here, below every engine package, so the single-index core, the
+// sharded engine, and the serving layer all share one batch-request type.
+type KNNQuery struct {
+	Q geom.Point
+	K int
+}
+
 // Stats describes an index's structure and cost.
 type Stats struct {
 	// Name is the index display name.

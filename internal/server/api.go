@@ -121,6 +121,9 @@ type CoalesceStats struct {
 
 // StatsResponse answers /v1/stats.
 type StatsResponse struct {
+	// Engine is the backend's display name ("Sharded", "RR*", "Grid", …),
+	// so monitoring can tell which index is behind the endpoint.
+	Engine         string             `json:"engine,omitempty"`
 	Points         int                `json:"points"`
 	Shards         int                `json:"shards,omitempty"`
 	UptimeSec      float64            `json:"uptime_sec"`

@@ -388,7 +388,15 @@ func BenchmarkBatchEncode(b *testing.B) {
 			buf = appendBatchAnswers(appendBinHeader(buf[:0]), answers)
 		}
 	})
-	b.Run("json", func(b *testing.B) {
+	b.Run("json-stream", func(b *testing.B) {
+		buf := appendBatchAnswersJSON(nil, answers)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = appendBatchAnswersJSON(buf[:0], answers)
+		}
+	})
+	b.Run("json-marshal", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := json.Marshal(BatchResponse{Results: toBatchResults(answers)}); err != nil {

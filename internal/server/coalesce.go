@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,12 +26,24 @@ import (
 // next batch is bigger and the per-query overhead (lock acquisitions,
 // fan-out hand-offs) shrinks — the inference-amortisation argument of
 // "The Case for Learned Spatial Indexes" applied to concurrent clients.
+//
+// # Contexts
+//
+// Every submission carries its request's context. The engine call runs
+// under a batch context carrying the earliest deadline of the
+// micro-batch's members (cancellation signals are deliberately NOT
+// merged: one client's disconnect must not fail its batch peers, but a
+// deadline the server cannot meet for the most impatient member is
+// worth enforcing for the whole batch — see batchContext). A caller
+// whose own context ends while its batch is queued or executing stops
+// waiting and gets its context's error; the batch still completes for
+// its peers.
 type coalescer[Q, R any] struct {
 	in       chan pending[Q, R]
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     chan struct{}
-	run      func([]Q) []R
+	run      func(context.Context, []Q) ([]R, error)
 	maxBatch int
 	window   time.Duration
 
@@ -42,14 +56,22 @@ type coalescer[Q, R any] struct {
 	direct atomic.Int64
 }
 
-// pending is one submitted query awaiting its batch.
+// pending is one submitted query awaiting its batch, with the context of
+// the request that submitted it.
 type pending[Q, R any] struct {
 	q     Q
-	reply chan R
+	ctx   context.Context
+	reply chan answer[R]
+}
+
+// answer is one query's outcome: its result or its batch's error.
+type answer[R any] struct {
+	r   R
+	err error
 }
 
 // newCoalescer starts the dispatcher goroutine.
-func newCoalescer[Q, R any](maxBatch int, window time.Duration, run func([]Q) []R) *coalescer[Q, R] {
+func newCoalescer[Q, R any](maxBatch int, window time.Duration, run func(context.Context, []Q) ([]R, error)) *coalescer[Q, R] {
 	c := &coalescer[Q, R]{
 		in:       make(chan pending[Q, R], 2*maxBatch),
 		stop:     make(chan struct{}),
@@ -62,33 +84,55 @@ func newCoalescer[Q, R any](maxBatch int, window time.Duration, run func([]Q) []
 	return c
 }
 
-// do submits one query and blocks until its batch executed. After
-// shutdown it degrades to direct execution, so late callers never hang.
-func (c *coalescer[Q, R]) do(q Q) R {
-	p := pending[Q, R]{q: q, reply: make(chan R, 1)}
+// do submits one query and blocks until its batch executed or ctx ends.
+// After shutdown it degrades to direct execution, so late callers never
+// hang.
+func (c *coalescer[Q, R]) do(ctx context.Context, q Q) (R, error) {
+	var zero R
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	p := pending[Q, R]{q: q, ctx: ctx, reply: make(chan answer[R], 1)}
 	select {
 	case c.in <- p:
+	case <-ctx.Done():
+		return zero, ctx.Err()
 	case <-c.stop:
 		// in's buffer is full (or stop won the race): run directly.
 		c.direct.Add(1)
-		return c.run([]Q{q})[0]
+		return c.runOne(ctx, q)
 	}
 	// The submit channel is buffered, so the send can succeed after stop
 	// closed; if the dispatcher exits without draining our item, fall back
 	// to direct execution (done closes only after the dispatcher's last
 	// reply, so a non-blocking reply check is then definitive).
 	select {
-	case r := <-p.reply:
-		return r
+	case a := <-p.reply:
+		return a.r, a.err
+	case <-ctx.Done():
+		// Abandon the slot: the dispatcher answers into the buffered reply
+		// channel (never blocking on us) and the batch completes for its
+		// peers; this caller's client is gone or out of time.
+		return zero, ctx.Err()
 	case <-c.done:
 		select {
-		case r := <-p.reply:
-			return r
+		case a := <-p.reply:
+			return a.r, a.err
 		default:
 			c.direct.Add(1)
-			return c.run([]Q{q})[0]
+			return c.runOne(ctx, q)
 		}
 	}
+}
+
+// runOne executes a single query outside any batch.
+func (c *coalescer[Q, R]) runOne(ctx context.Context, q Q) (R, error) {
+	rs, err := c.run(ctx, []Q{q})
+	if err != nil {
+		var zero R
+		return zero, err
+	}
+	return rs[0], nil
 }
 
 // shutdown stops the dispatcher and waits for it to serve any queries
@@ -124,6 +168,26 @@ func (c *coalescer[Q, R]) loop() {
 	}
 }
 
+// batchContext derives the context an engine batch call runs under: the
+// earliest deadline among the batch's members, on a fresh background
+// context. Member cancellations are not propagated — a batch is shared
+// work, and one caller's disconnect must not fail its peers — but the
+// earliest deadline is: if the server cannot answer the most impatient
+// member in time, the whole batch is abandoned rather than computed for
+// callers who have stopped waiting.
+func batchContext[Q, R any](batch []pending[Q, R]) (context.Context, context.CancelFunc) {
+	var earliest time.Time
+	for _, p := range batch {
+		if d, ok := p.ctx.Deadline(); ok && (earliest.IsZero() || d.Before(earliest)) {
+			earliest = d
+		}
+	}
+	if earliest.IsZero() {
+		return context.Background(), nil
+	}
+	return context.WithDeadline(context.Background(), earliest)
+}
+
 // collectAndRun grows a batch from first, executes it, and distributes
 // the answers.
 func (c *coalescer[Q, R]) collectAndRun(first pending[Q, R]) {
@@ -156,17 +220,43 @@ func (c *coalescer[Q, R]) collectAndRun(first pending[Q, R]) {
 			}
 		}
 	}
-	qs := make([]Q, len(batch))
-	for i, p := range batch {
+	// Members whose context already ended (deadline passed while queued,
+	// client gone) are answered with their own error and excluded: an
+	// expired member must neither be computed for nor poison the batch
+	// context with an already-past deadline, failing healthy peers.
+	live := batch[:0]
+	for _, p := range batch {
+		if err := p.ctx.Err(); err != nil {
+			p.reply <- answer[R]{err: err}
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+	qs := make([]Q, len(live))
+	for i, p := range live {
 		qs[i] = p.q
 	}
-	rs := c.run(qs)
-	for i, p := range batch {
-		p.reply <- rs[i]
+	ctx, cancel := batchContext(live)
+	rs, err := c.run(ctx, qs)
+	if cancel != nil {
+		cancel()
+	}
+	if err == nil && len(rs) != len(live) {
+		err = fmt.Errorf("server: engine batch returned %d answers for %d queries", len(rs), len(live))
+	}
+	for i, p := range live {
+		if err != nil {
+			p.reply <- answer[R]{err: err}
+		} else {
+			p.reply <- answer[R]{r: rs[i]}
+		}
 	}
 	c.batches.Add(1)
-	c.queries.Add(int64(len(batch)))
-	if n := int64(len(batch)); n > c.maxSeen.Load() {
+	c.queries.Add(int64(len(live)))
+	if n := int64(len(live)); n > c.maxSeen.Load() {
 		c.maxSeen.Store(n)
 	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -146,6 +147,31 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
 }
 
+// statusClientClosedRequest is the (nginx-convention) status for a query
+// abandoned because its client disconnected. The response is rarely
+// observable — the connection is gone — but the code keeps the stats and
+// logs honest.
+const statusClientClosedRequest = 499
+
+// engineErrorCode maps an engine execution error to an HTTP status:
+// deadline-exceeded means the server ran out of time (504), cancellation
+// means the client went away (499), anything else is a server fault.
+func engineErrorCode(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeEngineError answers a failed engine execution.
+func writeEngineError(w http.ResponseWriter, err error) {
+	writeError(w, engineErrorCode(err), err.Error())
+}
+
 // finite rejects NaN/Inf coordinates, which would corrupt shard routing.
 func finite(fs ...float64) error {
 	for _, f := range fs {
@@ -196,26 +222,29 @@ func respondPoints(w http.ResponseWriter, r *http.Request, pts []geom.Point) {
 	writeJSON(w, PointsResponse{Count: len(pts), Points: toPoints(pts)})
 }
 
-// queryPoint routes a point probe through the coalescer when enabled.
-func (s *Server) queryPoint(p geom.Point) bool {
+// queryPoint routes a point probe through the coalescer when enabled,
+// threading the request's context either way: the coalescer propagates
+// its micro-batch's earliest deadline into the engine, the direct path
+// hands ctx straight down, and Sharded observes it between shard visits.
+func (s *Server) queryPoint(ctx context.Context, p geom.Point) (bool, error) {
 	if s.coPoint != nil {
-		return s.coPoint.do(p)
+		return s.coPoint.do(ctx, p)
 	}
-	return s.eng.PointQuery(p)
+	return s.eng.PointQueryContext(ctx, p)
 }
 
-func (s *Server) queryWindow(q geom.Rect) []geom.Point {
+func (s *Server) queryWindow(ctx context.Context, q geom.Rect) ([]geom.Point, error) {
 	if s.coWindow != nil {
-		return s.coWindow.do(q)
+		return s.coWindow.do(ctx, q)
 	}
-	return s.eng.WindowQuery(q)
+	return s.eng.WindowQueryContext(ctx, q)
 }
 
-func (s *Server) queryKNN(q shard.KNNQuery) []geom.Point {
+func (s *Server) queryKNN(ctx context.Context, q shard.KNNQuery) ([]geom.Point, error) {
 	if s.coKNN != nil {
-		return s.coKNN.do(q)
+		return s.coKNN.do(ctx, q)
 	}
-	return s.eng.KNN(q.Q, q.K)
+	return s.eng.KNNContext(ctx, q.Q, q.K)
 }
 
 func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
@@ -234,7 +263,11 @@ func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	found := s.queryPoint(geom.Pt(op.X, op.Y))
+	found, err := s.queryPoint(r.Context(), geom.Pt(op.X, op.Y))
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
 	s.histPoint.observe(time.Since(start))
 	respondBool(w, r, FoundResponse{Found: found}, found)
 }
@@ -256,7 +289,11 @@ func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	pts := s.queryWindow(q)
+	pts, err := s.queryWindow(r.Context(), q)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
 	s.histWindow.observe(time.Since(start))
 	respondPoints(w, r, pts)
 }
@@ -277,7 +314,11 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	pts := s.queryKNN(shard.KNNQuery{Q: geom.Pt(op.X, op.Y), K: op.K})
+	pts, err := s.queryKNN(r.Context(), shard.KNNQuery{Q: geom.Pt(op.X, op.Y), K: op.K})
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
 	s.histKNN.observe(time.Since(start))
 	respondPoints(w, r, pts)
 }
@@ -298,7 +339,10 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	s.eng.Insert(geom.Pt(op.X, op.Y))
+	if err := s.eng.InsertContext(r.Context(), geom.Pt(op.X, op.Y)); err != nil {
+		writeEngineError(w, err)
+		return
+	}
 	s.histInsert.observe(time.Since(start))
 	respondBool(w, r, OKResponse{OK: true}, true)
 }
@@ -319,7 +363,11 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	deleted := s.eng.Delete(geom.Pt(op.X, op.Y))
+	deleted, err := s.eng.DeleteContext(r.Context(), geom.Pt(op.X, op.Y))
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
 	s.histDelete.observe(time.Since(start))
 	respondBool(w, r, DeletedResponse{Deleted: deleted}, deleted)
 }
@@ -346,12 +394,17 @@ func validateOps(ops []BatchOp) error {
 
 // executeBatch runs a validated heterogeneous operation list with one
 // engine batch call per query kind: queries are grouped by kind, executed
-// via BatchPointQuery / BatchWindowQuery / BatchKNN (writes run
-// individually, in request order relative to each other), and the answers
-// are reassembled in request order. It observes histBatch. Both the HTTP
-// /v1/batch handler and the stream transport execute batches through
-// here.
-func (s *Server) executeBatch(ops []BatchOp) []batchAnswer {
+// via the engine's Batch*Context calls (writes run individually, in
+// request order relative to each other), and the answers are reassembled
+// in request order. It observes histBatch. Both the HTTP /v1/batch
+// handler and the stream transport execute batches through here.
+//
+// ctx is the request's context: a batch whose client disconnects or
+// whose deadline passes stops between engine calls (and, on Sharded,
+// between shard visits inside one) and returns the context's error —
+// writes already applied stay applied, exactly as a batch interleaved
+// with a concurrent writer's operations would.
+func (s *Server) executeBatch(ctx context.Context, ops []BatchOp) ([]batchAnswer, error) {
 	start := time.Now()
 	answers := make([]batchAnswer, len(ops))
 	var (
@@ -375,29 +428,47 @@ func (s *Server) executeBatch(ops []BatchOp) []batchAnswer {
 			knns = append(knns, shard.KNNQuery{Q: geom.Pt(op.X, op.Y), K: op.K})
 			knnIdx = append(knnIdx, i)
 		case OpInsert:
-			s.eng.Insert(geom.Pt(op.X, op.Y))
+			if err := s.eng.InsertContext(ctx, geom.Pt(op.X, op.Y)); err != nil {
+				return nil, err
+			}
 			answers[i].flag = true
 		case OpDelete:
-			answers[i].flag = s.eng.Delete(geom.Pt(op.X, op.Y))
+			deleted, err := s.eng.DeleteContext(ctx, geom.Pt(op.X, op.Y))
+			if err != nil {
+				return nil, err
+			}
+			answers[i].flag = deleted
 		}
 	}
 	if len(points) > 0 {
-		for j, found := range s.eng.BatchPointQuery(points) {
-			answers[pointIdx[j]].flag = found
+		found, err := s.eng.BatchPointQueryContext(ctx, points)
+		if err != nil {
+			return nil, err
+		}
+		for j, f := range found {
+			answers[pointIdx[j]].flag = f
 		}
 	}
 	if len(windows) > 0 {
-		for j, pts := range s.eng.BatchWindowQuery(windows) {
+		wins, err := s.eng.BatchWindowQueryContext(ctx, windows)
+		if err != nil {
+			return nil, err
+		}
+		for j, pts := range wins {
 			answers[winIdx[j]].pts = pts
 		}
 	}
 	if len(knns) > 0 {
-		for j, pts := range s.eng.BatchKNN(knns) {
+		nns, err := s.eng.BatchKNNContext(ctx, knns)
+		if err != nil {
+			return nil, err
+		}
+		for j, pts := range nns {
 			answers[knnIdx[j]].pts = pts
 		}
 	}
 	s.histBatch.observe(time.Since(start))
-	return answers
+	return answers, nil
 }
 
 // handleBatch answers /v1/batch via executeBatch. A batch is not a
@@ -422,14 +493,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	answers := s.executeBatch(ops)
+	answers, err := s.executeBatch(r.Context(), ops)
+	if err != nil {
+		writeEngineError(w, err)
+		return
+	}
 	if wantsBinaryResponse(r) {
 		// The engine's result points are encoded straight into the pooled
 		// frame buffer: O(1) allocations per batch, whatever its size.
 		writeBinary(w, func(b []byte) []byte { return appendBatchAnswers(b, answers) })
 		return
 	}
-	writeJSON(w, BatchResponse{Results: toBatchResults(answers)})
+	// The JSON path streams too: the response is encoded straight from
+	// the engine's points into the pooled buffer (jsonstream.go) — no
+	// []PointJSON intermediates, O(1) allocations per batch like the
+	// binary path.
+	writeJSONBuffered(w, func(b []byte) []byte { return appendBatchAnswersJSON(b, answers) })
 }
 
 func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
@@ -446,6 +525,7 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
+		Engine:         s.eng.Name(),
 		Points:         s.eng.Len(),
 		UptimeSec:      time.Since(s.start).Seconds(),
 		BlockAccesses:  s.eng.Accesses(),

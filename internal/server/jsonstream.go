@@ -1,0 +1,111 @@
+package server
+
+// Streaming JSON encoding of /v1/batch responses. The binary path has
+// encoded batch answers straight from the engine's []geom.Point into a
+// pooled buffer since rsmibin landed; the JSON path used to build a
+// []BatchResult with one []PointJSON per window/kNN answer first — two
+// allocations per result plus the encoder's reflection walk, pure GC
+// pressure at batch sizes of 32+. This file closes the ROADMAP
+// "Streaming/zero-copy JSON" item: batch answers are appended directly
+// into the same pooled buffer as the binary path, with O(1) allocations
+// per batch (asserted by TestBatchJSONEncodeAllocs), producing exactly
+// the bytes encoding/json would for BatchResponse — field order,
+// omitempty behaviour, and float formatting included — so JSON clients
+// decode the same documents they always did.
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// appendJSONFloat appends v formatted exactly as encoding/json formats a
+// float64: shortest round-trip representation, 'f' form except for very
+// small or very large magnitudes, which use 'e' form with the exponent's
+// leading zero stripped (1e-9, not 1e-09) — positive exponents keep
+// their '+' (1e+21), matching encoding/json byte for byte. Engine
+// coordinates are validated finite at ingress, so NaN/Inf cannot reach
+// here.
+func appendJSONFloat(b []byte, v float64) []byte {
+	abs := math.Abs(v)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, v, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, as encoding/json does.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// appendBatchAnswersJSON encodes a whole BatchResponse document straight
+// from the executed answers — the JSON twin of appendBatchAnswers.
+// Result objects mirror BatchResult's omitempty encoding: false bools and
+// empty point lists encode as {}.
+func appendBatchAnswersJSON(b []byte, answers []batchAnswer) []byte {
+	b = append(b, `{"results":[`...)
+	for i, a := range answers {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		switch a.op {
+		case OpPoint:
+			if a.flag {
+				b = append(b, `{"found":true}`...)
+			} else {
+				b = append(b, '{', '}')
+			}
+		case OpDelete:
+			if a.flag {
+				b = append(b, `{"deleted":true}`...)
+			} else {
+				b = append(b, '{', '}')
+			}
+		case OpInsert:
+			if a.flag {
+				b = append(b, `{"ok":true}`...)
+			} else {
+				b = append(b, '{', '}')
+			}
+		default: // window, knn
+			if len(a.pts) == 0 {
+				b = append(b, '{', '}')
+				break
+			}
+			b = append(b, `{"count":`...)
+			b = strconv.AppendInt(b, int64(len(a.pts)), 10)
+			b = append(b, `,"points":[`...)
+			for j, p := range a.pts {
+				if j > 0 {
+					b = append(b, ',')
+				}
+				b = append(b, `{"x":`...)
+				b = appendJSONFloat(b, p.X)
+				b = append(b, `,"y":`...)
+				b = appendJSONFloat(b, p.Y)
+				b = append(b, '}')
+			}
+			b = append(b, ']', '}')
+		}
+	}
+	b = append(b, ']', '}', '\n')
+	return b
+}
+
+// writeJSONBuffered writes one JSON response body built by fill into a
+// pooled buffer — the JSON twin of writeBinary, sharing its pool.
+func writeJSONBuffered(w http.ResponseWriter, fill func([]byte) []byte) {
+	bp := binBufPool.Get().(*[]byte)
+	b := fill((*bp)[:0])
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(b)
+	if cap(b) <= binBufPoolMax {
+		*bp = b[:0]
+		binBufPool.Put(bp)
+	}
+}

@@ -1,10 +1,18 @@
-// Package server is the network serving subsystem: it puts a concurrent
-// spatial index (rsmi.Sharded or rsmi.Concurrent) behind an HTTP+JSON API
-// with batched execution, following the deployment argument of the
-// learned-index serving literature (LiLIS; "The Case for Learned Spatial
-// Indexes"): learned indexes pay off when their per-query inference and
-// fan-out overhead is amortised across many lookups, which requires a
-// serving layer that batches.
+// Package server is the network serving subsystem: it puts any
+// rsmi.Engine — the sharded RSMI, the RWMutex-wrapped single index, or a
+// baseline adapter (R*-tree, Grid File, K-D-B-tree) — behind an
+// HTTP+JSON API with batched execution, following the deployment
+// argument of the learned-index serving literature (LiLIS; "The Case for
+// Learned Spatial Indexes"): learned indexes pay off when their
+// per-query inference and fan-out overhead is amortised across many
+// lookups, which requires a serving layer that batches — and compared
+// fairly only when every backend serves through the identical stack.
+//
+// Request contexts are threaded end to end: handlers pass r.Context()
+// (and the stream transport a per-request deadline) into the engine,
+// which observes cancellation between shard visits, and the request
+// coalescers run each micro-batch under the earliest deadline of its
+// members.
 //
 // # Endpoints
 //
@@ -50,25 +58,18 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rsmi"
 	"rsmi/internal/geom"
 	"rsmi/internal/shard"
 )
 
-// Engine is the index surface the server serves: the shared method set of
-// rsmi.Sharded and rsmi.Concurrent, batch execution included.
-type Engine interface {
-	PointQuery(q geom.Point) bool
-	WindowQuery(q geom.Rect) []geom.Point
-	KNN(q geom.Point, k int) []geom.Point
-	BatchPointQuery(qs []geom.Point) []bool
-	BatchWindowQuery(qs []geom.Rect) [][]geom.Point
-	BatchKNN(qs []shard.KNNQuery) [][]geom.Point
-	Insert(p geom.Point)
-	Delete(p geom.Point) bool
-	Rebuild()
-	Len() int
-	Accesses() int64
-}
+// Engine is the index surface the server serves: the public context-aware
+// rsmi.Engine v2 API, implemented by rsmi.Index, rsmi.Concurrent,
+// rsmi.Sharded, and the baseline adapters (rsmi.NewBaselineEngine), so
+// one serving stack fronts every backend of the paper's evaluation.
+// Handlers thread each request's context into the engine; Sharded
+// observes it between shard visits.
+type Engine = rsmi.Engine
 
 // shardCounter is implemented by sharded engines; /v1/stats reports the
 // shard count when available.
@@ -99,6 +100,12 @@ type Config struct {
 	// Tests and embedders may instead hand ServeStream a listener
 	// directly.
 	StreamAddr string
+	// StreamRequestTimeout, when positive, bounds each stream request's
+	// execution with a per-request deadline (the stream analogue of an
+	// HTTP request context): a request still executing past it fails with
+	// a 504-coded status frame instead of occupying the engine. 0 means
+	// no deadline.
+	StreamRequestTimeout time.Duration
 }
 
 // withDefaults fills unset fields.
@@ -172,9 +179,9 @@ func New(cfg Config) *Server {
 		streamStop:  make(chan struct{}),
 	}
 	if cfg.MaxBatch > 1 {
-		s.coPoint = newCoalescer(cfg.MaxBatch, cfg.BatchWindow, s.eng.BatchPointQuery)
-		s.coWindow = newCoalescer(cfg.MaxBatch, cfg.BatchWindow, s.eng.BatchWindowQuery)
-		s.coKNN = newCoalescer(cfg.MaxBatch, cfg.BatchWindow, s.eng.BatchKNN)
+		s.coPoint = newCoalescer(cfg.MaxBatch, cfg.BatchWindow, s.eng.BatchPointQueryContext)
+		s.coWindow = newCoalescer(cfg.MaxBatch, cfg.BatchWindow, s.eng.BatchWindowQueryContext)
+		s.coKNN = newCoalescer(cfg.MaxBatch, cfg.BatchWindow, s.eng.BatchKNNContext)
 	}
 	s.mux.HandleFunc("/v1/point", s.handlePoint)
 	s.mux.HandleFunc("/v1/window", s.handleWindow)
@@ -257,8 +264,11 @@ func (s *Server) TriggerRebuild() bool {
 			s.rebuildRunning.Store(false)
 			close(done)
 		}()
-		s.eng.Rebuild()
-		s.rebuilds.Add(1)
+		// The rebuild is server-initiated, not tied to any request's
+		// lifetime; Shutdown waits for it rather than cancelling it.
+		if err := s.eng.RebuildContext(context.Background()); err == nil {
+			s.rebuilds.Add(1)
+		}
 	}()
 	return true
 }

@@ -217,20 +217,35 @@ func TestRequestValidation(t *testing.T) {
 }
 
 // blockingEngine wraps an Engine so tests can hold queries open and
-// observe admission control deterministically.
+// observe admission control deterministically. The gate also honours the
+// query's context, so cancellation tests can block a query and then watch
+// it abandon the engine.
 type blockingEngine struct {
 	Engine
 	gate chan struct{}
 }
 
-func (b *blockingEngine) PointQuery(q geom.Point) bool {
-	<-b.gate
-	return b.Engine.PointQuery(q)
+func (b *blockingEngine) wait(ctx context.Context) error {
+	select {
+	case <-b.gate:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
-func (b *blockingEngine) BatchPointQuery(qs []geom.Point) []bool {
-	<-b.gate
-	return b.Engine.BatchPointQuery(qs)
+func (b *blockingEngine) PointQueryContext(ctx context.Context, q geom.Point) (bool, error) {
+	if err := b.wait(ctx); err != nil {
+		return false, err
+	}
+	return b.Engine.PointQueryContext(ctx, q)
+}
+
+func (b *blockingEngine) BatchPointQueryContext(ctx context.Context, qs []geom.Point) ([]bool, error) {
+	if err := b.wait(ctx); err != nil {
+		return nil, err
+	}
+	return b.Engine.BatchPointQueryContext(ctx, qs)
 }
 
 // TestAdmissionControl saturates a MaxInFlight=2 server with held-open
@@ -334,8 +349,8 @@ func TestGracefulShutdown(t *testing.T) {
 	// Coalescers are stopped but late do() calls degrade gracefully —
 	// and the direct-execution fallback is counted, so drain-time traffic
 	// does not vanish from the stats snapshot.
-	if got := s.queryPoint(pts[0]); !got {
-		t.Fatal("post-shutdown query failed")
+	if got, err := s.queryPoint(context.Background(), pts[0]); err != nil || !got {
+		t.Fatalf("post-shutdown query failed: %v, %v", got, err)
 	}
 	if _, _, _, direct := s.coPoint.snapshot(); direct == 0 {
 		t.Fatal("post-shutdown direct execution not counted in coalescer stats")
@@ -347,7 +362,7 @@ func TestGracefulShutdown(t *testing.T) {
 func TestCoalescerBatches(t *testing.T) {
 	var mu sync.Mutex
 	var sizes []int
-	co := newCoalescer(16, time.Millisecond, func(qs []int) []int {
+	co := newCoalescer(16, time.Millisecond, func(_ context.Context, qs []int) ([]int, error) {
 		mu.Lock()
 		sizes = append(sizes, len(qs))
 		mu.Unlock()
@@ -355,7 +370,7 @@ func TestCoalescerBatches(t *testing.T) {
 		for i, q := range qs {
 			out[i] = q * 10
 		}
-		return out
+		return out, nil
 	})
 	defer co.shutdown()
 
@@ -366,7 +381,7 @@ func TestCoalescerBatches(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if got := co.do(i); got != i*10 {
+			if got, err := co.do(context.Background(), i); err != nil || got != i*10 {
 				errs <- "wrong answer routed to caller"
 			}
 		}(i)

@@ -239,10 +239,20 @@ func (s *Server) trackStreamConn(c net.Conn, add bool) bool {
 // serveStreamConn runs one connection: read frames, dispatch each to its
 // own goroutine (pipelining — a slow query must not head-of-line block
 // the frames behind it), answer through the shared writer. The read loop
-// exits on connection error, frame corruption, or shutdown (Shutdown sets
-// a past read deadline on every live connection); requests already
-// dispatched always finish and write their responses before the
-// connection closes.
+// exits on connection error, frame corruption, or shutdown (Shutdown
+// sets a past read deadline on every live connection).
+//
+// Each request executes under the connection's context, and what happens
+// to requests already dispatched when the read loop exits depends on
+// why it exited. During Shutdown the context stays live: requests
+// already read are drained, answered, and only then is the connection
+// closed, exactly like HTTP draining. On any other exit — the peer
+// disconnected or half-closed its write side, or the stream is corrupt
+// — the context is cancelled and in-flight requests abort between shard
+// visits with 499-coded status frames: a closed read side is treated as
+// the client abandoning its outstanding requests (the in-repo client
+// never half-closes), the same judgement HTTP makes when a request's
+// connection drops.
 func (s *Server) serveStreamConn(conn net.Conn) {
 	if !s.trackStreamConn(conn, true) {
 		conn.Close()
@@ -250,6 +260,8 @@ func (s *Server) serveStreamConn(conn net.Conn) {
 	}
 	defer conn.Close()
 	defer s.trackStreamConn(conn, false)
+	connCtx, connCancel := context.WithCancel(context.Background())
+	defer connCancel()
 	sw := &streamWriter{conn: conn}
 	br := bufio.NewReaderSize(conn, streamReadBuf)
 	var reqWG sync.WaitGroup
@@ -270,8 +282,17 @@ func (s *Server) serveStreamConn(conn net.Conn) {
 				<-pipeline
 				reqWG.Done()
 			}()
-			s.handleStreamRequest(sw, id, payload)
+			s.handleStreamRequest(connCtx, sw, id, payload)
 		}(id, payload)
+	}
+	// The read loop is done. If this is a graceful shutdown the client is
+	// still listening: leave the context live so dispatched requests drain
+	// and answer. Otherwise the connection is gone or unsynchronised —
+	// cancel, so in-flight queries stop early.
+	select {
+	case <-s.streamStop:
+	default:
+		connCancel()
 	}
 	reqWG.Wait()
 }
@@ -279,13 +300,20 @@ func (s *Server) serveStreamConn(conn net.Conn) {
 // handleStreamRequest serves one decoded frame with the exact HTTP
 // semantics: admission gate, validation, coalescers for one-op query
 // frames, executeBatch for multi-op frames, per-op/batch histograms.
-func (s *Server) handleStreamRequest(sw *streamWriter, id uint64, payload []byte) {
+// ctx is the connection's context, additionally bounded by the
+// per-request deadline when Config.StreamRequestTimeout is set.
+func (s *Server) handleStreamRequest(ctx context.Context, sw *streamWriter, id uint64, payload []byte) {
 	release, ok := s.admitSlot()
 	if !ok {
 		sw.writeError(id, http.StatusTooManyRequests, "server saturated; retry")
 		return
 	}
 	defer release()
+	if s.cfg.StreamRequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.StreamRequestTimeout)
+		defer cancel()
+	}
 	ops, err := decodeBinaryOps(payload, false)
 	if err != nil {
 		sw.writeError(id, http.StatusBadRequest, err.Error())
@@ -297,9 +325,13 @@ func (s *Server) handleStreamRequest(sw *streamWriter, id uint64, payload []byte
 	}
 	var answers []batchAnswer
 	if len(ops) == 1 {
-		answers = []batchAnswer{s.executeSingle(ops[0])}
+		answers, err = s.executeSingle(ctx, ops[0])
 	} else {
-		answers = s.executeBatch(ops)
+		answers, err = s.executeBatch(ctx, ops)
+	}
+	if err != nil {
+		sw.writeError(id, engineErrorCode(err), err.Error())
+		return
 	}
 	sw.writeAnswers(id, answers)
 }
@@ -308,28 +340,37 @@ func (s *Server) handleStreamRequest(sw *streamWriter, id uint64, payload []byte
 // queries through the request coalescer (so back-to-back frames from
 // pipelined connections micro-batch), writes directly, each observing its
 // per-op histogram.
-func (s *Server) executeSingle(op BatchOp) batchAnswer {
+func (s *Server) executeSingle(ctx context.Context, op BatchOp) ([]batchAnswer, error) {
 	a := batchAnswer{op: op.Op}
+	var err error
 	start := time.Now()
 	switch op.Op {
 	case OpPoint:
-		a.flag = s.queryPoint(geom.Pt(op.X, op.Y))
-		s.histPoint.observe(time.Since(start))
+		if a.flag, err = s.queryPoint(ctx, geom.Pt(op.X, op.Y)); err == nil {
+			s.histPoint.observe(time.Since(start))
+		}
 	case OpWindow:
-		a.pts = s.queryWindow(geom.Rect{MinX: op.MinX, MinY: op.MinY, MaxX: op.MaxX, MaxY: op.MaxY})
-		s.histWindow.observe(time.Since(start))
+		if a.pts, err = s.queryWindow(ctx, geom.Rect{MinX: op.MinX, MinY: op.MinY, MaxX: op.MaxX, MaxY: op.MaxY}); err == nil {
+			s.histWindow.observe(time.Since(start))
+		}
 	case OpKNN:
-		a.pts = s.queryKNN(shard.KNNQuery{Q: geom.Pt(op.X, op.Y), K: op.K})
-		s.histKNN.observe(time.Since(start))
+		if a.pts, err = s.queryKNN(ctx, shard.KNNQuery{Q: geom.Pt(op.X, op.Y), K: op.K}); err == nil {
+			s.histKNN.observe(time.Since(start))
+		}
 	case OpInsert:
-		s.eng.Insert(geom.Pt(op.X, op.Y))
-		a.flag = true
-		s.histInsert.observe(time.Since(start))
+		if err = s.eng.InsertContext(ctx, geom.Pt(op.X, op.Y)); err == nil {
+			a.flag = true
+			s.histInsert.observe(time.Since(start))
+		}
 	case OpDelete:
-		a.flag = s.eng.Delete(geom.Pt(op.X, op.Y))
-		s.histDelete.observe(time.Since(start))
+		if a.flag, err = s.eng.DeleteContext(ctx, geom.Pt(op.X, op.Y)); err == nil {
+			s.histDelete.observe(time.Since(start))
+		}
 	}
-	return a
+	if err != nil {
+		return nil, err
+	}
+	return []batchAnswer{a}, nil
 }
 
 // shutdownStream stops the stream transport: close listeners, interrupt

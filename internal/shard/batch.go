@@ -1,9 +1,11 @@
 package shard
 
 import (
+	"context"
 	"sync/atomic"
 
 	"rsmi/internal/geom"
+	"rsmi/internal/index"
 )
 
 // Batch execution layer. A network server amortises two per-query costs by
@@ -23,10 +25,7 @@ import (
 // single-query counterpart.
 
 // KNNQuery is one kNN request in a batch: up to K nearest neighbours of Q.
-type KNNQuery struct {
-	Q geom.Point
-	K int
-}
+type KNNQuery = index.KNNQuery
 
 // batchRef locates one query's slot inside a per-shard group: qi indexes
 // the batch, slot is the position of the shard in the query's candidate
@@ -40,9 +39,15 @@ type batchRef struct {
 // probes per shard so each shard's lock is taken once per batch. Answers
 // are exact and identical to calling PointQuery per element.
 func (s *Sharded) BatchPointQuery(qs []geom.Point) []bool {
+	out, _ := s.batchPointQuery(context.Background(), qs)
+	return out
+}
+
+// batchPointQuery is BatchPointQuery observing ctx between shard visits.
+func (s *Sharded) batchPointQuery(ctx context.Context, qs []geom.Point) ([]bool, error) {
 	out := make([]bool, len(qs))
 	if len(qs) == 0 {
-		return out
+		return out, ctx.Err()
 	}
 	// found uses atomics: under space partitioning overlapping regions can
 	// assign one query to several shards, whose groups run concurrently.
@@ -64,17 +69,19 @@ func (s *Sharded) BatchPointQuery(qs []geom.Point) []bool {
 			}
 		}
 	}
-	s.fanOut(cands, func(i int, sh *state) {
+	if err := s.fanOut(ctx, cands, func(i int, sh *state) {
 		for _, qi := range groups[i] {
 			if !found[qi].Load() && sh.idx.PointQuery(qs[qi]) {
 				found[qi].Store(true)
 			}
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for i := range out {
 		out[i] = found[i].Load()
 	}
-	return out
+	return out, nil
 }
 
 // BatchWindowQuery answers one window query per element of qs, grouping
@@ -83,9 +90,15 @@ func (s *Sharded) BatchPointQuery(qs []geom.Point) []bool {
 // approximate no-false-positive semantics, same deterministic shard-order
 // concatenation).
 func (s *Sharded) BatchWindowQuery(qs []geom.Rect) [][]geom.Point {
+	out, _ := s.batchWindowQuery(context.Background(), qs)
+	return out
+}
+
+// batchWindowQuery is BatchWindowQuery observing ctx between shard visits.
+func (s *Sharded) batchWindowQuery(ctx context.Context, qs []geom.Rect) ([][]geom.Point, error) {
 	out := make([][]geom.Point, len(qs))
 	if len(qs) == 0 {
-		return out
+		return out, ctx.Err()
 	}
 	// parts[qi][slot] is query qi's answer from its slot-th candidate
 	// shard; distinct cells, so group goroutines never share a slot.
@@ -105,11 +118,13 @@ func (s *Sharded) BatchWindowQuery(qs []geom.Rect) [][]geom.Point {
 		}
 		parts[qi] = make([][]geom.Point, n)
 	}
-	s.fanOut(cands, func(i int, sh *state) {
+	if err := s.fanOut(ctx, cands, func(i int, sh *state) {
 		for _, ref := range groups[i] {
 			parts[ref.qi][ref.slot] = sh.idx.WindowQuery(qs[ref.qi])
 		}
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for qi := range qs {
 		var merged []geom.Point
 		for _, part := range parts[qi] {
@@ -117,7 +132,7 @@ func (s *Sharded) BatchWindowQuery(qs []geom.Rect) [][]geom.Point {
 		}
 		out[qi] = merged
 	}
-	return out
+	return out, nil
 }
 
 // BatchKNN answers one kNN query per element of qs. Every non-empty shard
@@ -130,6 +145,12 @@ func (s *Sharded) BatchWindowQuery(qs []geom.Rect) [][]geom.Point {
 // guarantees as KNN: real indexed points, closest first, at most
 // min(k, Len) of them (k <= 0 yields nil).
 func (s *Sharded) BatchKNN(qs []KNNQuery) [][]geom.Point {
+	out, _ := s.batchKNN(context.Background(), qs)
+	return out
+}
+
+// batchKNN is BatchKNN observing ctx between shard visits.
+func (s *Sharded) batchKNN(ctx context.Context, qs []KNNQuery) ([][]geom.Point, error) {
 	out := make([][]geom.Point, len(qs))
 	bounds := make([]*sharedBound, len(qs))
 	any := false
@@ -140,7 +161,7 @@ func (s *Sharded) BatchKNN(qs []KNNQuery) [][]geom.Point {
 		}
 	}
 	if !any {
-		return out
+		return out, ctx.Err()
 	}
 	var cands []*state
 	for _, sh := range s.shards {
@@ -148,7 +169,7 @@ func (s *Sharded) BatchKNN(qs []KNNQuery) [][]geom.Point {
 			cands = append(cands, sh)
 		}
 	}
-	s.fanOut(cands, func(_ int, sh *state) {
+	err := s.fanOut(ctx, cands, func(_ int, sh *state) {
 		r := sh.loadRegion()
 		for i, q := range qs {
 			b := bounds[i]
@@ -164,12 +185,15 @@ func (s *Sharded) BatchKNN(qs []KNNQuery) [][]geom.Point {
 			b.merge(sh.idx.KNN(q.Q, q.K))
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	for i, b := range bounds {
 		if b != nil {
 			out[i] = b.sorted()
 		}
 	}
-	return out
+	return out, nil
 }
 
 // shardSlots maps shard index → position in a batch's compact candidate

@@ -1,0 +1,238 @@
+package shard
+
+// Cancellation semantics of the sharded fan-outs: deadline-exceeded and
+// mid-query cancel must stop window/kNN execution between shard visits
+// (never surfacing a partial answer), and the context-free methods must
+// stay byte-identical wrappers. Run under -race in CI.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rsmi/internal/core"
+	"rsmi/internal/dataset"
+	"rsmi/internal/geom"
+)
+
+// buildCtx builds a small sharded index whose every shard overlaps the
+// full-space window, with Workers=1 so fan-out visit order (and therefore
+// mid-query cancellation) is deterministic.
+func buildCtx(t *testing.T, shards int) (*Sharded, []geom.Point) {
+	t.Helper()
+	pts := dataset.Generate(dataset.Uniform, 1200, 17)
+	s := New(pts, Options{
+		Shards:  shards,
+		Workers: 1,
+		Index: core.Options{
+			BlockCapacity:      25,
+			PartitionThreshold: 100,
+			Epochs:             5,
+			LearningRate:       0.1,
+			Seed:               1,
+		},
+	})
+	return s, pts
+}
+
+var fullSpace = geom.Rect{MinX: -1, MinY: -1, MaxX: 2, MaxY: 2}
+
+// TestWindowFanOutStopsOnCancel cancels the context from inside the first
+// shard visit and asserts the fan-out stops before visiting all shards —
+// the acceptance criterion of the v2 API redesign.
+func TestWindowFanOutStopsOnCancel(t *testing.T) {
+	s, _ := buildCtx(t, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	visits := 0
+	_, err := s.gatherWindow(ctx, nil, fullSpace, func(sh *state) []geom.Point {
+		visits++
+		if visits == 1 {
+			cancel()
+		}
+		return sh.idx.WindowQuery(fullSpace)
+	})
+	if err != context.Canceled {
+		t.Fatalf("cancelled window fan-out returned %v, want context.Canceled", err)
+	}
+	if visits >= s.NumShards() {
+		t.Fatalf("cancelled fan-out still visited all %d shards", visits)
+	}
+	if visits != 1 {
+		t.Fatalf("Workers=1 fan-out visited %d shards after cancel, want exactly 1", visits)
+	}
+}
+
+// TestKNNFanOutStopsOnCancel is the kNN counterpart: cancelling during
+// the first shard's search stops the best-first fan-out.
+func TestKNNFanOutStopsOnCancel(t *testing.T) {
+	s, pts := buildCtx(t, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	visits := 0
+	_, err := s.knnFanOut(ctx, pts[0], 5, func(sh *state, k int) []geom.Point {
+		visits++
+		if visits == 1 {
+			cancel()
+		}
+		return sh.idx.KNN(pts[0], k)
+	})
+	if err != context.Canceled {
+		t.Fatalf("cancelled kNN fan-out returned %v, want context.Canceled", err)
+	}
+	if visits >= s.NumShards() {
+		t.Fatalf("cancelled kNN fan-out still visited all %d shards", visits)
+	}
+}
+
+// TestDeadlineExceededFansOutNothing checks that an already-expired
+// deadline fails every context-aware query without touching a single
+// block, on both the parallel (default Workers) and serial paths.
+func TestDeadlineExceededFansOutNothing(t *testing.T) {
+	pts := dataset.Generate(dataset.Uniform, 1200, 19)
+	for _, workers := range []int{0, 1} {
+		s := New(pts, Options{Shards: 4, Workers: workers, Index: core.Options{
+			BlockCapacity: 25, PartitionThreshold: 100, Epochs: 5, LearningRate: 0.1, Seed: 1,
+		}})
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		s.ResetAccesses()
+
+		if _, err := s.WindowQueryContext(ctx, fullSpace); err != context.DeadlineExceeded {
+			t.Fatalf("WindowQueryContext: %v, want DeadlineExceeded", err)
+		}
+		if _, err := s.ExactWindowContext(ctx, fullSpace); err != context.DeadlineExceeded {
+			t.Fatalf("ExactWindowContext: %v", err)
+		}
+		if _, err := s.KNNContext(ctx, pts[0], 5); err != context.DeadlineExceeded {
+			t.Fatalf("KNNContext: %v", err)
+		}
+		if _, err := s.ExactKNNContext(ctx, pts[0], 5); err != context.DeadlineExceeded {
+			t.Fatalf("ExactKNNContext: %v", err)
+		}
+		if _, err := s.PointQueryContext(ctx, pts[0]); err != context.DeadlineExceeded {
+			t.Fatalf("PointQueryContext: %v", err)
+		}
+		if _, err := s.BatchWindowQueryContext(ctx, []geom.Rect{fullSpace}); err != context.DeadlineExceeded {
+			t.Fatalf("BatchWindowQueryContext: %v", err)
+		}
+		if _, err := s.BatchPointQueryContext(ctx, pts[:3]); err != context.DeadlineExceeded {
+			t.Fatalf("BatchPointQueryContext: %v", err)
+		}
+		if _, err := s.BatchKNNContext(ctx, []KNNQuery{{Q: pts[0], K: 3}}); err != context.DeadlineExceeded {
+			t.Fatalf("BatchKNNContext: %v", err)
+		}
+		if err := s.InsertContext(ctx, geom.Pt(0.5, 0.5)); err != context.DeadlineExceeded {
+			t.Fatalf("InsertContext: %v", err)
+		}
+		if _, err := s.DeleteContext(ctx, pts[0]); err != context.DeadlineExceeded {
+			t.Fatalf("DeleteContext: %v", err)
+		}
+		if err := s.RebuildContext(ctx); err != context.DeadlineExceeded {
+			t.Fatalf("RebuildContext: %v", err)
+		}
+		if n := s.Accesses(); n != 0 {
+			t.Fatalf("expired-context queries touched %d blocks, want 0", n)
+		}
+	}
+}
+
+// TestContextVariantsMatchLegacy pins the compatibility contract: with a
+// background context, every context variant answers exactly like its
+// context-free wrapper.
+func TestContextVariantsMatchLegacy(t *testing.T) {
+	s, pts := buildCtx(t, 4)
+	ctx := context.Background()
+	q := geom.RectAround(pts[3], 0.2, 0.2)
+
+	found, err := s.PointQueryContext(ctx, pts[0])
+	if err != nil || found != s.PointQuery(pts[0]) {
+		t.Fatalf("PointQueryContext mismatch: %v, %v", found, err)
+	}
+	win, err := s.WindowQueryContext(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := s.WindowQuery(q)
+	if len(win) != len(legacy) {
+		t.Fatalf("WindowQueryContext: %d points, legacy %d", len(win), len(legacy))
+	}
+	for i := range win {
+		if win[i] != legacy[i] {
+			t.Fatalf("window point %d differs", i)
+		}
+	}
+	knn, err := s.KNNContext(ctx, pts[5], 7)
+	if err != nil || len(knn) != 7 {
+		t.Fatalf("KNNContext: %d points, %v", len(knn), err)
+	}
+	lknn := s.KNN(pts[5], 7)
+	for i := range knn {
+		if knn[i] != lknn[i] {
+			t.Fatalf("kNN point %d differs", i)
+		}
+	}
+
+	// WindowQueryAppend reuses the caller's buffer and appends exactly
+	// the WindowQuery answer.
+	dst := make([]geom.Point, 1, 64)
+	dst[0] = geom.Pt(-7, -7)
+	got, err := s.WindowQueryAppend(ctx, dst, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1+len(legacy) || got[0] != geom.Pt(-7, -7) {
+		t.Fatalf("WindowQueryAppend: %d points (want prefix + %d)", len(got), len(legacy))
+	}
+	for i := range legacy {
+		if got[1+i] != legacy[i] {
+			t.Fatalf("appended point %d differs", i)
+		}
+	}
+}
+
+// TestRebuildContextCancelledKeepsServing checks an aborted rolling
+// rebuild leaves a consistent, queryable index.
+func TestRebuildContextCancelledKeepsServing(t *testing.T) {
+	s, pts := buildCtx(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.RebuildContext(ctx); err != context.Canceled {
+		t.Fatalf("RebuildContext: %v, want context.Canceled", err)
+	}
+	if s.Len() != len(pts) {
+		t.Fatalf("aborted rebuild lost points: %d of %d", s.Len(), len(pts))
+	}
+	if !s.PointQuery(pts[42]) {
+		t.Fatal("index unqueryable after aborted rebuild")
+	}
+}
+
+// TestCancelDuringConcurrentLoad hammers context-aware queries while a
+// canceller fires at random; run under -race, it checks the fan-out's
+// cancellation path is data-race-free and never panics or returns a
+// partial answer alongside a nil error.
+func TestCancelDuringConcurrentLoad(t *testing.T) {
+	s, pts := buildCtx(t, 4)
+	full := s.WindowQuery(fullSpace)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%3)*100*time.Microsecond)
+				pts2, err := s.WindowQueryContext(ctx, fullSpace)
+				if err == nil && len(pts2) != len(full) {
+					t.Errorf("g%d i%d: partial answer (%d of %d) with nil error", g, i, len(pts2), len(full))
+				}
+				if _, err := s.KNNContext(ctx, pts[i%len(pts)], 5); err != nil && err != context.DeadlineExceeded && err != context.Canceled {
+					t.Errorf("g%d i%d: unexpected kNN error %v", g, i, err)
+				}
+				cancel()
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}

@@ -35,6 +35,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -372,19 +373,25 @@ func (s *Sharded) windowCandidates(q geom.Rect) []*state {
 }
 
 // fanOut runs fn(i, shard) for every candidate shard on up to Workers
-// goroutines. fn runs under the shard's read lock.
-func (s *Sharded) fanOut(cands []*state, fn func(i int, sh *state)) {
+// goroutines. fn runs under the shard's read lock. Cancellation is
+// observed between shard visits: once ctx is done, no further shard is
+// visited (visits already started finish — a shard query is microseconds)
+// and the context's error is returned.
+func (s *Sharded) fanOut(ctx context.Context, cands []*state, fn func(i int, sh *state)) error {
 	workers := s.opts.Workers
 	if workers > len(cands) {
 		workers = len(cands)
 	}
 	if workers <= 1 {
 		for i, sh := range cands {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			sh.mu.RLock()
 			fn(i, sh)
 			sh.mu.RUnlock()
 		}
-		return
+		return ctx.Err()
 	}
 	var next int64 = -1
 	var wg sync.WaitGroup
@@ -392,7 +399,7 @@ func (s *Sharded) fanOut(cands []*state, fn func(i int, sh *state)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(cands) {
 					return
@@ -405,6 +412,7 @@ func (s *Sharded) fanOut(cands []*state, fn func(i int, sh *state)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // WindowQuery scatters the window to the shards whose region overlaps it,
@@ -413,28 +421,37 @@ func (s *Sharded) fanOut(cands []*state, fn func(i int, sh *state)) {
 // single-index RSMI, the answer has no false positives and may miss points
 // (§4.2 semantics); ExactWindow is the exact variant.
 func (s *Sharded) WindowQuery(q geom.Rect) []geom.Point {
-	return s.gatherWindow(q, func(sh *state) []geom.Point { return sh.idx.WindowQuery(q) })
+	out, _ := s.gatherWindow(context.Background(), nil, q,
+		func(sh *state) []geom.Point { return sh.idx.WindowQuery(q) })
+	return out
 }
 
 // ExactWindow returns the exact window answer (per-shard RSMIa traversal;
 // the union over a partition is exact).
 func (s *Sharded) ExactWindow(q geom.Rect) []geom.Point {
-	return s.gatherWindow(q, func(sh *state) []geom.Point { return sh.idx.ExactWindow(q) })
+	out, _ := s.gatherWindow(context.Background(), nil, q,
+		func(sh *state) []geom.Point { return sh.idx.ExactWindow(q) })
+	return out
 }
 
-// gatherWindow fans query out over the overlapping shards and merges.
-func (s *Sharded) gatherWindow(q geom.Rect, query func(sh *state) []geom.Point) []geom.Point {
+// gatherWindow fans query out over the overlapping shards, appending the
+// merged answer to dst (which may be nil). A context cancelled mid-query
+// stops the fan-out between shard visits and returns (dst, ctx.Err()):
+// partial answers are never surfaced.
+func (s *Sharded) gatherWindow(ctx context.Context, dst []geom.Point, q geom.Rect, query func(sh *state) []geom.Point) ([]geom.Point, error) {
 	cands := s.windowCandidates(q)
 	if len(cands) == 0 {
-		return nil
+		return dst, ctx.Err()
 	}
 	per := make([][]geom.Point, len(cands))
-	s.fanOut(cands, func(i int, sh *state) { per[i] = query(sh) })
-	var out []geom.Point
+	if err := s.fanOut(ctx, cands, func(i int, sh *state) { per[i] = query(sh) }); err != nil {
+		return dst, err
+	}
+	out := dst
 	for _, r := range per {
 		out = append(out, r...)
 	}
-	return out
+	return out, nil
 }
 
 // shardsByDist returns the non-empty shards ordered by ascending MINDIST
@@ -469,7 +486,9 @@ func (s *Sharded) shardsByDist(q geom.Point) ([]*state, []float64) {
 // carry the same approximation guarantees as the single-index RSMI (§4.3);
 // ExactKNN is the exact variant.
 func (s *Sharded) KNN(q geom.Point, k int) []geom.Point {
-	return s.knnFanOut(q, k, func(sh *state, k int) []geom.Point { return sh.idx.KNN(q, k) })
+	out, _ := s.knnFanOut(context.Background(), q, k,
+		func(sh *state, k int) []geom.Point { return sh.idx.KNN(q, k) })
+	return out
 }
 
 // ExactKNN returns the exact k nearest neighbours: each visited shard
@@ -477,17 +496,21 @@ func (s *Sharded) KNN(q geom.Point, k int) []geom.Point {
 // hold a closer point, and the merged top-k over a partition of the data is
 // therefore exact.
 func (s *Sharded) ExactKNN(q geom.Point, k int) []geom.Point {
-	return s.knnFanOut(q, k, func(sh *state, k int) []geom.Point { return sh.idx.ExactKNN(q, k) })
+	out, _ := s.knnFanOut(context.Background(), q, k,
+		func(sh *state, k int) []geom.Point { return sh.idx.ExactKNN(q, k) })
+	return out
 }
 
-// knnFanOut is the shared best-first multi-shard kNN driver.
-func (s *Sharded) knnFanOut(q geom.Point, k int, query func(sh *state, k int) []geom.Point) []geom.Point {
+// knnFanOut is the shared best-first multi-shard kNN driver. Cancellation
+// is observed between shard visits, exactly as in fanOut: once ctx is
+// done no further shard is searched and ctx's error is returned.
+func (s *Sharded) knnFanOut(ctx context.Context, q geom.Point, k int, query func(sh *state, k int) []geom.Point) ([]geom.Point, error) {
 	if k <= 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	order, dists := s.shardsByDist(q)
 	if len(order) == 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	bound := newSharedBound(k, q)
 	workers := s.opts.Workers
@@ -496,7 +519,7 @@ func (s *Sharded) knnFanOut(q geom.Point, k int, query func(sh *state, k int) []
 	}
 	var next int64 = -1
 	run := func() {
-		for {
+		for ctx.Err() == nil {
 			i := int(atomic.AddInt64(&next, 1))
 			if i >= len(order) {
 				return
@@ -528,7 +551,10 @@ func (s *Sharded) knnFanOut(q geom.Point, k int, query func(sh *state, k int) []
 		}
 		wg.Wait()
 	}
-	return bound.sorted()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return bound.sorted(), nil
 }
 
 // sharedBound is the concurrent bounded candidate set of the multi-shard
@@ -588,7 +614,18 @@ func (b *sharedBound) sorted() []geom.Point {
 // (the partition assignment does not change) and its region is recomputed,
 // tightening routing after deletions.
 func (s *Sharded) Rebuild() {
+	_ = s.rebuild(context.Background())
+}
+
+// rebuild is the rolling rebuild observing ctx between shards: a cancelled
+// context stops before retraining the next shard. Shards already rebuilt
+// stay rebuilt (each swap is atomic under the shard lock), so an aborted
+// rebuild never leaves the index inconsistent — merely partially retrained.
+func (s *Sharded) rebuild(ctx context.Context) error {
 	for i, sh := range s.shards {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		sh.mu.Lock()
 		pts := sh.idx.AllPoints()
 		io := s.opts.Index
@@ -597,6 +634,7 @@ func (s *Sharded) Rebuild() {
 		sh.storeRegion(geom.BoundingRect(pts))
 		sh.mu.Unlock()
 	}
+	return nil
 }
 
 // Len returns the number of live points across all shards.
