@@ -11,6 +11,7 @@
 //	rsmi-loadgen -transport tcp -addr 127.0.0.1:8081  # rsmistream (serve -stream-addr)
 //	rsmi-loadgen -rate 5000 -clients 32            # open-loop: 5000 req/s arrivals
 //	rsmi-loadgen -duration 2s -min-ok 1.0          # CI smoke: exit 1 unless 100% 2xx
+//	rsmi-loadgen -addr 127.0.0.1:8080,127.0.0.1:8090 -hedge-delay 2ms  # hedged replica set
 //
 // -batch n groups n operations per /v1/batch request (one round-trip);
 // -batch 1 sends one operation per request through the per-op endpoints,
@@ -21,12 +22,19 @@
 // request) to open-loop (requests arrive on a fixed r-per-second
 // schedule; latency counts from the scheduled arrival), which is what
 // makes the server's -batch-window knob measurable.
+//
+// Giving -addr a comma-separated list (a primary and its replicas, see
+// rsmi-serve -replica-of) drives the set through a hedged client: reads
+// go to one target and are re-issued to a second after -hedge-delay (or
+// immediately when the first target fails), first answer wins, loser
+// cancelled; writes fail over. The report then carries hedge counts.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"rsmi/internal/loadgen"
@@ -35,7 +43,8 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "server address")
+		addr     = flag.String("addr", "127.0.0.1:8080", "server address(es), comma-separated; 2+ enables hedged reads")
+		hedge    = flag.Duration("hedge-delay", 0, "hedged-read delay with 2+ addresses (0 = default)")
 		clients  = flag.Int("clients", 4, "client goroutines")
 		duration = flag.Duration("duration", 2*time.Second, "run duration")
 		mix      = flag.String("mix", loadgen.DefaultMix.String(), "operation mix (op=weight,...)")
@@ -65,8 +74,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var addrs []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		log.Fatal("empty -addr")
+	}
 	rep, err := loadgen.Run(loadgen.Config{
-		Addr:       *addr,
+		Addrs:      addrs,
+		HedgeDelay: *hedge,
 		Clients:    *clients,
 		Duration:   *duration,
 		Mix:        m,
@@ -90,7 +109,7 @@ func main() {
 	if tr == server.TransportTCP {
 		scheme = "tcp"
 	}
-	fmt.Printf("%s against %s://%s (mix %s)\n%s\n", mode, scheme, *addr, m, rep)
+	fmt.Printf("%s against %s://%s (mix %s)\n%s\n", mode, scheme, strings.Join(addrs, ","), m, rep)
 	if *minOK >= 0 && rep.OKRate() < *minOK {
 		log.Fatalf("2xx rate %.4f below required %.4f", rep.OKRate(), *minOK)
 	}

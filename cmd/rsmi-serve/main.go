@@ -25,6 +25,8 @@
 //	rsmi-serve -dataset skewed_1m.bin -snapshot skewed_1m.idx
 //	rsmi-serve -batch-window 1ms -max-batch 128 -max-inflight 512
 //	rsmi-serve -addr :8080 -stream-addr :8081 -stream-request-timeout 5s
+//	rsmi-serve -addr :8080 -stream-addr :8081              # primary
+//	rsmi-serve -addr :8082 -replica-of 127.0.0.1:8080      # replica
 //
 // -engine selects the backend: "sharded" (the default: S parallel RSMI
 // shards), "concurrent" (one RSMI behind a RWMutex), or a baseline of the
@@ -37,6 +39,20 @@
 // snapshot when it exists (restart without retraining) and
 // built-then-saved when it does not. Training at paper scale takes hours,
 // so production deployments always run with a snapshot.
+//
+// # Replication
+//
+// A sharded primary is always replicable: it taps every applied write
+// into a sequenced oplog and serves /v1/replica/info and
+// /v1/replica/snapshot; the oplog feed itself rides the -stream-addr
+// listener, so a primary that should accept replicas must serve the
+// stream transport. A server started with -replica-of bootstraps from
+// the primary's snapshot, follows its oplog (reconnecting, and
+// re-bootstrapping after a primary restart), serves reads locally on
+// every transport, and forwards writes to the primary. Reads on a
+// replica may lag the primary briefly; see internal/server/replica.go
+// for the exact guarantees. Point rsmi-loadgen at several replicas with
+// a comma-separated -addr list to hedge reads across them.
 package main
 
 import (
@@ -73,15 +89,62 @@ func main() {
 		maxBatch    = flag.Int("max-batch", 64, "max queries per coalesced engine call (1 = no coalescing)")
 		maxInflight = flag.Int("max-inflight", 1024, "admitted in-flight requests before 429 shedding")
 		snapshot    = flag.String("snapshot", "", "index snapshot, -engine sharded only: load if present, else build and save")
+		replicaOf   = flag.String("replica-of", "", "primary HTTP address to replicate; this server bootstraps from its snapshot, follows its oplog, serves reads locally, and forwards writes")
+		oplogCap    = flag.Int("oplog-cap", 0, "primary oplog retention in records (default 65536); a replica further behind re-bootstraps")
 	)
 	flag.Parse()
 	log.SetPrefix("rsmi-serve: ")
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 
-	warnIgnoredFlags(*engine)
-	eng, err := buildEngine(*engine, *snapshot, *datasetPath, *dist, *n, *seed, *shards, *partition, *epochs, *lr)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		eng        server.Engine
+		repl       *server.Replicator
+		rep        *server.Replica
+		shardedIdx *rsmi.Sharded
+		err        error
+	)
+	if *replicaOf != "" {
+		// Replica role: no local build — bootstrap from the primary's
+		// snapshot, then follow its oplog. The primary may still be
+		// starting (or training), so bootstrapping retries patiently.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "engine", "dataset", "dist", "n", "seed", "shards",
+				"partition", "epochs", "lr", "snapshot", "oplog-cap":
+				log.Printf("warning: -%s has no effect with -replica-of", f.Name)
+			}
+		})
+		rep = server.NewReplica(*replicaOf, server.ReplicaOptions{})
+		log.Printf("replica of %s: bootstrapping", *replicaOf)
+		for attempt := 1; ; attempt++ {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			err = rep.Bootstrap(ctx)
+			cancel()
+			if err == nil {
+				break
+			}
+			if attempt >= 120 {
+				log.Fatalf("bootstrap: %v (giving up after %d attempts)", err, attempt)
+			}
+			log.Printf("bootstrap: %v (retrying)", err)
+			time.Sleep(time.Second)
+		}
+		rep.Start()
+		eng = rep.Engine()
+	} else {
+		warnIgnoredFlags(*engine)
+		eng, err = buildEngine(*engine, *snapshot, *datasetPath, *dist, *n, *seed, *shards, *partition, *epochs, *lr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if idx, ok := eng.(*rsmi.Sharded); ok {
+			// A sharded engine always serves as a replication primary:
+			// the oplog tap is cheap, and replicas can attach at any time
+			// (the feed needs -stream-addr).
+			shardedIdx = idx
+			repl = server.NewReplicator(idx, *oplogCap)
+			eng = repl.Engine()
+		}
 	}
 	log.Printf("engine ready: %s (n=%d, build/load %v)",
 		eng.Name(), eng.Len(), eng.Stats().BuildTime.Round(time.Millisecond))
@@ -93,6 +156,8 @@ func main() {
 		MaxInFlight:          *maxInflight,
 		StreamAddr:           *streamAddr,
 		StreamRequestTimeout: *streamRTO,
+		Replicator:           repl,
+		Replica:              rep,
 	})
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -124,13 +189,14 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
-		if *snapshot != "" {
-			if idx, ok := eng.(*rsmi.Sharded); ok {
-				if err := saveSnapshot(idx, *snapshot); err != nil {
-					log.Printf("snapshot: %v", err)
-				} else {
-					log.Printf("snapshot saved to %s", *snapshot)
-				}
+		if rep != nil {
+			rep.Stop()
+		}
+		if *snapshot != "" && shardedIdx != nil {
+			if err := saveSnapshot(shardedIdx, *snapshot); err != nil {
+				log.Printf("snapshot: %v", err)
+			} else {
+				log.Printf("snapshot saved to %s", *snapshot)
 			}
 		}
 		log.Print("bye")

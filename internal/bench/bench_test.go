@@ -28,6 +28,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
 		"deletions", "ablation-rank", "ablation-curve", "sharded", "serving",
+		"hedged",
 	}
 	ids := IDs()
 	got := make(map[string]bool, len(ids))

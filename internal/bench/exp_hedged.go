@@ -1,0 +1,249 @@
+package bench
+
+// This file implements the hedged-replica experiment: tail latency of
+// per-op window reads served by a replica set (one primary, 0–2
+// replicas bootstrapped and fed through the replication tier) driven by
+// the hedged client, versus replica count and hedge delay. Each server
+// gets a deterministic induced tail — every spikeEvery-th read stalls —
+// so the measurement shows exactly what "The Tail at Scale" predicts:
+// one target's p99 is the spike, two hedged targets' p99 is roughly the
+// hedge delay plus a normal read, because both legs must stall at once
+// for the client to see the spike. The in-flight gauge of every target
+// is checked after each run: hedging must leave no orphaned work behind
+// (losers are cancelled, not abandoned).
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"rsmi"
+	"rsmi/internal/dataset"
+	"rsmi/internal/geom"
+	"rsmi/internal/loadgen"
+	"rsmi/internal/server"
+	"rsmi/internal/shard"
+)
+
+// tailEngine stalls every spikeEvery-th read by spike — a deterministic
+// stand-in for the per-server latency spikes (GC pauses, rebuild
+// retraining, queueing) hedging absorbs. The stall honours the request
+// context, so a cancelled hedge loser stops stalling immediately.
+type tailEngine struct {
+	server.Engine
+	spikeEvery uint64
+	spike      time.Duration
+	n          atomic.Uint64
+}
+
+func (e *tailEngine) WindowQueryContext(ctx context.Context, q geom.Rect) ([]geom.Point, error) {
+	if e.n.Add(1)%e.spikeEvery == 0 {
+		t := time.NewTimer(e.spike)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	return e.Engine.WindowQueryContext(ctx, q)
+}
+
+// replicaSet is one primary plus bootstrapped replicas, each serving
+// HTTP on its own port with an induced tail.
+type replicaSet struct {
+	addrs []string
+	stops []func()
+}
+
+func (rs *replicaSet) stop() {
+	// Replicas stop before the primary they follow.
+	for i := len(rs.stops) - 1; i >= 0; i-- {
+		rs.stops[i]()
+	}
+}
+
+// inFlight sums the in-flight gauge over every target — the post-run
+// leak check (hedge losers must be cancelled, not left running).
+func (rs *replicaSet) inFlight() (int64, error) {
+	var total int64
+	for _, a := range rs.addrs {
+		cl := server.NewClient(a)
+		st, err := cl.Stats()
+		cl.Close()
+		if err != nil {
+			return 0, err
+		}
+		total += st.InFlight
+	}
+	return total, nil
+}
+
+// startReplicaSet serves idx as a replication primary plus `replicas`
+// bootstrapped followers, every server's reads tail-injected.
+func startReplicaSet(idx *rsmi.Sharded, replicas int, spikeEvery uint64, spike time.Duration) (*replicaSet, error) {
+	wrap := func(e server.Engine) server.Engine {
+		if spikeEvery == 0 {
+			return e
+		}
+		return &tailEngine{Engine: e, spikeEvery: spikeEvery, spike: spike}
+	}
+	rs := &replicaSet{}
+	fail := func(err error) (*replicaSet, error) {
+		rs.stop()
+		return nil, err
+	}
+
+	repl := server.NewReplicator(idx, 0)
+	psrv := server.New(server.Config{Engine: wrap(repl.Engine()), Replicator: repl, MaxBatch: 1})
+	hl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	sl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		hl.Close()
+		return fail(err)
+	}
+	go psrv.Serve(hl)
+	go psrv.ServeStream(sl)
+	rs.addrs = append(rs.addrs, hl.Addr().String())
+	rs.stops = append(rs.stops, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		psrv.Shutdown(ctx)
+		hl.Close()
+	})
+
+	primaryURL := "http://" + hl.Addr().String()
+	for i := 0; i < replicas; i++ {
+		rep := server.NewReplica(primaryURL, server.ReplicaOptions{})
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		err := rep.Bootstrap(ctx)
+		cancel()
+		if err != nil {
+			return fail(fmt.Errorf("replica %d bootstrap: %w", i, err))
+		}
+		rep.Start()
+		rsrv := server.New(server.Config{Engine: wrap(rep.Engine()), Replica: rep, MaxBatch: 1})
+		rl, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			rep.Stop()
+			return fail(err)
+		}
+		go rsrv.Serve(rl)
+		rs.addrs = append(rs.addrs, rl.Addr().String())
+		rs.stops = append(rs.stops, func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			rsrv.Shutdown(ctx)
+			rl.Close()
+			rep.Stop()
+		})
+	}
+	return rs, nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "hedged",
+		Title: "Hedged reads over a replica set: tail latency vs replica count and hedge delay",
+		Run: func(cfg Config, w io.Writer) {
+			cfg = cfg.Defaults()
+			pts := dataset.Generate(cfg.Dist, cfg.N, cfg.Seed)
+			shardOpts := cfg.rsmiOptions()
+			shardOpts.PartitionThreshold = 0 // auto per-shard threshold
+			idx := shard.New(pts, shard.Options{Shards: cfg.Shards, Index: shardOpts})
+
+			const (
+				cell       = 2 * time.Second
+				spikeEvery = 50 // 2% of reads stall...
+				spike      = 10 * time.Millisecond
+				clients    = 8
+			)
+
+			run := func(addrs []string, delay time.Duration) loadgen.Report {
+				rep, _ := loadgen.Run(loadgen.Config{
+					Addrs:      addrs,
+					HedgeDelay: delay,
+					Clients:    clients,
+					Duration:   cell,
+					Mix:        loadgen.Mix{Window: 1},
+					WindowFrac: 0.0001,
+				})
+				return rep
+			}
+			leaks := int64(0)
+			checkLeaks := func(rs *replicaSet) {
+				// One beat for hedge losers to observe their cancellation.
+				time.Sleep(50 * time.Millisecond)
+				n, err := rs.inFlight()
+				if err == nil {
+					leaks += n
+				}
+			}
+
+			// Replica-count sweep at the default hedge delay.
+			tb := newTable(fmt.Sprintf(
+				"Hedged per-op window reads vs replica count (c=%d, 1-in-%d reads stall %v, hedge delay %v, %s n=%d)",
+				clients, spikeEvery, spike, server.DefaultHedgeDelay, cfg.Dist, cfg.N),
+				"targets", "ops/s", "p50 (µs)", "p99 (µs)", "hedged", "hedge wins")
+			for _, targets := range []int{1, 2, 3} {
+				rs, err := startReplicaSet(idx, targets-1, spikeEvery, spike)
+				if err != nil {
+					fmt.Fprintf(w, "hedged: %v\n", err)
+					return
+				}
+				rep := run(rs.addrs, server.DefaultHedgeDelay)
+				checkLeaks(rs)
+				rs.stop()
+				tb.add(fmt.Sprintf("%d", targets),
+					fmt.Sprintf("%.0f", rep.OpsPerSec),
+					fmt.Sprintf("%d", rep.P50.Microseconds()),
+					fmt.Sprintf("%d", rep.P99.Microseconds()),
+					fmt.Sprintf("%.1f%%", 100*float64(rep.Hedges)/float64(max64(rep.Requests, 1))),
+					fmt.Sprintf("%d", rep.HedgeWins))
+			}
+			tb.write(w)
+
+			// Hedge-delay sweep over a fixed 3-target set: too low
+			// duplicates most reads, too high stops protecting the tail.
+			dtb := newTable(fmt.Sprintf(
+				"Hedge-delay sweep (3 targets, c=%d, 1-in-%d reads stall %v)",
+				clients, spikeEvery, spike),
+				"hedge delay", "ops/s", "p50 (µs)", "p99 (µs)", "hedged")
+			rs, err := startReplicaSet(idx, 2, spikeEvery, spike)
+			if err != nil {
+				fmt.Fprintf(w, "hedged: %v\n", err)
+				return
+			}
+			for _, d := range []time.Duration{
+				500 * time.Microsecond, time.Millisecond, 2 * time.Millisecond,
+				4 * time.Millisecond, 8 * time.Millisecond,
+			} {
+				rep := run(rs.addrs, d)
+				checkLeaks(rs)
+				dtb.add(d.String(),
+					fmt.Sprintf("%.0f", rep.OpsPerSec),
+					fmt.Sprintf("%d", rep.P50.Microseconds()),
+					fmt.Sprintf("%d", rep.P99.Microseconds()),
+					fmt.Sprintf("%.1f%%", 100*float64(rep.Hedges)/float64(max64(rep.Requests, 1))))
+			}
+			rs.stop()
+			dtb.write(w)
+
+			fmt.Fprintf(w, "\n  in-flight requests across all targets after every run: %d (hedge losers cancelled, none leaked)\n", leaks)
+			fmt.Fprintf(w, "  (replicas bootstrap from the primary's snapshot and follow its oplog\n   feed; reads hedge across targets, writes forward to the primary)\n")
+		},
+	})
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

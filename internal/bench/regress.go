@@ -58,6 +58,12 @@ type Metrics struct {
 	ServingBinaryP50Us     float64 `json:"serving_binary_p50_us"`
 	ServingStreamOpsPerSec float64 `json:"serving_stream_ops_per_sec"`
 	ServingStreamP50Us     float64 `json:"serving_stream_p50_us"`
+	// Hedged measurements: the same window workload driven through the
+	// hedged client over two HTTP targets of the same engine (additive
+	// fields — absent in pre-replication baselines, so Compare skips
+	// them against old files; no schema bump).
+	HedgedOpsPerSec float64 `json:"hedged_ops_per_sec,omitempty"`
+	HedgedP50Us     float64 `json:"hedged_p50_us,omitempty"`
 }
 
 // metricsSchemaVersion guards baseline/current comparability (2: stream
@@ -177,6 +183,31 @@ func RunRegression(w io.Writer) (Metrics, error) {
 			m.ServingStreamOpsPerSec, m.ServingStreamP50Us = rep.OpsPerSec, p50
 		}
 	}
+
+	// Hedged: the same window workload fanned over two serving targets
+	// of the same engine through the hedged client (exercises the hedge
+	// timer, context plumbing, and round-robin paths end to end).
+	addr2, _, stop2, err := startServing(serveEng, 64, 0, 1024)
+	if err != nil {
+		return Metrics{}, err
+	}
+	defer stop2()
+	rep, err := loadgen.Run(loadgen.Config{
+		Addrs:      []string{addr, addr2},
+		HedgeDelay: server.DefaultHedgeDelay,
+		Clients:    4,
+		Duration:   cell,
+		Mix:        loadgen.Mix{Window: 1},
+		BatchSize:  32,
+		WindowFrac: 0.0001,
+	})
+	if err != nil {
+		return Metrics{}, fmt.Errorf("serving (hedged): %w", err)
+	}
+	m.HedgedOpsPerSec = rep.OpsPerSec
+	m.HedgedP50Us = float64(rep.P50.Microseconds())
+	fmt.Fprintf(w, "  serving hedged: %.0f ops/s, p50 %v (2 targets, %d hedges)\n",
+		rep.OpsPerSec, rep.P50, rep.Hedges)
 	return m, nil
 }
 
@@ -210,6 +241,8 @@ func Compare(baseline, current Metrics, tol float64) []string {
 	lower("serving_binary_p50_us", baseline.ServingBinaryP50Us, current.ServingBinaryP50Us)
 	higher("serving_stream_ops_per_sec", baseline.ServingStreamOpsPerSec, current.ServingStreamOpsPerSec)
 	lower("serving_stream_p50_us", baseline.ServingStreamP50Us, current.ServingStreamP50Us)
+	higher("hedged_ops_per_sec", baseline.HedgedOpsPerSec, current.HedgedOpsPerSec)
+	lower("hedged_p50_us", baseline.HedgedP50Us, current.HedgedP50Us)
 	return regressions
 }
 

@@ -99,8 +99,17 @@ func ParseMix(s string) (Mix, error) {
 
 // Config configures one load-generation run.
 type Config struct {
-	// Addr is the server ("host:port" or http:// URL). Required.
+	// Addr is the server ("host:port" or http:// URL). Required unless
+	// Addrs is set.
 	Addr string
+	// Addrs lists every serving target (primary and replicas). With more
+	// than one, reads are hedged across the set (see HedgeDelay) and
+	// writes fail over on transport errors. When set it overrides Addr.
+	Addrs []string
+	// HedgeDelay is how long the first target has to answer before the
+	// hedge fires at a second (default server.DefaultHedgeDelay). Only
+	// meaningful with 2+ Addrs.
+	HedgeDelay time.Duration
 	// Clients is the closed-loop client count (default 4).
 	Clients int
 	// Duration is how long to drive load (default 2s).
@@ -135,6 +144,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if len(c.Addrs) == 0 {
+		c.Addrs = []string{c.Addr}
+	}
 	if c.Clients == 0 {
 		c.Clients = 4
 	}
@@ -193,6 +205,12 @@ type Report struct {
 	OpsPerSec float64
 	// Latency percentiles over successful requests.
 	P50, P95, P99, Max time.Duration
+	// Targets is how many serving addresses the run drove (hedging is
+	// active when > 1); Hedges counts hedge requests fired and HedgeWins
+	// how many the hedge leg answered first.
+	Targets   int
+	Hedges    int64
+	HedgeWins int64
 }
 
 // OKRate returns the fraction of requests answered 2xx (1.0 when no
@@ -221,6 +239,9 @@ func (r Report) String() string {
 	if r.Transport == server.TransportTCP {
 		mode = " transport=tcp" + mode
 	}
+	if r.Targets > 1 {
+		mode += fmt.Sprintf(" targets=%d hedges=%d wins=%d", r.Targets, r.Hedges, r.HedgeWins)
+	}
 	return fmt.Sprintf(
 		"clients=%d batch=%d proto=%s%s elapsed=%v\n"+
 			"  requests %d (%.1f req/s), ops %d (%.1f ops/s)\n"+
@@ -240,6 +261,19 @@ type clientStats struct {
 	lat                           []time.Duration
 }
 
+// apiClient is the call surface the load generator drives — satisfied by
+// both *server.Client (one target) and *server.HedgedClient (a replica
+// set with hedged reads).
+type apiClient interface {
+	PointQuery(p geom.Point) (bool, error)
+	WindowQuery(q geom.Rect) ([]geom.Point, error)
+	KNN(q geom.Point, k int) ([]geom.Point, error)
+	Insert(p geom.Point) error
+	Delete(p geom.Point) (bool, error)
+	Batch(ops []server.BatchOp) ([]server.BatchResult, error)
+	Close()
+}
+
 // Run drives the configured load and blocks until the duration elapses.
 // It returns an error only when the run produced no successful request at
 // all (server down); partial failures are reported in the Report.
@@ -253,11 +287,26 @@ func Run(cfg Config) (Report, error) {
 	if cfg.Rate != 0 && (math.IsNaN(cfg.Rate) || cfg.Rate < 1e-3 || cfg.Rate > 1e6) {
 		return Report{}, fmt.Errorf("loadgen: rate %v out of range (want 0 or 1e-3..1e6 req/s)", cfg.Rate)
 	}
-	cl := server.NewClientOptions(cfg.Addr, server.Options{
-		Proto:     cfg.Proto,
-		Transport: cfg.Transport,
-		Timeout:   cfg.Timeout,
-	})
+	var cl apiClient
+	var hc *server.HedgedClient
+	if len(cfg.Addrs) > 1 {
+		targets := make([]*server.Client, len(cfg.Addrs))
+		for i, a := range cfg.Addrs {
+			targets[i] = server.NewClientOptions(a, server.Options{
+				Proto:     cfg.Proto,
+				Transport: cfg.Transport,
+				Timeout:   cfg.Timeout,
+			})
+		}
+		hc = server.NewHedgedClient(targets, server.HedgedOptions{Delay: cfg.HedgeDelay})
+		cl = hc
+	} else {
+		cl = server.NewClientOptions(cfg.Addrs[0], server.Options{
+			Proto:     cfg.Proto,
+			Transport: cfg.Transport,
+			Timeout:   cfg.Timeout,
+		})
+	}
 	defer cl.Close()
 	stats := make([]clientStats, cfg.Clients)
 	start := time.Now()
@@ -285,6 +334,11 @@ func Run(cfg Config) (Report, error) {
 	rep.Transport = cfg.Transport
 	rep.OfferedRate = cfg.Rate
 	rep.Elapsed = elapsed
+	rep.Targets = len(cfg.Addrs)
+	if hc != nil {
+		rep.Hedges = hc.Hedges()
+		rep.HedgeWins = hc.HedgeWins()
+	}
 	var all []time.Duration
 	for i := range stats {
 		rep.Requests += stats[i].requests
@@ -310,14 +364,15 @@ func Run(cfg Config) (Report, error) {
 		rep.Max = all[len(all)-1]
 	}
 	if rep.OK == 0 && rep.Errors > 0 {
-		return rep, fmt.Errorf("loadgen: no successful request against %s (%d errors)", cfg.Addr, rep.Errors)
+		return rep, fmt.Errorf("loadgen: no successful request against %s (%d errors)",
+			strings.Join(cfg.Addrs, ","), rep.Errors)
 	}
 	return rep, nil
 }
 
 // issueOne sends one request (a whole batch when configured) and
 // returns how many operations it carried.
-func issueOne(cl *server.Client, cfg Config, rng *rand.Rand, w float64) (int, error) {
+func issueOne(cl apiClient, cfg Config, rng *rand.Rand, w float64) (int, error) {
 	if cfg.BatchSize > 1 {
 		ops := make([]server.BatchOp, cfg.BatchSize)
 		for i := range ops {
@@ -349,7 +404,7 @@ func (st *clientStats) record(lat time.Duration, nOps int, err error) bool {
 }
 
 // runClient is one closed-loop client.
-func runClient(cl *server.Client, cfg Config, rng *rand.Rand, deadline time.Time, st *clientStats) {
+func runClient(cl apiClient, cfg Config, rng *rand.Rand, deadline time.Time, st *clientStats) {
 	w := math.Sqrt(cfg.WindowFrac)
 	for time.Now().Before(deadline) {
 		start := time.Now()
@@ -367,7 +422,7 @@ func runClient(cl *server.Client, cfg Config, rng *rand.Rand, deadline time.Time
 // that falls behind issues its overdue arrivals immediately, and their
 // latency still counts from the scheduled time, so server queueing
 // (or worker starvation — raise Clients) is measured, not hidden.
-func runOpenClient(cl *server.Client, cfg Config, rng *rand.Rand, worker int, start, deadline time.Time, st *clientStats) {
+func runOpenClient(cl apiClient, cfg Config, rng *rand.Rand, worker int, start, deadline time.Time, st *clientStats) {
 	w := math.Sqrt(cfg.WindowFrac)
 	interval := time.Duration(float64(time.Second) / cfg.Rate)
 	for i := worker; ; i += cfg.Clients {
@@ -407,7 +462,7 @@ func randomOp(cfg Config, rng *rand.Rand, w float64) server.BatchOp {
 
 // sendOne routes a single operation through its dedicated endpoint (so
 // unbatched runs measure the per-request path, coalescer included).
-func sendOne(cl *server.Client, op server.BatchOp) error {
+func sendOne(cl apiClient, op server.BatchOp) error {
 	switch op.Op {
 	case server.OpPoint:
 		_, err := cl.PointQuery(geom.Pt(op.X, op.Y))

@@ -119,6 +119,30 @@ type CoalesceStats struct {
 	Direct   int64   `json:"direct"`
 }
 
+// ReplicaInfo answers GET /v1/replica/info on a replication primary:
+// the oplog epoch, its retained sequence range, and the rsmistream
+// address replicas subscribe to for the feed.
+type ReplicaInfo struct {
+	Epoch      uint64 `json:"epoch"`
+	FirstSeq   uint64 `json:"first_seq"`
+	LastSeq    uint64 `json:"last_seq"`
+	StreamAddr string `json:"stream_addr"`
+}
+
+// ReplicationStats reports replication state in /v1/stats. On a primary
+// it carries the oplog position and live follower count; on a replica,
+// its applied position, feed liveness, and re-bootstrap count.
+type ReplicationStats struct {
+	Role       string `json:"role"`
+	Epoch      uint64 `json:"epoch"`
+	FirstSeq   uint64 `json:"first_seq,omitempty"`
+	LastSeq    uint64 `json:"last_seq,omitempty"`
+	AppliedSeq uint64 `json:"applied_seq,omitempty"`
+	Followers  int64  `json:"followers,omitempty"`
+	Connected  bool   `json:"connected,omitempty"`
+	Resyncs    int64  `json:"resyncs,omitempty"`
+}
+
 // StatsResponse answers /v1/stats.
 type StatsResponse struct {
 	// Engine is the backend's display name ("Sharded", "RR*", "Grid", …),
@@ -134,4 +158,5 @@ type StatsResponse struct {
 	RebuildRunning bool               `json:"rebuild_running"`
 	Ops            map[string]OpStats `json:"ops"`
 	Coalesce       CoalesceStats      `json:"coalesce"`
+	Replication    *ReplicationStats  `json:"replication,omitempty"`
 }

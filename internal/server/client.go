@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -182,8 +183,10 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("server: status %d: %s", e.Code, e.Msg)
 }
 
-// post sends one JSON request and decodes the 2xx answer into out.
-func (c *Client) post(path string, in, out interface{}) error {
+// post sends one JSON request and decodes the 2xx answer into out. ctx
+// bounds the round-trip in addition to the client timeout — hedged
+// reads cancel their loser through it.
+func (c *Client) post(ctx context.Context, path string, in, out interface{}) error {
 	if c.hc == nil {
 		return errNoHTTP
 	}
@@ -191,7 +194,12 @@ func (c *Client) post(path string, in, out interface{}) error {
 	if err != nil {
 		return fmt.Errorf("client: marshal: %w", err)
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
 	}
@@ -243,8 +251,8 @@ var errBinResultKind = errors.New("client: rsmibin result kind does not match op
 // postBinary sends one rsmibin request frame and decodes the response
 // frame (single selects the per-op response shape). Non-2xx answers are
 // JSON in either protocol and surface as *StatusError.
-func (c *Client) postBinary(path string, frame []byte, single bool) ([]binResult, error) {
-	req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(frame))
+func (c *Client) postBinary(ctx context.Context, path string, frame []byte, single bool) ([]binResult, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(frame))
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
@@ -271,12 +279,12 @@ func (c *Client) postBinary(path string, frame []byte, single bool) ([]binResult
 }
 
 // binSingle executes one data-plane op over rsmibin.
-func (c *Client) binSingle(path string, op BatchOp) (binResult, error) {
+func (c *Client) binSingle(ctx context.Context, path string, op BatchOp) (binResult, error) {
 	b, err := appendOp(appendBinHeader(make([]byte, 0, 64)), op)
 	if err != nil {
 		return binResult{}, err
 	}
-	rs, err := c.postBinary(path, b, true)
+	rs, err := c.postBinary(ctx, path, b, true)
 	if err != nil {
 		return binResult{}, err
 	}
@@ -284,8 +292,8 @@ func (c *Client) binSingle(path string, op BatchOp) (binResult, error) {
 }
 
 // binBool executes a bool-valued op over rsmibin.
-func (c *Client) binBool(path string, op BatchOp) (bool, error) {
-	res, err := c.singleResult(path, op)
+func (c *Client) binBool(ctx context.Context, path string, op BatchOp) (bool, error) {
+	res, err := c.singleResult(ctx, path, op)
 	if err != nil {
 		return false, err
 	}
@@ -296,8 +304,8 @@ func (c *Client) binBool(path string, op BatchOp) (bool, error) {
 }
 
 // binPoints executes a points-valued op over rsmibin.
-func (c *Client) binPoints(path string, op BatchOp) ([]geom.Point, error) {
-	res, err := c.singleResult(path, op)
+func (c *Client) binPoints(ctx context.Context, path string, op BatchOp) ([]geom.Point, error) {
+	res, err := c.singleResult(ctx, path, op)
 	if err != nil {
 		return nil, err
 	}
@@ -309,87 +317,117 @@ func (c *Client) binPoints(path string, op BatchOp) ([]geom.Point, error) {
 
 // singleResult executes one op over whichever binary path the client
 // uses: a one-op stream frame, or an rsmibin HTTP request to path.
-func (c *Client) singleResult(path string, op BatchOp) (binResult, error) {
+func (c *Client) singleResult(ctx context.Context, path string, op BatchOp) (binResult, error) {
 	if c.stream != nil {
-		rs, err := c.stream.streamDo([]BatchOp{op})
+		rs, err := c.stream.streamDo(ctx, []BatchOp{op})
 		if err != nil {
 			return binResult{}, err
 		}
 		return rs[0], nil
 	}
-	return c.binSingle(path, op)
+	return c.binSingle(ctx, path, op)
 }
 
 // PointQuery reports whether a point with exactly p's coordinates is
 // indexed.
 func (c *Client) PointQuery(p geom.Point) (bool, error) {
+	return c.PointQueryContext(context.Background(), p)
+}
+
+// PointQueryContext is PointQuery bounded by ctx.
+func (c *Client) PointQueryContext(ctx context.Context, p geom.Point) (bool, error) {
 	if c.proto == ProtoBinary {
-		return c.binBool("/v1/point", BatchOp{Op: OpPoint, X: p.X, Y: p.Y})
+		return c.binBool(ctx, "/v1/point", BatchOp{Op: OpPoint, X: p.X, Y: p.Y})
 	}
 	var resp FoundResponse
-	err := c.post("/v1/point", PointJSON{X: p.X, Y: p.Y}, &resp)
+	err := c.post(ctx, "/v1/point", PointJSON{X: p.X, Y: p.Y}, &resp)
 	return resp.Found, err
 }
 
 // WindowQuery returns the indexed points inside the window.
 func (c *Client) WindowQuery(q geom.Rect) ([]geom.Point, error) {
+	return c.WindowQueryContext(context.Background(), q)
+}
+
+// WindowQueryContext is WindowQuery bounded by ctx.
+func (c *Client) WindowQueryContext(ctx context.Context, q geom.Rect) ([]geom.Point, error) {
 	if c.proto == ProtoBinary {
-		return c.binPoints("/v1/window", BatchOp{Op: OpWindow, MinX: q.MinX, MinY: q.MinY, MaxX: q.MaxX, MaxY: q.MaxY})
+		return c.binPoints(ctx, "/v1/window", BatchOp{Op: OpWindow, MinX: q.MinX, MinY: q.MinY, MaxX: q.MaxX, MaxY: q.MaxY})
 	}
 	var resp PointsResponse
-	err := c.post("/v1/window", RectJSON{MinX: q.MinX, MinY: q.MinY, MaxX: q.MaxX, MaxY: q.MaxY}, &resp)
+	err := c.post(ctx, "/v1/window", RectJSON{MinX: q.MinX, MinY: q.MinY, MaxX: q.MaxX, MaxY: q.MaxY}, &resp)
 	return fromPoints(resp.Points), err
 }
 
 // KNN returns up to k nearest neighbours of q, closest first.
 func (c *Client) KNN(q geom.Point, k int) ([]geom.Point, error) {
+	return c.KNNContext(context.Background(), q, k)
+}
+
+// KNNContext is KNN bounded by ctx.
+func (c *Client) KNNContext(ctx context.Context, q geom.Point, k int) ([]geom.Point, error) {
 	if c.proto == ProtoBinary {
-		return c.binPoints("/v1/knn", BatchOp{Op: OpKNN, X: q.X, Y: q.Y, K: k})
+		return c.binPoints(ctx, "/v1/knn", BatchOp{Op: OpKNN, X: q.X, Y: q.Y, K: k})
 	}
 	var resp PointsResponse
-	err := c.post("/v1/knn", KNNJSON{X: q.X, Y: q.Y, K: k}, &resp)
+	err := c.post(ctx, "/v1/knn", KNNJSON{X: q.X, Y: q.Y, K: k}, &resp)
 	return fromPoints(resp.Points), err
 }
 
 // Insert adds a point.
 func (c *Client) Insert(p geom.Point) error {
+	return c.InsertContext(context.Background(), p)
+}
+
+// InsertContext is Insert bounded by ctx.
+func (c *Client) InsertContext(ctx context.Context, p geom.Point) error {
 	if c.proto == ProtoBinary {
-		_, err := c.binBool("/v1/insert", BatchOp{Op: OpInsert, X: p.X, Y: p.Y})
+		_, err := c.binBool(ctx, "/v1/insert", BatchOp{Op: OpInsert, X: p.X, Y: p.Y})
 		return err
 	}
-	return c.post("/v1/insert", PointJSON{X: p.X, Y: p.Y}, nil)
+	return c.post(ctx, "/v1/insert", PointJSON{X: p.X, Y: p.Y}, nil)
 }
 
 // Delete removes the point with exactly p's coordinates, reporting
 // whether it existed.
 func (c *Client) Delete(p geom.Point) (bool, error) {
+	return c.DeleteContext(context.Background(), p)
+}
+
+// DeleteContext is Delete bounded by ctx.
+func (c *Client) DeleteContext(ctx context.Context, p geom.Point) (bool, error) {
 	if c.proto == ProtoBinary {
-		return c.binBool("/v1/delete", BatchOp{Op: OpDelete, X: p.X, Y: p.Y})
+		return c.binBool(ctx, "/v1/delete", BatchOp{Op: OpDelete, X: p.X, Y: p.Y})
 	}
 	var resp DeletedResponse
-	err := c.post("/v1/delete", PointJSON{X: p.X, Y: p.Y}, &resp)
+	err := c.post(ctx, "/v1/delete", PointJSON{X: p.X, Y: p.Y}, &resp)
 	return resp.Deleted, err
 }
 
 // Batch executes a heterogeneous operation list in one round-trip and
 // returns the per-op results in request order.
 func (c *Client) Batch(ops []BatchOp) ([]BatchResult, error) {
+	return c.BatchContext(context.Background(), ops)
+}
+
+// BatchContext is Batch bounded by ctx.
+func (c *Client) BatchContext(ctx context.Context, ops []BatchOp) ([]BatchResult, error) {
 	if c.proto == ProtoBinary {
-		return c.binBatch(ops)
+		return c.binBatch(ctx, ops)
 	}
 	var resp BatchResponse
-	err := c.post("/v1/batch", BatchRequest{Ops: ops}, &resp)
+	err := c.post(ctx, "/v1/batch", BatchRequest{Ops: ops}, &resp)
 	return resp.Results, err
 }
 
 // binBatch executes a batch over rsmibin — a stream frame or an HTTP
 // /v1/batch request — mapping results back to the JSON result shape so
 // every protocol/transport shares one client API.
-func (c *Client) binBatch(ops []BatchOp) ([]BatchResult, error) {
+func (c *Client) binBatch(ctx context.Context, ops []BatchOp) ([]BatchResult, error) {
 	var rs []binResult
 	var err error
 	if c.stream != nil {
-		rs, err = c.stream.streamDo(ops)
+		rs, err = c.stream.streamDo(ctx, ops)
 	} else {
 		b := appendBinHeader(make([]byte, 0, 16+24*len(ops)))
 		b = appendUvarint(b, uint64(len(ops)))
@@ -398,7 +436,7 @@ func (c *Client) binBatch(ops []BatchOp) ([]BatchResult, error) {
 				return nil, err
 			}
 		}
-		rs, err = c.postBinary("/v1/batch", b, false)
+		rs, err = c.postBinary(ctx, "/v1/batch", b, false)
 	}
 	if err != nil {
 		return nil, err
@@ -440,7 +478,7 @@ func batchResultsFromBin(ops []BatchOp, rs []binResult) ([]BatchResult, error) {
 // Rebuild triggers a rolling rebuild; it returns a *StatusError with code
 // 409 if one is already running.
 func (c *Client) Rebuild() error {
-	return c.post("/v1/rebuild", struct{}{}, nil)
+	return c.post(context.Background(), "/v1/rebuild", struct{}{}, nil)
 }
 
 // Stats fetches the serving counters.

@@ -272,6 +272,54 @@ func TestBatchJSONEncodeAllocs(t *testing.T) {
 	}
 }
 
+// TestPointsJSONStreamEquivalence pins the per-op streaming encoder
+// (/v1/window and /v1/knn responses) to encoding/json byte for byte,
+// including the empty answer, whose "points":[] must match the non-nil
+// slice the old []PointJSON path always produced.
+func TestPointsJSONStreamEquivalence(t *testing.T) {
+	cases := [][]geom.Point{
+		nil,
+		{},
+		{geom.Pt(0.5, 0.25)},
+		{
+			geom.Pt(1e-7, 1e21),     // exponent forms
+			geom.Pt(-1e-9, 123456),  // negative exponent cleanup
+			geom.Pt(0, -0.00025),    // zero and plain fractions
+			geom.Pt(1.0/3.0, 2e300), // long mantissa, big exponent
+		},
+	}
+	for i, pts := range cases {
+		want, err := json.Marshal(PointsResponse{Count: len(pts), Points: toPoints(pts)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, '\n') // Encoder-style trailing newline
+		got := appendPointsJSON(nil, pts)
+		if string(got) != string(want) {
+			t.Fatalf("case %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+// TestPointsJSONEncodeAllocs mirrors TestBatchJSONEncodeAllocs for the
+// per-op path: encoding a window/kNN response of any size into a warm
+// pooled buffer allocates nothing.
+func TestPointsJSONEncodeAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]geom.Point, 500)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	// Warm the buffer to steady-state capacity, as the response pool does.
+	buf := appendPointsJSON(nil, pts)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = appendPointsJSON(buf[:0], pts)
+	})
+	if allocs > 0 {
+		t.Fatalf("per-op JSON encode allocates %.1f times per 500-point response, want 0", allocs)
+	}
+}
+
 // TestStreamRequestTimeout checks Config.StreamRequestTimeout: a stream
 // request still executing past the per-request deadline fails with a
 // 504-coded status frame, and the connection keeps serving.

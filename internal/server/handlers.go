@@ -154,10 +154,15 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 const statusClientClosedRequest = 499
 
 // engineErrorCode maps an engine execution error to an HTTP status:
-// deadline-exceeded means the server ran out of time (504), cancellation
-// means the client went away (499), anything else is a server fault.
+// a forwarded write that failed on the primary keeps the primary's
+// status (*StatusError, replica role), deadline-exceeded means the
+// server ran out of time (504), cancellation means the client went
+// away (499), anything else is a server fault.
 func engineErrorCode(err error) int {
+	var se *StatusError
 	switch {
+	case errors.As(err, &se):
+		return se.Code
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -212,14 +217,15 @@ func respondBool(w http.ResponseWriter, r *http.Request, jsonBody interface{}, v
 }
 
 // respondPoints answers a points-valued op in the negotiated encoding.
-// The binary path encodes the engine's points directly into the pooled
-// frame buffer; the JSON path copies them into wire structs.
+// Both paths encode the engine's points directly into the pooled frame
+// buffer — no []PointJSON intermediates on the per-op hot path
+// (TestPointsJSONEncodeAllocs pins the JSON side at zero allocations).
 func respondPoints(w http.ResponseWriter, r *http.Request, pts []geom.Point) {
 	if wantsBinaryResponse(r) {
 		writeBinary(w, func(b []byte) []byte { return appendPointsResult(b, pts) })
 		return
 	}
-	writeJSON(w, PointsResponse{Count: len(pts), Points: toPoints(pts)})
+	writeJSONBuffered(w, func(b []byte) []byte { return appendPointsJSON(b, pts) })
 }
 
 // queryPoint routes a point probe through the coalescer when enabled,
@@ -544,6 +550,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if sc, ok := s.eng.(shardCounter); ok {
 		resp.Shards = sc.NumShards()
+	}
+	if s.cfg.Replicator != nil {
+		resp.Replication = s.cfg.Replicator.stats()
+	} else if s.cfg.Replica != nil {
+		resp.Replication = s.cfg.Replica.stats()
 	}
 	if s.coPoint != nil {
 		for _, c := range []interface {

@@ -17,6 +17,8 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+
+	"rsmi/internal/geom"
 )
 
 // appendJSONFloat appends v formatted exactly as encoding/json formats a
@@ -92,6 +94,30 @@ func appendBatchAnswersJSON(b []byte, answers []batchAnswer) []byte {
 			}
 			b = append(b, ']', '}')
 		}
+	}
+	b = append(b, ']', '}', '\n')
+	return b
+}
+
+// appendPointsJSON encodes a PointsResponse document straight from the
+// engine's points — the per-op (/v1/window, /v1/knn) twin of
+// appendBatchAnswersJSON. Unlike a batch result object, PointsResponse
+// has no omitempty fields, so an empty answer still encodes
+// {"count":0,"points":[]} exactly as encoding/json renders the
+// non-nil slice toPoints always produced.
+func appendPointsJSON(b []byte, pts []geom.Point) []byte {
+	b = append(b, `{"count":`...)
+	b = strconv.AppendInt(b, int64(len(pts)), 10)
+	b = append(b, `,"points":[`...)
+	for j, p := range pts {
+		if j > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"x":`...)
+		b = appendJSONFloat(b, p.X)
+		b = append(b, `,"y":`...)
+		b = appendJSONFloat(b, p.Y)
+		b = append(b, '}')
 	}
 	b = append(b, ']', '}', '\n')
 	return b

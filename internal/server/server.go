@@ -106,6 +106,14 @@ type Config struct {
 	// a 504-coded status frame instead of occupying the engine. 0 means
 	// no deadline.
 	StreamRequestTimeout time.Duration
+	// Replicator, when non-nil, makes this server a replication primary:
+	// it exposes /v1/replica/info and /v1/replica/snapshot and serves
+	// the oplog feed to replicas over the rsmistream listener. Engine
+	// should be the Replicator's write-gated view (Replicator.Engine()).
+	Replicator *Replicator
+	// Replica, when non-nil, marks this server a replica so /v1/stats
+	// reports its replication state. Engine should be Replica.Engine().
+	Replica *Replica
 }
 
 // withDefaults fills unset fields.
@@ -192,6 +200,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/rebuild", s.handleRebuild)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	if cfg.Replicator != nil {
+		s.mux.HandleFunc("/v1/replica/info", s.handleReplicaInfo)
+		s.mux.HandleFunc("/v1/replica/snapshot", s.handleReplicaSnapshot)
+	}
 	s.hs = &http.Server{Handler: s.mux}
 	return s
 }

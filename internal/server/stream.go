@@ -271,6 +271,13 @@ func (s *Server) serveStreamConn(conn net.Conn) {
 		if err != nil || sw.failed() {
 			break
 		}
+		// A replication handshake ('R','L',1 — no rsmibin frame starts
+		// that way) dedicates this connection to the oplog feed
+		// (replication.go); it returns when the feed ends.
+		if isReplHandshake(payload) {
+			s.serveReplFeed(conn, payload)
+			break
+		}
 		// Blocks when streamMaxPipeline requests are already in flight on
 		// this connection; dispatched handlers always finish (admission
 		// shedding, engine execution, bounded response writes), so the

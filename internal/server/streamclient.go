@@ -10,6 +10,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -65,9 +66,10 @@ func (sc *streamClient) get() (*streamConn, error) {
 		return nil, fmt.Errorf("stream: dial %s: %w", sc.addr, err)
 	}
 	c := &streamConn{
-		c:       nc,
-		timeout: sc.timeout,
-		pending: make(map[uint64]chan streamAnswer),
+		c:         nc,
+		timeout:   sc.timeout,
+		pending:   make(map[uint64]chan streamAnswer),
+		abandoned: make(map[uint64]struct{}),
 	}
 	go c.readLoop()
 	slot.conn = c
@@ -112,7 +114,14 @@ type streamConn struct {
 	mu      sync.Mutex
 	nextID  uint64
 	pending map[uint64]chan streamAnswer
-	err     error
+	// abandoned tombstones requests whose caller gave up (context
+	// cancelled) while the request was in flight: the server still
+	// answers them, and the read loop must discard those late responses
+	// instead of treating them as protocol corruption. Entries are
+	// removed when the response arrives; a connection failure clears
+	// everything.
+	abandoned map[uint64]struct{}
+	err       error
 }
 
 func (c *streamConn) dead() bool {
@@ -131,6 +140,7 @@ func (c *streamConn) fail(err error) {
 	c.err = err
 	pending := c.pending
 	c.pending = nil
+	c.abandoned = nil
 	c.mu.Unlock()
 	c.c.Close()
 	for _, ch := range pending {
@@ -156,6 +166,15 @@ func (c *streamConn) readLoop() {
 		c.mu.Lock()
 		ch, ok := c.pending[id]
 		delete(c.pending, id)
+		if !ok {
+			// A late answer to an abandoned request keeps the stream
+			// synchronised — discard it and keep reading.
+			if _, was := c.abandoned[id]; was {
+				delete(c.abandoned, id)
+				c.mu.Unlock()
+				continue
+			}
+		}
 		c.mu.Unlock()
 		if !ok {
 			c.fail(fmt.Errorf("stream: response for unknown request id %d", id))
@@ -170,12 +189,31 @@ func isStatusError(err error) bool {
 	return errors.As(err, &se)
 }
 
+// abandon tombstones an in-flight request whose caller gave up: the
+// read loop will silently discard its late response. It reports whether
+// the request was still pending (false means the answer already
+// arrived or the connection failed).
+func (c *streamConn) abandon(id uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.pending[id]; !ok {
+		return false
+	}
+	delete(c.pending, id)
+	if c.abandoned != nil {
+		c.abandoned[id] = struct{}{}
+	}
+	return true
+}
+
 // roundTrip sends one rsmibin batch request body (everything after the
-// request id) and blocks for its matched response, bounded by the
-// client timeout. A timeout poisons the connection — the response may
-// still arrive later, and a connection whose stream position is unknown
-// cannot be reused.
-func (c *streamConn) roundTrip(body []byte) ([]binResult, error) {
+// request id) and blocks for its matched response, bounded by ctx and
+// the client timeout. A timeout poisons the connection — the response
+// may still arrive later, and a connection whose stream position is
+// unknown cannot be reused. Context cancellation does not poison:
+// the request is tombstoned and its late answer discarded, so a hedged
+// read's losing leg releases its connection for reuse.
+func (c *streamConn) roundTrip(ctx context.Context, body []byte) ([]binResult, error) {
 	ch := make(chan streamAnswer, 1)
 	c.mu.Lock()
 	if c.err != nil {
@@ -214,6 +252,13 @@ func (c *streamConn) roundTrip(body []byte) ([]binResult, error) {
 	select {
 	case a := <-ch:
 		return a.results, a.err
+	case <-ctx.Done():
+		if !c.abandon(id) {
+			// The answer raced the cancellation; it is already on ch.
+			a := <-ch
+			return a.results, a.err
+		}
+		return nil, ctx.Err()
 	case <-timer.C:
 		c.fail(fmt.Errorf("stream: request timed out after %v", c.timeout))
 		return nil, fmt.Errorf("stream: request timed out after %v", c.timeout)
@@ -252,7 +297,7 @@ func decodeStreamResponse(payload []byte) ([]binResult, error) {
 // streamDo executes an op list over the stream transport and returns the
 // raw results; the Client maps them to API shapes exactly as it does for
 // HTTP binary responses.
-func (sc *streamClient) streamDo(ops []BatchOp) ([]binResult, error) {
+func (sc *streamClient) streamDo(ctx context.Context, ops []BatchOp) ([]binResult, error) {
 	body := appendBinHeader(make([]byte, 0, 16+24*len(ops)))
 	body = appendUvarint(body, uint64(len(ops)))
 	var err error
@@ -265,7 +310,7 @@ func (sc *streamClient) streamDo(ops []BatchOp) ([]binResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	rs, err := conn.roundTrip(body)
+	rs, err := conn.roundTrip(ctx, body)
 	if err != nil {
 		return nil, err
 	}

@@ -105,6 +105,9 @@ func (s *Sharded) DeleteContext(ctx context.Context, p geom.Point) (bool, error)
 		}
 		sh.mu.Lock()
 		ok := sh.idx.Delete(p)
+		if ok {
+			s.notify(WriteOp{Kind: WriteDelete, P: p})
+		}
 		sh.mu.Unlock()
 		if ok {
 			return true, nil

@@ -1,0 +1,61 @@
+package shard
+
+// Write hooks — the replication tap. A serving primary (internal/server)
+// installs one hook and receives every applied mutation: the hook runs
+// under the owning shard's write lock, immediately after the mutation,
+// so for any single point the hook-observed order equals the applied
+// order. That is exactly the guarantee a sequenced operation log needs:
+// ops on the same point are logged in apply order (replaying the log
+// yields the same final state), while ops on different points — which
+// commute — may interleave freely across shards.
+//
+// Rebuild notifies once, after every shard has retrained; it carries no
+// point. Replicas use it to retrain too, keeping the approximate-answer
+// structure of primary and replica aligned when the write stream is
+// quiescent.
+
+import "rsmi/internal/geom"
+
+// WriteKind discriminates the mutations a write hook observes. The
+// values are stable — they are the oplog's wire encoding.
+type WriteKind uint8
+
+const (
+	// WriteInsert is an applied Insert.
+	WriteInsert WriteKind = 1
+	// WriteDelete is a Delete that found and removed its point (misses
+	// are not observed — there is nothing to replicate).
+	WriteDelete WriteKind = 2
+	// WriteRebuild is a completed rolling rebuild (no point payload).
+	WriteRebuild WriteKind = 3
+)
+
+// WriteOp is one observed mutation.
+type WriteOp struct {
+	Kind WriteKind
+	P    geom.Point
+}
+
+// WriteHook observes applied mutations. Insert/Delete hooks run under
+// the owning shard's write lock — keep them short (an in-memory log
+// append); a slow hook serialises writes to that shard.
+type WriteHook func(WriteOp)
+
+// SetWriteHook installs h (nil uninstalls). Safe to call while the
+// index serves; mutations in flight during the swap observe either the
+// old or the new hook.
+func (s *Sharded) SetWriteHook(h WriteHook) {
+	if h == nil {
+		s.hook.Store(nil)
+		return
+	}
+	s.hook.Store(&h)
+}
+
+// notify invokes the installed hook, if any. Insert/Delete callers hold
+// the owning shard's write lock.
+func (s *Sharded) notify(op WriteOp) {
+	if h := s.hook.Load(); h != nil {
+		(*h)(op)
+	}
+}

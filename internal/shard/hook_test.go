@@ -1,0 +1,72 @@
+package shard
+
+import (
+	"context"
+	"testing"
+
+	"rsmi/internal/core"
+	"rsmi/internal/dataset"
+	"rsmi/internal/geom"
+)
+
+// TestWriteHook checks the write-hook contract the replication oplog
+// depends on: every applied insert and successful delete notifies with
+// the right kind and point, a missed delete stays silent, a rebuild
+// notifies exactly once with no point, and a nil hook uninstalls.
+func TestWriteHook(t *testing.T) {
+	pts := dataset.Generate(dataset.Uniform, 500, 11)
+	s := New(pts, Options{
+		Shards: 3,
+		Index: core.Options{
+			BlockCapacity:      50,
+			PartitionThreshold: 200,
+			Epochs:             5,
+			LearningRate:       0.1,
+			Seed:               1,
+		},
+	})
+
+	var ops []WriteOp
+	s.SetWriteHook(func(op WriteOp) { ops = append(ops, op) })
+
+	ins := geom.Pt(0.123, 0.456)
+	s.Insert(ins)
+	if deleted := s.Delete(ins); !deleted {
+		t.Fatal("delete of just-inserted point failed")
+	}
+	if deleted := s.Delete(geom.Pt(-5, -5)); deleted {
+		t.Fatal("delete of absent point succeeded")
+	}
+	if err := s.RebuildContext(context.Background()); err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+
+	want := []WriteOp{
+		{Kind: WriteInsert, P: ins},
+		{Kind: WriteDelete, P: ins},
+		{Kind: WriteRebuild},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("hook saw %d ops, want %d: %+v", len(ops), len(want), ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("op %d = %+v, want %+v", i, ops[i], want[i])
+		}
+	}
+
+	// Uninstall: further writes are silent.
+	s.SetWriteHook(nil)
+	s.Insert(geom.Pt(0.9, 0.9))
+	if len(ops) != len(want) {
+		t.Fatalf("uninstalled hook still fired: %+v", ops[len(want):])
+	}
+}
+
+// TestWriteHookKindValues pins the wire values replication serialises.
+func TestWriteHookKindValues(t *testing.T) {
+	if WriteInsert != 1 || WriteDelete != 2 || WriteRebuild != 3 {
+		t.Fatalf("WriteKind values changed: insert=%d delete=%d rebuild=%d",
+			WriteInsert, WriteDelete, WriteRebuild)
+	}
+}

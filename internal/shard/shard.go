@@ -130,6 +130,9 @@ type Sharded struct {
 	opts      Options
 	shards    []*state
 	buildTime time.Duration
+	// hook, when installed, observes applied mutations (hook.go); the
+	// serving layer's replication oplog taps writes here.
+	hook atomic.Pointer[WriteHook]
 }
 
 var _ index.Index = (*Sharded)(nil)
@@ -319,6 +322,9 @@ func (s *Sharded) Insert(p geom.Point) {
 	sh.mu.Lock()
 	sh.idx.Insert(p)
 	sh.storeRegion(sh.loadRegion().ExtendPoint(p))
+	// Under the shard lock: for any single point, hook order == apply
+	// order (see hook.go).
+	s.notify(WriteOp{Kind: WriteInsert, P: p})
 	sh.mu.Unlock()
 }
 
@@ -352,6 +358,9 @@ func (s *Sharded) Delete(p geom.Point) bool {
 	for _, sh := range s.pointCandidates(p) {
 		sh.mu.Lock()
 		ok := sh.idx.Delete(p)
+		if ok {
+			s.notify(WriteOp{Kind: WriteDelete, P: p})
+		}
 		sh.mu.Unlock()
 		if ok {
 			return true
@@ -634,6 +643,7 @@ func (s *Sharded) rebuild(ctx context.Context) error {
 		sh.storeRegion(geom.BoundingRect(pts))
 		sh.mu.Unlock()
 	}
+	s.notify(WriteOp{Kind: WriteRebuild})
 	return nil
 }
 
