@@ -12,6 +12,7 @@
 //	rsmi-loadgen -rate 5000 -clients 32            # open-loop: 5000 req/s arrivals
 //	rsmi-loadgen -duration 2s -min-ok 1.0          # CI smoke: exit 1 unless 100% 2xx
 //	rsmi-loadgen -addr 127.0.0.1:8080,127.0.0.1:8090 -hedge-delay 2ms  # hedged replica set
+//	rsmi-loadgen -explain-sample 20                # EXPLAIN stage-breakdown table
 //
 // -batch n groups n operations per /v1/batch request (one round-trip);
 // -batch 1 sends one operation per request through the per-op endpoints,
@@ -28,6 +29,12 @@
 // go to one target and are re-issued to a second after -hedge-delay (or
 // immediately when the first target fails), first answer wins, loser
 // cancelled; writes fail over. The report then carries hedge counts.
+//
+// -explain-sample n issues n EXPLAIN-flagged read queries after the run
+// (drawn from the same mix) and prints a per-operation table of mean
+// stage timings, shards visited, and block accesses — the quickest way
+// to see where a query's time goes without touching the server's
+// config. EXPLAIN works over every protocol and transport.
 package main
 
 import (
@@ -57,6 +64,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-request client timeout (0 = default 30s)")
 		rate     = flag.Float64("rate", 0, "open-loop arrival rate in requests/s (0 = closed-loop)")
 		minOK    = flag.Float64("min-ok", -1, "exit 1 unless the 2xx rate reaches this fraction (e.g. 1.0)")
+		explainN = flag.Int("explain-sample", 0, "after the run, issue this many EXPLAIN queries and print the per-stage breakdown table")
 	)
 	flag.Parse()
 	log.SetPrefix("rsmi-loadgen: ")
@@ -110,6 +118,22 @@ func main() {
 		scheme = "tcp"
 	}
 	fmt.Printf("%s against %s://%s (mix %s)\n%s\n", mode, scheme, strings.Join(addrs, ","), m, rep)
+	if *explainN > 0 {
+		er, err := loadgen.ExplainSamples(loadgen.Config{
+			Addrs:      addrs[:1],
+			Mix:        m,
+			K:          *k,
+			WindowFrac: *window,
+			Seed:       *seed,
+			Proto:      p,
+			Transport:  tr,
+			Timeout:    *timeout,
+		}, *explainN)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("EXPLAIN sample (%d queries against %s, mean per query):\n%s\n", *explainN, addrs[0], er)
+	}
 	if *minOK >= 0 && rep.OKRate() < *minOK {
 		log.Fatalf("2xx rate %.4f below required %.4f", rep.OKRate(), *minOK)
 	}

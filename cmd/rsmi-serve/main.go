@@ -27,6 +27,7 @@
 //	rsmi-serve -addr :8080 -stream-addr :8081 -stream-request-timeout 5s
 //	rsmi-serve -addr :8080 -stream-addr :8081              # primary
 //	rsmi-serve -addr :8082 -replica-of 127.0.0.1:8080      # replica
+//	rsmi-serve -trace-sample 100 -slow-query 50ms -pprof   # observability
 //
 // -engine selects the backend: "sharded" (the default: S parallel RSMI
 // shards), "concurrent" (one RSMI behind a RWMutex), or a baseline of the
@@ -53,6 +54,23 @@
 // replica may lag the primary briefly; see internal/server/replica.go
 // for the exact guarantees. Point rsmi-loadgen at several replicas with
 // a comma-separated -addr list to hedge reads across them.
+//
+// # Observability
+//
+// Every server exposes GET /metrics in Prometheus text format (request
+// counts and latency histograms per operation and transport, coalescer
+// batch sizes, block accesses, replication lag, rebuild state — no
+// client library involved), /healthz for liveness, and /readyz for
+// readiness (a replica is ready only while within -ready-max-lag oplog
+// records of its primary). -trace-sample N traces one in N requests
+// through the admission → decode → coalesce → execute → encode
+// pipeline; -slow-query D additionally logs every request slower than
+// D as a JSON line on stderr with the full stage breakdown, rate-capped
+// by -slow-query-rate. Any client can request a trace for its own
+// query regardless of sampling: ?explain=1 on the JSON endpoints, the
+// EXPLAIN flag bit in rsmibin (see rsmi-loadgen -explain-sample). The
+// untraced request path adds no allocations. -pprof serves
+// net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -68,6 +86,7 @@ import (
 
 	"rsmi"
 	"rsmi/internal/dataset"
+	"rsmi/internal/obs"
 	"rsmi/internal/server"
 )
 
@@ -91,6 +110,11 @@ func main() {
 		snapshot    = flag.String("snapshot", "", "index snapshot, -engine sharded only: load if present, else build and save")
 		replicaOf   = flag.String("replica-of", "", "primary HTTP address to replicate; this server bootstraps from its snapshot, follows its oplog, serves reads locally, and forwards writes")
 		oplogCap    = flag.Int("oplog-cap", 0, "primary oplog retention in records (default 65536); a replica further behind re-bootstraps")
+		traceSample = flag.Int("trace-sample", 0, "trace one in N requests into /v1/stats stage timings (0 = only explicit EXPLAIN requests)")
+		slowQuery   = flag.Duration("slow-query", 0, "log requests slower than this as JSON lines on stderr; forces tracing of every request (0 disables)")
+		slowRate    = flag.Float64("slow-query-rate", 10, "max slow-query log lines per second")
+		readyMaxLag = flag.Uint64("ready-max-lag", 0, "replica /readyz lag threshold in oplog records (default 1024)")
+		pprofFlag   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (exposes heap and symbol contents)")
 	)
 	flag.Parse()
 	log.SetPrefix("rsmi-serve: ")
@@ -149,6 +173,23 @@ func main() {
 	log.Printf("engine ready: %s (n=%d, build/load %v)",
 		eng.Name(), eng.Len(), eng.Stats().BuildTime.Round(time.Millisecond))
 
+	// Observability: -slow-query turns on the structured slow-query log
+	// (which forces tracing of every request — stage timings cannot be
+	// reconstructed after the fact); -trace-sample alone traces 1-in-N.
+	// Explicit EXPLAIN requests are always traced, observer or not.
+	var slowLog *obs.SlowLog
+	if *slowQuery > 0 {
+		slowLog = obs.NewSlowLog(os.Stderr, *slowQuery, *slowRate)
+		log.Printf("slow-query log on stderr: threshold %v, max %.0f lines/s", *slowQuery, *slowRate)
+	}
+	var observer *obs.Observer
+	if slowLog != nil || *traceSample > 0 {
+		observer = obs.NewObserver(*traceSample, slowLog)
+	}
+	if *pprofFlag {
+		log.Printf("pprof endpoints on /debug/pprof/ (heap and symbol contents are exposed)")
+	}
+
 	srv := server.New(server.Config{
 		Engine:               eng,
 		MaxBatch:             *maxBatch,
@@ -158,6 +199,9 @@ func main() {
 		StreamRequestTimeout: *streamRTO,
 		Replicator:           repl,
 		Replica:              rep,
+		Observer:             observer,
+		ReadyMaxLag:          *readyMaxLag,
+		EnablePprof:          *pprofFlag,
 	})
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -32,6 +32,7 @@ import (
 	"rsmi/internal/dataset"
 	"rsmi/internal/geom"
 	"rsmi/internal/loadgen"
+	"rsmi/internal/obs"
 	"rsmi/internal/server"
 	"rsmi/internal/shard"
 	"rsmi/internal/workload"
@@ -64,6 +65,12 @@ type Metrics struct {
 	// them against old files; no schema bump).
 	HedgedOpsPerSec float64 `json:"hedged_ops_per_sec,omitempty"`
 	HedgedP50Us     float64 `json:"hedged_p50_us,omitempty"`
+	// ServingTracedOpsPerSec is the binary-protocol serving throughput
+	// with the Observer tracing every request (the worst observability
+	// case: -slow-query forces sample-every-request). Compared against
+	// its own baseline, it keeps the tracing overhead itself from
+	// regressing silently (additive field; absent pre-observability).
+	ServingTracedOpsPerSec float64 `json:"serving_traced_ops_per_sec,omitempty"`
 }
 
 // metricsSchemaVersion guards baseline/current comparability (2: stream
@@ -184,6 +191,35 @@ func RunRegression(w io.Writer) (Metrics, error) {
 		}
 	}
 
+	// Traced serving: the binary-protocol cell again, but with the
+	// Observer tracing every request — the measured price of full
+	// observability, gated like any other throughput.
+	tAddr, _, tStop, err := startServingCfg(server.Config{
+		Engine:      serveEng,
+		MaxBatch:    64,
+		MaxInFlight: 1024,
+		Observer:    obs.NewObserver(1, nil),
+	})
+	if err != nil {
+		return Metrics{}, err
+	}
+	defer tStop()
+	tRep, err := loadgen.Run(loadgen.Config{
+		Addr:       tAddr,
+		Clients:    4,
+		Duration:   cell,
+		Mix:        loadgen.Mix{Window: 1},
+		BatchSize:  32,
+		WindowFrac: 0.0001,
+		Proto:      server.ProtoBinary,
+	})
+	if err != nil {
+		return Metrics{}, fmt.Errorf("serving (traced): %w", err)
+	}
+	m.ServingTracedOpsPerSec = tRep.OpsPerSec
+	fmt.Fprintf(w, "  serving traced: %.0f ops/s, p50 %v (every request traced)\n",
+		tRep.OpsPerSec, tRep.P50)
+
 	// Hedged: the same window workload fanned over two serving targets
 	// of the same engine through the hedged client (exercises the hedge
 	// timer, context plumbing, and round-robin paths end to end).
@@ -243,6 +279,7 @@ func Compare(baseline, current Metrics, tol float64) []string {
 	lower("serving_stream_p50_us", baseline.ServingStreamP50Us, current.ServingStreamP50Us)
 	higher("hedged_ops_per_sec", baseline.HedgedOpsPerSec, current.HedgedOpsPerSec)
 	lower("hedged_p50_us", baseline.HedgedP50Us, current.HedgedP50Us)
+	higher("serving_traced_ops_per_sec", baseline.ServingTracedOpsPerSec, current.ServingTracedOpsPerSec)
 	return regressions
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -233,5 +234,73 @@ func TestRunAgainstDeadServer(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("Run against dead server reported success")
+	}
+}
+
+// TestExplainSamples drives the EXPLAIN sampler over every protocol and
+// transport against the same server and checks the aggregated report:
+// read ops only, execute stage present, block accesses positive (the
+// paper's cost metric must survive aggregation), and a rendered table.
+func TestExplainSamples(t *testing.T) {
+	addr, streamAddr, cleanup := startLoadgenServerStream(t)
+	defer cleanup()
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"json", Config{Addr: addr}},
+		{"binary", Config{Addr: addr, Proto: server.ProtoBinary}},
+		{"stream", Config{Addr: streamAddr, Transport: server.TransportTCP}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := ExplainSamples(tc.cfg, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Rows) == 0 {
+				t.Fatal("no rows aggregated")
+			}
+			for _, row := range rep.Rows {
+				switch row.Op {
+				case server.OpPoint, server.OpWindow, server.OpKNN:
+				default:
+					t.Errorf("non-read op %q sampled", row.Op)
+				}
+				if row.N <= 0 {
+					t.Errorf("%s: N = %d", row.Op, row.N)
+				}
+				if _, ok := row.StageUs["execute"]; !ok {
+					t.Errorf("%s: no execute stage: %v", row.Op, row.StageUs)
+				}
+				if row.Accesses <= 0 && row.Op != server.OpPoint {
+					t.Errorf("%s: mean accesses = %v, want > 0", row.Op, row.Accesses)
+				}
+				if row.Shards < 1 {
+					t.Errorf("%s: mean shards = %v, want >= 1", row.Op, row.Shards)
+				}
+			}
+			table := rep.String()
+			for _, want := range []string{"op", "execute_us", "shards", "accesses"} {
+				if !strings.Contains(table, want) {
+					t.Errorf("table lacks %q:\n%s", want, table)
+				}
+			}
+		})
+	}
+
+	// A write-only mix falls back to read queries rather than sampling
+	// nothing.
+	rep, err := ExplainSamples(Config{Addr: addr, Mix: Mix{Insert: 1}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("write-only mix: no rows")
+	}
+
+	// n <= 0 is a no-op, not an error.
+	if rep, err := ExplainSamples(Config{Addr: addr}, 0); err != nil || len(rep.Rows) != 0 {
+		t.Fatalf("n=0: %+v, %v", rep, err)
 	}
 }

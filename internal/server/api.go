@@ -29,23 +29,51 @@ type KNNJSON struct {
 
 // FoundResponse answers /v1/point.
 type FoundResponse struct {
-	Found bool `json:"found"`
+	Found bool       `json:"found"`
+	Trace *TraceJSON `json:"trace,omitempty"`
 }
 
 // PointsResponse answers /v1/window and /v1/knn.
 type PointsResponse struct {
 	Count  int         `json:"count"`
 	Points []PointJSON `json:"points"`
+	Trace  *TraceJSON  `json:"trace,omitempty"`
 }
 
 // OKResponse answers /v1/insert.
 type OKResponse struct {
-	OK bool `json:"ok"`
+	OK    bool       `json:"ok"`
+	Trace *TraceJSON `json:"trace,omitempty"`
 }
 
 // DeletedResponse answers /v1/delete.
 type DeletedResponse struct {
-	Deleted bool `json:"deleted"`
+	Deleted bool       `json:"deleted"`
+	Trace   *TraceJSON `json:"trace,omitempty"`
+}
+
+// TraceStageJSON is one stage's span inside an EXPLAIN trace.
+type TraceStageJSON struct {
+	Stage string  `json:"stage"`
+	Us    float64 `json:"us"`
+}
+
+// TraceJSON is the per-query EXPLAIN record: requested with ?explain=1
+// (JSON/binary HTTP) or the rsmibin explain op-flag bit (HTTP and
+// stream), it rides inline with the response and surfaces the paper's
+// block-access metric — plus the stage breakdown — per query.
+//
+// On a coalesced query, ShardsVisited and BlockAccesses cover the whole
+// micro-batch the query executed in (CoalesceBatch reports its size),
+// and under concurrent load BlockAccesses may include overlapping engine
+// calls; issue the query sequentially for exact per-query numbers.
+type TraceJSON struct {
+	ID            uint64           `json:"id"`
+	Backend       string           `json:"backend,omitempty"`
+	ShardsVisited int64            `json:"shards_visited"`
+	BlockAccesses int64            `json:"block_accesses"`
+	CoalesceBatch int64            `json:"coalesce_batch,omitempty"`
+	Stages        []TraceStageJSON `json:"stages"`
 }
 
 // Batch operation kinds.
@@ -89,6 +117,7 @@ type BatchResult struct {
 // BatchResponse answers /v1/batch.
 type BatchResponse struct {
 	Results []BatchResult `json:"results"`
+	Trace   *TraceJSON    `json:"trace,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.
@@ -97,13 +126,15 @@ type ErrorResponse struct {
 }
 
 // OpStats reports one operation's serving metrics in /v1/stats. The mean
-// is exact; the percentiles are quarter-octave histogram estimates.
+// is exact (a running sum, not bucket midpoints); the percentiles —
+// p999 included — are quarter-octave histogram estimates.
 type OpStats struct {
 	Count  int64   `json:"count"`
 	MeanUs float64 `json:"mean_us"`
 	P50us  float64 `json:"p50_us"`
 	P95us  float64 `json:"p95_us"`
 	P99us  float64 `json:"p99_us"`
+	P999us float64 `json:"p999_us"`
 }
 
 // CoalesceStats reports how well the request coalescer is amortising
@@ -138,9 +169,14 @@ type ReplicationStats struct {
 	FirstSeq   uint64 `json:"first_seq,omitempty"`
 	LastSeq    uint64 `json:"last_seq,omitempty"`
 	AppliedSeq uint64 `json:"applied_seq,omitempty"`
-	Followers  int64  `json:"followers,omitempty"`
-	Connected  bool   `json:"connected,omitempty"`
-	Resyncs    int64  `json:"resyncs,omitempty"`
+	// LagSeq and LagSeconds report a replica's distance behind the
+	// primary in sequences and (skew-free, primary-clock) seconds; both
+	// are exactly 0 on a caught-up replica.
+	LagSeq     uint64  `json:"lag_seq,omitempty"`
+	LagSeconds float64 `json:"lag_seconds,omitempty"`
+	Followers  int64   `json:"followers,omitempty"`
+	Connected  bool    `json:"connected,omitempty"`
+	Resyncs    int64   `json:"resyncs,omitempty"`
 }
 
 // StatsResponse answers /v1/stats.

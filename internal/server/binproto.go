@@ -28,11 +28,18 @@ package server
 //	  point|insert|delete  x f64, y f64
 //	  window               minX f64, minY f64, maxX f64, maxY f64
 //	  knn                  x f64, y f64, uvarint k
-//	response (per-op)    header, result
-//	response (/v1/batch) header, uvarint n, n × result
+//	response (per-op)    header, result [, trace]
+//	response (/v1/batch) header, uvarint n, n × result [, trace]
 //	result               tag byte, payload
 //	  bool                 1 byte (0|1)    — found / ok / deleted, by op
 //	  points               uvarint n, n × (x f64, y f64)
+//	  trace                EXPLAIN record, see appendBinTrace
+//
+// The high bit of an entry's op byte (binOpExplain) requests an EXPLAIN
+// trace: the response then carries one trace result after its results.
+// The bit is a per-request flag — set on any entry, it covers the whole
+// frame — and masked off before op dispatch, so version 1 framing is
+// unchanged for everyone who does not set it.
 //
 // # Zero-copy batch responses
 //
@@ -74,10 +81,16 @@ const (
 	binOpDelete
 )
 
+// binOpExplain is the op-byte flag bit requesting an inline EXPLAIN
+// trace in the response. Op bytes stay below 0x80, so the bit never
+// collides with an op kind.
+const binOpExplain byte = 0x80
+
 // Result tags.
 const (
 	binResBool byte = iota + 1
 	binResPoints
+	binResTrace
 )
 
 // binMaxK bounds the kNN parameter on the wire; it exists so a malformed
@@ -183,6 +196,53 @@ func appendOp(b []byte, op BatchOp) ([]byte, error) {
 	return b, nil
 }
 
+// markBinExplain sets the explain flag bit on an encoded request
+// frame's first entry — clients build the frame with the ordinary
+// append helpers and flip the bit afterwards. single selects the per-op
+// layout (entry at offset 3); a batch frame's first entry sits after
+// the count uvarint.
+func markBinExplain(b []byte, single bool) []byte {
+	i := 3
+	if !single {
+		_, n := binary.Uvarint(b[3:])
+		if n <= 0 {
+			return b
+		}
+		i += n
+	}
+	if i < len(b) {
+		b[i] |= binOpExplain
+	}
+	return b
+}
+
+// appendBinTrace appends an EXPLAIN trace result after a response's
+// results; tj == nil appends nothing (the common, non-EXPLAIN case).
+//
+//	trace  tag byte (binResTrace), uvarint id,
+//	       uvarint len, backend bytes,
+//	       uvarint shards, uvarint accesses, uvarint coalesce batch,
+//	       uvarint n, n × (uvarint len, stage-name bytes, us f64)
+func appendBinTrace(b []byte, tj *TraceJSON) []byte {
+	if tj == nil {
+		return b
+	}
+	b = append(b, binResTrace)
+	b = appendUvarint(b, tj.ID)
+	b = appendUvarint(b, uint64(len(tj.Backend)))
+	b = append(b, tj.Backend...)
+	b = appendUvarint(b, uint64(tj.ShardsVisited))
+	b = appendUvarint(b, uint64(tj.BlockAccesses))
+	b = appendUvarint(b, uint64(tj.CoalesceBatch))
+	b = appendUvarint(b, uint64(len(tj.Stages)))
+	for _, st := range tj.Stages {
+		b = appendUvarint(b, uint64(len(st.Stage)))
+		b = append(b, st.Stage...)
+		b = appendF64(b, st.Us)
+	}
+	return b
+}
+
 // appendBoolResult appends a bool result.
 func appendBoolResult(b []byte, v bool) []byte {
 	b = append(b, binResBool)
@@ -284,6 +344,9 @@ var errBinTruncated = errors.New("rsmibin: truncated frame")
 type binReader struct {
 	data []byte
 	err  error
+	// explain accumulates the explain flag bit across decoded entries:
+	// it is a request-level flag, whichever entry carries it.
+	explain bool
 }
 
 func (r *binReader) fail(err error) {
@@ -349,11 +412,16 @@ func (r *binReader) header() {
 	}
 }
 
-// entry decodes one request entry.
+// entry decodes one request entry, stripping (and recording) the
+// explain flag bit.
 func (r *binReader) entry() BatchOp {
 	kind := r.byte()
 	if r.err != nil {
 		return BatchOp{}
+	}
+	if kind&binOpExplain != 0 {
+		r.explain = true
+		kind &^= binOpExplain
 	}
 	name, ok := opName(kind)
 	if !ok {
@@ -384,35 +452,36 @@ func (r *binReader) entry() BatchOp {
 const binMinEntryBytes = 17
 
 // decodeBinaryOps parses a request frame: exactly one entry for the
-// per-op endpoints (single), a counted list for /v1/batch.
-func decodeBinaryOps(data []byte, single bool) ([]BatchOp, error) {
+// per-op endpoints (single), a counted list for /v1/batch. The second
+// return reports whether any entry carried the explain flag bit.
+func decodeBinaryOps(data []byte, single bool) ([]BatchOp, bool, error) {
 	r := &binReader{data: data}
 	r.header()
 	n := uint64(1)
 	if !single {
 		n = r.uvarint()
 		if r.err == nil && n > uint64(maxBatchOps) {
-			return nil, fmt.Errorf("rsmibin: batch exceeds %d ops", maxBatchOps)
+			return nil, false, fmt.Errorf("rsmibin: batch exceeds %d ops", maxBatchOps)
 		}
 		if r.err == nil && n*binMinEntryBytes > uint64(len(r.data)) {
-			return nil, errBinTruncated
+			return nil, false, errBinTruncated
 		}
 	}
 	if r.err != nil {
-		return nil, r.err
+		return nil, false, r.err
 	}
 	ops := make([]BatchOp, 0, n)
 	for i := uint64(0); i < n; i++ {
 		op := r.entry()
 		if r.err != nil {
-			return nil, r.err
+			return nil, false, r.err
 		}
 		ops = append(ops, op)
 	}
 	if len(r.data) != 0 {
-		return nil, errors.New("rsmibin: trailing bytes after frame")
+		return nil, false, errors.New("rsmibin: trailing bytes after frame")
 	}
-	return ops, nil
+	return ops, r.explain, nil
 }
 
 // binResult is one decoded response result.
@@ -452,9 +521,53 @@ func (r *binReader) result() binResult {
 	}
 }
 
+// trace decodes one EXPLAIN trace result (the caller has seen the
+// binResTrace tag coming).
+func (r *binReader) trace() *TraceJSON {
+	r.byte() // binResTrace
+	tj := &TraceJSON{ID: r.uvarint()}
+	bl := r.uvarint()
+	if r.err == nil && bl > uint64(len(r.data)) {
+		r.fail(errBinTruncated)
+	}
+	if r.err != nil {
+		return nil
+	}
+	tj.Backend = string(r.take(int(bl)))
+	tj.ShardsVisited = int64(r.uvarint())
+	tj.BlockAccesses = int64(r.uvarint())
+	tj.CoalesceBatch = int64(r.uvarint())
+	n := r.uvarint()
+	// A stage is at least 9 bytes (len + empty name + f64); divide so a
+	// malformed count cannot wrap into a huge allocation.
+	if r.err == nil && n > uint64(len(r.data))/9 {
+		r.fail(errBinTruncated)
+	}
+	if r.err != nil {
+		return nil
+	}
+	tj.Stages = make([]TraceStageJSON, 0, n)
+	for i := uint64(0); i < n; i++ {
+		sl := r.uvarint()
+		if r.err == nil && sl > uint64(len(r.data)) {
+			r.fail(errBinTruncated)
+		}
+		if r.err != nil {
+			return nil
+		}
+		name := string(r.take(int(sl)))
+		tj.Stages = append(tj.Stages, TraceStageJSON{Stage: name, Us: r.f64()})
+	}
+	if r.err != nil {
+		return nil
+	}
+	return tj
+}
+
 // decodeBinaryResults parses a response frame: one result for the per-op
-// endpoints (single), a counted list for /v1/batch.
-func decodeBinaryResults(data []byte, single bool) ([]binResult, error) {
+// endpoints (single), a counted list for /v1/batch, then an optional
+// trailing EXPLAIN trace.
+func decodeBinaryResults(data []byte, single bool) ([]binResult, *TraceJSON, error) {
 	r := &binReader{data: data}
 	r.header()
 	n := uint64(1)
@@ -463,22 +576,29 @@ func decodeBinaryResults(data []byte, single bool) ([]binResult, error) {
 		// Each result is at least 2 bytes (tag + bool, or tag + 0-count);
 		// divide rather than multiply so huge counts cannot wrap uint64.
 		if r.err == nil && n > uint64(len(r.data))/2 {
-			return nil, errBinTruncated
+			return nil, nil, errBinTruncated
 		}
 	}
 	if r.err != nil {
-		return nil, r.err
+		return nil, nil, r.err
 	}
 	out := make([]binResult, 0, n)
 	for i := uint64(0); i < n; i++ {
 		res := r.result()
 		if r.err != nil {
-			return nil, r.err
+			return nil, nil, r.err
 		}
 		out = append(out, res)
 	}
-	if len(r.data) != 0 {
-		return nil, errors.New("rsmibin: trailing bytes after frame")
+	var tj *TraceJSON
+	if r.err == nil && len(r.data) > 0 && r.data[0] == binResTrace {
+		tj = r.trace()
+		if r.err != nil {
+			return nil, nil, r.err
+		}
 	}
-	return out, nil
+	if len(r.data) != 0 {
+		return nil, nil, errors.New("rsmibin: trailing bytes after frame")
+	}
+	return out, tj, nil
 }

@@ -43,7 +43,7 @@ func TestBinaryOpsRoundTrip(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		got, err := decodeBinaryOps(b, false)
+		got, _, err := decodeBinaryOps(b, false)
 		if err != nil {
 			t.Fatalf("decode: %v", err)
 		}
@@ -67,7 +67,7 @@ func TestBinaryOpsRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := decodeBinaryOps(b, true)
+		got, _, err := decodeBinaryOps(b, true)
 		if err != nil {
 			t.Fatalf("decode single: %v", err)
 		}
@@ -104,7 +104,7 @@ func TestBinaryResultsRoundTrip(t *testing.T) {
 			}
 		}
 		frame := appendBatchAnswers(appendBinHeader(nil), answers)
-		rs, err := decodeBinaryResults(frame, false)
+		rs, _, err := decodeBinaryResults(frame, false)
 		if err != nil {
 			t.Fatalf("decode: %v", err)
 		}
@@ -156,28 +156,28 @@ func TestBinaryDecodeRejects(t *testing.T) {
 		}(),
 	}
 	for name, frame := range cases {
-		if _, err := decodeBinaryOps(frame, true); err == nil {
+		if _, _, err := decodeBinaryOps(frame, true); err == nil {
 			t.Errorf("decodeBinaryOps(single) accepted %s", name)
 		}
 	}
 	// Batch decode must reject counts the frame cannot hold.
 	big := appendUvarint(appendBinHeader(nil), 1000)
-	if _, err := decodeBinaryOps(big, false); err == nil {
+	if _, _, err := decodeBinaryOps(big, false); err == nil {
 		t.Error("batch decode accepted count with no entries")
 	}
 	// Result decode: oversized points count must error before allocating.
 	r := appendUvarint(append(appendBinHeader(nil), binResPoints), 1<<50)
-	if _, err := decodeBinaryResults(r, true); err == nil {
+	if _, _, err := decodeBinaryResults(r, true); err == nil {
 		t.Error("result decode accepted absurd point count")
 	}
 	// Counts chosen so a naive n*16 / n*2 length check wraps uint64 to a
 	// small number: the guards must still reject, not panic in makeslice.
 	wrap16 := appendUvarint(append(appendBinHeader(nil), binResPoints), 1<<60)
-	if _, err := decodeBinaryResults(wrap16, true); err == nil {
+	if _, _, err := decodeBinaryResults(wrap16, true); err == nil {
 		t.Error("result decode accepted count wrapping n*16")
 	}
 	wrap2 := appendUvarint(appendBinHeader(nil), 1<<63)
-	if _, err := decodeBinaryResults(wrap2, false); err == nil {
+	if _, _, err := decodeBinaryResults(wrap2, false); err == nil {
 		t.Error("batch result decode accepted count wrapping n*2")
 	}
 }
@@ -194,7 +194,7 @@ func FuzzDecodeBinaryOps(f *testing.F) {
 	f.Add([]byte{'R', 'B', 1, 0xff, 0xff}, false)
 	f.Add([]byte{}, true)
 	f.Fuzz(func(t *testing.T, data []byte, single bool) {
-		ops, err := decodeBinaryOps(data, single)
+		ops, _, err := decodeBinaryOps(data, single)
 		if err != nil {
 			return
 		}
@@ -208,7 +208,7 @@ func FuzzDecodeBinaryOps(f *testing.F) {
 				t.Fatalf("accepted op %+v does not re-encode: %v", op, aerr)
 			}
 		}
-		again, err := decodeBinaryOps(b, single)
+		again, _, err := decodeBinaryOps(b, single)
 		if err != nil {
 			t.Fatalf("re-encoded frame rejected: %v", err)
 		}
@@ -240,7 +240,7 @@ func FuzzDecodeBinaryResults(f *testing.F) {
 		{op: OpWindow, pts: []geom.Point{geom.Pt(0.5, 0.5)}},
 	}), false)
 	f.Fuzz(func(t *testing.T, data []byte, single bool) {
-		rs, err := decodeBinaryResults(data, single)
+		rs, _, err := decodeBinaryResults(data, single)
 		if err == nil && single && len(rs) != 1 {
 			t.Fatalf("single decode returned %d results", len(rs))
 		}

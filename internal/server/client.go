@@ -249,18 +249,19 @@ func fromPoints(pts []PointJSON) []geom.Point {
 var errBinResultKind = errors.New("client: rsmibin result kind does not match op")
 
 // postBinary sends one rsmibin request frame and decodes the response
-// frame (single selects the per-op response shape). Non-2xx answers are
-// JSON in either protocol and surface as *StatusError.
-func (c *Client) postBinary(ctx context.Context, path string, frame []byte, single bool) ([]binResult, error) {
+// frame (single selects the per-op response shape) plus its optional
+// trailing EXPLAIN trace. Non-2xx answers are JSON in either protocol
+// and surface as *StatusError.
+func (c *Client) postBinary(ctx context.Context, path string, frame []byte, single bool) ([]binResult, *TraceJSON, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(frame))
 	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+		return nil, nil, fmt.Errorf("client: %w", err)
 	}
 	req.Header.Set("Content-Type", ContentTypeBinary)
 	req.Header.Set("Accept", ContentTypeBinary)
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
@@ -269,31 +270,34 @@ func (c *Client) postBinary(ctx context.Context, path string, frame []byte, sing
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var e ErrorResponse
 		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return nil, &StatusError{Code: resp.StatusCode, Msg: e.Error}
+		return nil, nil, &StatusError{Code: resp.StatusCode, Msg: e.Error}
 	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("client: read response: %w", err)
+		return nil, nil, fmt.Errorf("client: read response: %w", err)
 	}
 	return decodeBinaryResults(body, single)
 }
 
 // binSingle executes one data-plane op over rsmibin.
-func (c *Client) binSingle(ctx context.Context, path string, op BatchOp) (binResult, error) {
+func (c *Client) binSingle(ctx context.Context, path string, op BatchOp, explain bool) (binResult, *TraceJSON, error) {
 	b, err := appendOp(appendBinHeader(make([]byte, 0, 64)), op)
 	if err != nil {
-		return binResult{}, err
+		return binResult{}, nil, err
 	}
-	rs, err := c.postBinary(ctx, path, b, true)
+	if explain {
+		b = markBinExplain(b, true)
+	}
+	rs, tj, err := c.postBinary(ctx, path, b, true)
 	if err != nil {
-		return binResult{}, err
+		return binResult{}, nil, err
 	}
-	return rs[0], nil
+	return rs[0], tj, nil
 }
 
 // binBool executes a bool-valued op over rsmibin.
 func (c *Client) binBool(ctx context.Context, path string, op BatchOp) (bool, error) {
-	res, err := c.singleResult(ctx, path, op)
+	res, _, err := c.singleResult(ctx, path, op, false)
 	if err != nil {
 		return false, err
 	}
@@ -305,7 +309,7 @@ func (c *Client) binBool(ctx context.Context, path string, op BatchOp) (bool, er
 
 // binPoints executes a points-valued op over rsmibin.
 func (c *Client) binPoints(ctx context.Context, path string, op BatchOp) ([]geom.Point, error) {
-	res, err := c.singleResult(ctx, path, op)
+	res, _, err := c.singleResult(ctx, path, op, false)
 	if err != nil {
 		return nil, err
 	}
@@ -317,15 +321,15 @@ func (c *Client) binPoints(ctx context.Context, path string, op BatchOp) ([]geom
 
 // singleResult executes one op over whichever binary path the client
 // uses: a one-op stream frame, or an rsmibin HTTP request to path.
-func (c *Client) singleResult(ctx context.Context, path string, op BatchOp) (binResult, error) {
+func (c *Client) singleResult(ctx context.Context, path string, op BatchOp, explain bool) (binResult, *TraceJSON, error) {
 	if c.stream != nil {
-		rs, err := c.stream.streamDo(ctx, []BatchOp{op})
+		rs, tj, err := c.stream.streamDo(ctx, []BatchOp{op}, explain)
 		if err != nil {
-			return binResult{}, err
+			return binResult{}, nil, err
 		}
-		return rs[0], nil
+		return rs[0], tj, nil
 	}
-	return c.binSingle(ctx, path, op)
+	return c.binSingle(ctx, path, op, explain)
 }
 
 // PointQuery reports whether a point with exactly p's coordinates is
@@ -427,7 +431,7 @@ func (c *Client) binBatch(ctx context.Context, ops []BatchOp) ([]BatchResult, er
 	var rs []binResult
 	var err error
 	if c.stream != nil {
-		rs, err = c.stream.streamDo(ctx, ops)
+		rs, _, err = c.stream.streamDo(ctx, ops, false)
 	} else {
 		b := appendBinHeader(make([]byte, 0, 16+24*len(ops)))
 		b = appendUvarint(b, uint64(len(ops)))
@@ -436,7 +440,7 @@ func (c *Client) binBatch(ctx context.Context, ops []BatchOp) ([]BatchResult, er
 				return nil, err
 			}
 		}
-		rs, err = c.postBinary(ctx, "/v1/batch", b, false)
+		rs, _, err = c.postBinary(ctx, "/v1/batch", b, false)
 	}
 	if err != nil {
 		return nil, err
@@ -473,6 +477,62 @@ func batchResultsFromBin(ops []BatchOp, rs []binResult) ([]BatchResult, error) {
 		}
 	}
 	return out, nil
+}
+
+// PointQueryExplain is PointQueryContext with an inline EXPLAIN trace:
+// the server reports the query's stage breakdown, shards visited, and
+// block accesses alongside the answer. Works on every proto/transport
+// combination (?explain=1 for JSON, the rsmibin explain flag bit for
+// binary HTTP and the stream).
+func (c *Client) PointQueryExplain(ctx context.Context, p geom.Point) (bool, *TraceJSON, error) {
+	if c.proto == ProtoBinary {
+		res, tj, err := c.singleResult(ctx, "/v1/point", BatchOp{Op: OpPoint, X: p.X, Y: p.Y}, true)
+		if err != nil {
+			return false, nil, err
+		}
+		if res.tag != binResBool {
+			return false, nil, errBinResultKind
+		}
+		return res.flag, tj, nil
+	}
+	var resp FoundResponse
+	err := c.post(ctx, "/v1/point?explain=1", PointJSON{X: p.X, Y: p.Y}, &resp)
+	return resp.Found, resp.Trace, err
+}
+
+// WindowQueryExplain is WindowQueryContext with an inline EXPLAIN trace.
+func (c *Client) WindowQueryExplain(ctx context.Context, q geom.Rect) ([]geom.Point, *TraceJSON, error) {
+	if c.proto == ProtoBinary {
+		res, tj, err := c.singleResult(ctx, "/v1/window",
+			BatchOp{Op: OpWindow, MinX: q.MinX, MinY: q.MinY, MaxX: q.MaxX, MaxY: q.MaxY}, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		if res.tag != binResPoints {
+			return nil, nil, errBinResultKind
+		}
+		return res.pts, tj, nil
+	}
+	var resp PointsResponse
+	err := c.post(ctx, "/v1/window?explain=1", RectJSON{MinX: q.MinX, MinY: q.MinY, MaxX: q.MaxX, MaxY: q.MaxY}, &resp)
+	return fromPoints(resp.Points), resp.Trace, err
+}
+
+// KNNExplain is KNNContext with an inline EXPLAIN trace.
+func (c *Client) KNNExplain(ctx context.Context, q geom.Point, k int) ([]geom.Point, *TraceJSON, error) {
+	if c.proto == ProtoBinary {
+		res, tj, err := c.singleResult(ctx, "/v1/knn", BatchOp{Op: OpKNN, X: q.X, Y: q.Y, K: k}, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		if res.tag != binResPoints {
+			return nil, nil, errBinResultKind
+		}
+		return res.pts, tj, nil
+	}
+	var resp PointsResponse
+	err := c.post(ctx, "/v1/knn?explain=1", KNNJSON{X: q.X, Y: q.Y, K: k}, &resp)
+	return fromPoints(resp.Points), resp.Trace, err
 }
 
 // Rebuild triggers a rolling rebuild; it returns a *StatusError with code

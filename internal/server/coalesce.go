@@ -3,9 +3,12 @@ package server
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rsmi/internal/obs"
 )
 
 // coalescer transparently micro-batches concurrent single-query requests:
@@ -46,6 +49,11 @@ type coalescer[Q, R any] struct {
 	run      func(context.Context, []Q) ([]R, error)
 	maxBatch int
 	window   time.Duration
+	// accesses, when non-nil, reads the engine's cumulative block-access
+	// counter; traced batches are bracketed with it so EXPLAIN and the
+	// slow-query log report block accesses (see obs.Trace.AddAccesses
+	// for the concurrency caveat).
+	accesses func() int64
 
 	batches atomic.Int64
 	queries atomic.Int64
@@ -54,14 +62,37 @@ type coalescer[Q, R any] struct {
 	// outside any batch: without it, drain-time traffic would vanish from
 	// the stats snapshot.
 	direct atomic.Int64
+	// sizes is the batch-size distribution for /metrics: bucket k counts
+	// batches of size (2^(k-1), 2^k] (bucket 0 is size 1), the last
+	// bucket everything larger.
+	sizes [coalesceSizeBuckets]atomic.Int64
+}
+
+// coalesceSizeBuckets spans batch sizes 1, 2, 4, … 64, >64.
+const coalesceSizeBuckets = 8
+
+// sizeBucketOf maps a batch size to its distribution bucket.
+func sizeBucketOf(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	b := bits.Len(uint(n - 1)) // ceil(log2(n))
+	if b >= coalesceSizeBuckets {
+		b = coalesceSizeBuckets - 1
+	}
+	return b
 }
 
 // pending is one submitted query awaiting its batch, with the context of
-// the request that submitted it.
+// the request that submitted it. tr and enq are set only for traced
+// requests: the coalesce-wait span and batch size are recorded on the
+// trace when its batch executes.
 type pending[Q, R any] struct {
 	q     Q
 	ctx   context.Context
 	reply chan answer[R]
+	tr    *obs.Trace
+	enq   time.Time
 }
 
 // answer is one query's outcome: its result or its batch's error.
@@ -88,11 +119,23 @@ func newCoalescer[Q, R any](maxBatch int, window time.Duration, run func(context
 // After shutdown it degrades to direct execution, so late callers never
 // hang.
 func (c *coalescer[Q, R]) do(ctx context.Context, q Q) (R, error) {
+	return c.doTraced(ctx, q, nil)
+}
+
+// doTraced is do with an optional trace: the coalesce-wait span, batch
+// size, and the batch's shard/access counters are recorded on tr when
+// its batch executes. tr == nil is the untraced hot path and adds no
+// work beyond two nil stores in the pending struct.
+func (c *coalescer[Q, R]) doTraced(ctx context.Context, q Q, tr *obs.Trace) (R, error) {
 	var zero R
 	if err := ctx.Err(); err != nil {
 		return zero, err
 	}
 	p := pending[Q, R]{q: q, ctx: ctx, reply: make(chan answer[R], 1)}
+	if tr != nil {
+		p.tr = tr
+		p.enq = time.Now()
+	}
 	select {
 	case c.in <- p:
 	case <-ctx.Done():
@@ -100,7 +143,7 @@ func (c *coalescer[Q, R]) do(ctx context.Context, q Q) (R, error) {
 	case <-c.stop:
 		// in's buffer is full (or stop won the race): run directly.
 		c.direct.Add(1)
-		return c.runOne(ctx, q)
+		return c.runOne(ctx, q, tr)
 	}
 	// The submit channel is buffered, so the send can succeed after stop
 	// closed; if the dispatcher exits without draining our item, fall back
@@ -120,13 +163,22 @@ func (c *coalescer[Q, R]) do(ctx context.Context, q Q) (R, error) {
 			return a.r, a.err
 		default:
 			c.direct.Add(1)
-			return c.runOne(ctx, q)
+			return c.runOne(ctx, q, tr)
 		}
 	}
 }
 
-// runOne executes a single query outside any batch.
-func (c *coalescer[Q, R]) runOne(ctx context.Context, q Q) (R, error) {
+// runOne executes a single query outside any batch, recording it on tr
+// as a batch of one when traced.
+func (c *coalescer[Q, R]) runOne(ctx context.Context, q Q, tr *obs.Trace) (R, error) {
+	if tr != nil {
+		tr.SetBatchSize(1)
+		ctx = obs.With(ctx, tr)
+		if c.accesses != nil {
+			before := c.accesses()
+			defer func() { tr.AddAccesses(c.accesses() - before) }()
+		}
+	}
 	rs, err := c.run(ctx, []Q{q})
 	if err != nil {
 		var zero R
@@ -146,6 +198,14 @@ func (c *coalescer[Q, R]) shutdown() {
 // snapshot returns the batching counters.
 func (c *coalescer[Q, R]) snapshot() (batches, queries, maxSeen, direct int64) {
 	return c.batches.Load(), c.queries.Load(), c.maxSeen.Load(), c.direct.Load()
+}
+
+// sizesSnapshot returns the batch-size distribution for /metrics.
+func (c *coalescer[Q, R]) sizesSnapshot() (out [coalesceSizeBuckets]int64) {
+	for i := range c.sizes {
+		out[i] = c.sizes[i].Load()
+	}
+	return out
 }
 
 func (c *coalescer[Q, R]) loop() {
@@ -240,7 +300,34 @@ func (c *coalescer[Q, R]) collectAndRun(first pending[Q, R]) {
 		qs[i] = p.q
 	}
 	ctx, cancel := batchContext(live)
+	// Record the coalesce wait and batch size on every traced member, and
+	// attach the first traced member's trace to the batch context so the
+	// engine's shard fan-out can count shards visited. Shard and access
+	// counts land on that one trace; batch size and wait land on all.
+	var lead *obs.Trace
+	var now time.Time
+	for _, p := range live {
+		if p.tr == nil {
+			continue
+		}
+		if now.IsZero() {
+			now = time.Now()
+		}
+		p.tr.ObserveStage(obs.StageCoalesce, now.Sub(p.enq))
+		p.tr.SetBatchSize(len(live))
+		if lead == nil {
+			lead = p.tr
+			ctx = obs.With(ctx, lead)
+		}
+	}
+	var accBefore int64
+	if lead != nil && c.accesses != nil {
+		accBefore = c.accesses()
+	}
 	rs, err := c.run(ctx, qs)
+	if lead != nil && c.accesses != nil {
+		lead.AddAccesses(c.accesses() - accBefore)
+	}
 	if cancel != nil {
 		cancel()
 	}
@@ -256,6 +343,7 @@ func (c *coalescer[Q, R]) collectAndRun(first pending[Q, R]) {
 	}
 	c.batches.Add(1)
 	c.queries.Add(int64(len(live)))
+	c.sizes[sizeBucketOf(len(live))].Add(1)
 	if n := int64(len(live)); n > c.maxSeen.Load() {
 		c.maxSeen.Store(n)
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rsmi/internal/geom"
+	"rsmi/internal/obs"
 	"rsmi/internal/shard"
 )
 
@@ -51,6 +52,68 @@ func (s *Server) admit(w http.ResponseWriter) (func(), bool) {
 	return release, ok
 }
 
+// queryExplain reports whether an HTTP request opted into an inline
+// EXPLAIN trace via ?explain=1 (or ?explain=true). The RawQuery check
+// keeps URL parsing off the common path.
+func queryExplain(r *http.Request) bool {
+	if r.URL.RawQuery == "" {
+		return false
+	}
+	switch r.URL.Query().Get("explain") {
+	case "1", "true":
+		return true
+	}
+	return false
+}
+
+// startHTTPTrace starts a trace for an HTTP request when it asked for
+// EXPLAIN or the sampler picked it. The untraced hot path returns
+// (nil, false) after two cheap checks and allocates nothing.
+func (s *Server) startHTTPTrace(r *http.Request, op string) (*obs.Trace, bool) {
+	explain := queryExplain(r)
+	if !explain && !s.cfg.Observer.ShouldTrace() {
+		return nil, false
+	}
+	tr := obs.StartTrace(op, "http")
+	tr.Backend = s.eng.Name()
+	tr.Explain = explain
+	return tr, explain
+}
+
+// upgradeExplain handles the rsmibin explain flag bit, which is only
+// known once the body is decoded: an already-traced request is marked
+// Explain; an untraced one gets a late trace whose admission and decode
+// spans are simply absent (they were not measured).
+func (s *Server) upgradeExplain(tr *obs.Trace, op string) *obs.Trace {
+	if tr == nil {
+		tr = obs.StartTrace(op, "http")
+		tr.Backend = s.eng.Name()
+	}
+	tr.Explain = true
+	return tr
+}
+
+// traceJSON snapshots tr into its wire form; the caller serialises it
+// before Observer.Finish releases tr to the pool.
+func traceJSON(tr *obs.Trace) *TraceJSON {
+	if tr == nil {
+		return nil
+	}
+	tj := &TraceJSON{
+		ID:            tr.ID,
+		Backend:       tr.Backend,
+		ShardsVisited: tr.Shards(),
+		BlockAccesses: tr.Accesses(),
+		CoalesceBatch: tr.BatchSize(),
+	}
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		if ns := tr.StageNS(st); ns > 0 {
+			tj.Stages = append(tj.Stages, TraceStageJSON{Stage: st.String(), Us: float64(ns) / 1e3})
+		}
+	}
+	return tj
+}
+
 // decodeBody decodes one JSON request body into v.
 func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}, limit int64) bool {
 	if r.Method != http.MethodPost {
@@ -67,31 +130,33 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}, limit int
 
 // decodeOps decodes a request body in either wire protocol into op
 // structs: exactly one op (whose kind must match wantOp) for the per-op
-// endpoints, a list for /v1/batch (wantOp empty). Error responses are
+// endpoints, a list for /v1/batch (wantOp empty). The second return is
+// whether the rsmibin explain flag bit was set (always false for JSON
+// bodies, which opt in via ?explain=1 instead). Error responses are
 // always JSON, whatever the request encoding.
-func decodeOps(w http.ResponseWriter, r *http.Request, wantOp string, limit int64) ([]BatchOp, bool) {
+func decodeOps(w http.ResponseWriter, r *http.Request, wantOp string, limit int64) ([]BatchOp, bool, bool) {
 	single := wantOp != ""
 	if isBinaryRequest(r) {
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, "POST required")
-			return nil, false
+			return nil, false, false
 		}
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
-			return nil, false
+			return nil, false, false
 		}
-		ops, err := decodeBinaryOps(body, single)
+		ops, explain, err := decodeBinaryOps(body, single)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
-			return nil, false
+			return nil, false, false
 		}
 		if single && ops[0].Op != wantOp {
 			writeError(w, http.StatusBadRequest,
 				fmt.Sprintf("rsmibin: op %q sent to the %s endpoint", ops[0].Op, wantOp))
-			return nil, false
+			return nil, false, false
 		}
-		return ops, true
+		return ops, explain, true
 	}
 	if single {
 		// JSON per-op bodies keep their historical shapes (PointJSON,
@@ -101,29 +166,29 @@ func decodeOps(w http.ResponseWriter, r *http.Request, wantOp string, limit int6
 		case OpWindow:
 			var req RectJSON
 			if !decodeBody(w, r, &req, limit) {
-				return nil, false
+				return nil, false, false
 			}
 			op.MinX, op.MinY, op.MaxX, op.MaxY = req.MinX, req.MinY, req.MaxX, req.MaxY
 		case OpKNN:
 			var req KNNJSON
 			if !decodeBody(w, r, &req, limit) {
-				return nil, false
+				return nil, false, false
 			}
 			op.X, op.Y, op.K = req.X, req.Y, req.K
 		default:
 			var req PointJSON
 			if !decodeBody(w, r, &req, limit) {
-				return nil, false
+				return nil, false, false
 			}
 			op.X, op.Y = req.X, req.Y
 		}
-		return []BatchOp{op}, true
+		return []BatchOp{op}, false, true
 	}
 	var req BatchRequest
 	if !decodeBody(w, r, &req, limit) {
-		return nil, false
+		return nil, false, false
 	}
-	return req.Ops, true
+	return req.Ops, false, true
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -207,22 +272,29 @@ func toPoints(pts []geom.Point) []PointJSON {
 
 // respondBool answers a bool-valued op in the negotiated encoding;
 // jsonBody carries the op's historical JSON shape (FoundResponse,
-// OKResponse, DeletedResponse).
-func respondBool(w http.ResponseWriter, r *http.Request, jsonBody interface{}, v bool) {
+// OKResponse, DeletedResponse) with its Trace field already set on
+// EXPLAIN requests; tj rides after the result on the binary encoding.
+func respondBool(w http.ResponseWriter, r *http.Request, jsonBody interface{}, v bool, tj *TraceJSON) {
 	if wantsBinaryResponse(r) {
-		writeBinary(w, func(b []byte) []byte { return appendBoolResult(b, v) })
+		writeBinary(w, func(b []byte) []byte { return appendBinTrace(appendBoolResult(b, v), tj) })
 		return
 	}
 	writeJSON(w, jsonBody)
 }
 
 // respondPoints answers a points-valued op in the negotiated encoding.
-// Both paths encode the engine's points directly into the pooled frame
-// buffer — no []PointJSON intermediates on the per-op hot path
-// (TestPointsJSONEncodeAllocs pins the JSON side at zero allocations).
-func respondPoints(w http.ResponseWriter, r *http.Request, pts []geom.Point) {
+// Both non-EXPLAIN paths encode the engine's points directly into the
+// pooled frame buffer — no []PointJSON intermediates on the per-op hot
+// path (TestPointsJSONEncodeAllocs pins the JSON side at zero
+// allocations). The EXPLAIN JSON path takes the allocating route; a
+// diagnostic query is off the hot path by definition.
+func respondPoints(w http.ResponseWriter, r *http.Request, pts []geom.Point, tj *TraceJSON) {
 	if wantsBinaryResponse(r) {
-		writeBinary(w, func(b []byte) []byte { return appendPointsResult(b, pts) })
+		writeBinary(w, func(b []byte) []byte { return appendBinTrace(appendPointsResult(b, pts), tj) })
+		return
+	}
+	if tj != nil {
+		writeJSON(w, PointsResponse{Count: len(pts), Points: toPoints(pts), Trace: tj})
 		return
 	}
 	writeJSONBuffered(w, func(b []byte) []byte { return appendPointsJSON(b, pts) })
@@ -232,150 +304,296 @@ func respondPoints(w http.ResponseWriter, r *http.Request, pts []geom.Point) {
 // threading the request's context either way: the coalescer propagates
 // its micro-batch's earliest deadline into the engine, the direct path
 // hands ctx straight down, and Sharded observes it between shard visits.
-func (s *Server) queryPoint(ctx context.Context, p geom.Point) (bool, error) {
+// A non-nil tr is attached to the engine context (so the shard fan-out
+// can count shards visited) and bracketed with the engine's block-access
+// counter.
+func (s *Server) queryPoint(ctx context.Context, p geom.Point, tr *obs.Trace) (bool, error) {
 	if s.coPoint != nil {
-		return s.coPoint.do(ctx, p)
+		return s.coPoint.doTraced(ctx, p, tr)
 	}
-	return s.eng.PointQueryContext(ctx, p)
+	if tr == nil {
+		return s.eng.PointQueryContext(ctx, p)
+	}
+	before := s.eng.Accesses()
+	found, err := s.eng.PointQueryContext(obs.With(ctx, tr), p)
+	tr.AddAccesses(s.eng.Accesses() - before)
+	return found, err
 }
 
-func (s *Server) queryWindow(ctx context.Context, q geom.Rect) ([]geom.Point, error) {
+func (s *Server) queryWindow(ctx context.Context, q geom.Rect, tr *obs.Trace) ([]geom.Point, error) {
 	if s.coWindow != nil {
-		return s.coWindow.do(ctx, q)
+		return s.coWindow.doTraced(ctx, q, tr)
 	}
-	return s.eng.WindowQueryContext(ctx, q)
+	if tr == nil {
+		return s.eng.WindowQueryContext(ctx, q)
+	}
+	before := s.eng.Accesses()
+	pts, err := s.eng.WindowQueryContext(obs.With(ctx, tr), q)
+	tr.AddAccesses(s.eng.Accesses() - before)
+	return pts, err
 }
 
-func (s *Server) queryKNN(ctx context.Context, q shard.KNNQuery) ([]geom.Point, error) {
+func (s *Server) queryKNN(ctx context.Context, q shard.KNNQuery, tr *obs.Trace) ([]geom.Point, error) {
 	if s.coKNN != nil {
-		return s.coKNN.do(ctx, q)
+		return s.coKNN.doTraced(ctx, q, tr)
 	}
-	return s.eng.KNNContext(ctx, q.Q, q.K)
+	if tr == nil {
+		return s.eng.KNNContext(ctx, q.Q, q.K)
+	}
+	before := s.eng.Accesses()
+	pts, err := s.eng.KNNContext(obs.With(ctx, tr), q.Q, q.K)
+	tr.AddAccesses(s.eng.Accesses() - before)
+	return pts, err
 }
+
+// The per-op handlers split in two: handleX starts (and finishes) the
+// trace, serveX does the work and returns the trace to finish — which
+// may differ from the one it was handed when the rsmibin explain bit
+// starts one mid-request. No deferred closures: the untraced path must
+// not allocate.
 
 func (s *Server) handlePoint(w http.ResponseWriter, r *http.Request) {
+	tr, explain := s.startHTTPTrace(r, OpPoint)
+	s.cfg.Observer.Finish(s.servePoint(w, r, tr, explain))
+}
+
+func (s *Server) servePoint(w http.ResponseWriter, r *http.Request, tr *obs.Trace, explain bool) *obs.Trace {
 	release, ok := s.admit(w)
 	if !ok {
-		return
+		return tr
 	}
 	defer release()
-	ops, ok := decodeOps(w, r, OpPoint, maxBodyBytes)
+	t1 := tr.MarkSince(tr.StartTime(), obs.StageAdmission)
+	ops, binExplain, ok := decodeOps(w, r, OpPoint, maxBodyBytes)
 	if !ok {
-		return
+		return tr
+	}
+	if binExplain && !explain {
+		tr, explain = s.upgradeExplain(tr, OpPoint), true
 	}
 	op := ops[0]
 	if err := finite(op.X, op.Y); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return tr
 	}
+	tr.MarkSince(t1, obs.StageDecode)
 	start := time.Now()
-	found, err := s.queryPoint(r.Context(), geom.Pt(op.X, op.Y))
+	found, err := s.queryPoint(r.Context(), geom.Pt(op.X, op.Y), tr)
 	if err != nil {
 		writeEngineError(w, err)
-		return
+		return tr
 	}
-	s.histPoint.observe(time.Since(start))
-	respondBool(w, r, FoundResponse{Found: found}, found)
+	s.observeOp(opIdxPoint, transportHTTP, time.Since(start))
+	enc := tr.MarkSince(start, obs.StageExecute)
+	var tj *TraceJSON
+	if explain {
+		tr.MarkSince(enc, obs.StageEncode)
+		tj = traceJSON(tr)
+	}
+	respondBool(w, r, FoundResponse{Found: found, Trace: tj}, found, tj)
+	if !explain {
+		tr.MarkSince(enc, obs.StageEncode)
+	}
+	return tr
 }
 
 func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	tr, explain := s.startHTTPTrace(r, OpWindow)
+	s.cfg.Observer.Finish(s.serveWindow(w, r, tr, explain))
+}
+
+func (s *Server) serveWindow(w http.ResponseWriter, r *http.Request, tr *obs.Trace, explain bool) *obs.Trace {
 	release, ok := s.admit(w)
 	if !ok {
-		return
+		return tr
 	}
 	defer release()
-	ops, ok := decodeOps(w, r, OpWindow, maxBodyBytes)
+	t1 := tr.MarkSince(tr.StartTime(), obs.StageAdmission)
+	ops, binExplain, ok := decodeOps(w, r, OpWindow, maxBodyBytes)
 	if !ok {
-		return
+		return tr
+	}
+	if binExplain && !explain {
+		tr, explain = s.upgradeExplain(tr, OpWindow), true
 	}
 	op := ops[0]
 	q, err := toRect(RectJSON{MinX: op.MinX, MinY: op.MinY, MaxX: op.MaxX, MaxY: op.MaxY})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return tr
 	}
+	tr.MarkSince(t1, obs.StageDecode)
 	start := time.Now()
-	pts, err := s.queryWindow(r.Context(), q)
+	pts, err := s.queryWindow(r.Context(), q, tr)
 	if err != nil {
 		writeEngineError(w, err)
-		return
+		return tr
 	}
-	s.histWindow.observe(time.Since(start))
-	respondPoints(w, r, pts)
+	s.observeOp(opIdxWindow, transportHTTP, time.Since(start))
+	enc := tr.MarkSince(start, obs.StageExecute)
+	var tj *TraceJSON
+	if explain {
+		tr.MarkSince(enc, obs.StageEncode)
+		tj = traceJSON(tr)
+	}
+	respondPoints(w, r, pts, tj)
+	if !explain {
+		tr.MarkSince(enc, obs.StageEncode)
+	}
+	return tr
 }
 
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	tr, explain := s.startHTTPTrace(r, OpKNN)
+	s.cfg.Observer.Finish(s.serveKNN(w, r, tr, explain))
+}
+
+func (s *Server) serveKNN(w http.ResponseWriter, r *http.Request, tr *obs.Trace, explain bool) *obs.Trace {
 	release, ok := s.admit(w)
 	if !ok {
-		return
+		return tr
 	}
 	defer release()
-	ops, ok := decodeOps(w, r, OpKNN, maxBodyBytes)
+	t1 := tr.MarkSince(tr.StartTime(), obs.StageAdmission)
+	ops, binExplain, ok := decodeOps(w, r, OpKNN, maxBodyBytes)
 	if !ok {
-		return
+		return tr
+	}
+	if binExplain && !explain {
+		tr, explain = s.upgradeExplain(tr, OpKNN), true
 	}
 	op := ops[0]
 	if err := finite(op.X, op.Y); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return tr
 	}
+	tr.MarkSince(t1, obs.StageDecode)
 	start := time.Now()
-	pts, err := s.queryKNN(r.Context(), shard.KNNQuery{Q: geom.Pt(op.X, op.Y), K: op.K})
+	pts, err := s.queryKNN(r.Context(), shard.KNNQuery{Q: geom.Pt(op.X, op.Y), K: op.K}, tr)
 	if err != nil {
 		writeEngineError(w, err)
-		return
+		return tr
 	}
-	s.histKNN.observe(time.Since(start))
-	respondPoints(w, r, pts)
+	s.observeOp(opIdxKNN, transportHTTP, time.Since(start))
+	enc := tr.MarkSince(start, obs.StageExecute)
+	var tj *TraceJSON
+	if explain {
+		tr.MarkSince(enc, obs.StageEncode)
+		tj = traceJSON(tr)
+	}
+	respondPoints(w, r, pts, tj)
+	if !explain {
+		tr.MarkSince(enc, obs.StageEncode)
+	}
+	return tr
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	tr, explain := s.startHTTPTrace(r, OpInsert)
+	s.cfg.Observer.Finish(s.serveInsert(w, r, tr, explain))
+}
+
+func (s *Server) serveInsert(w http.ResponseWriter, r *http.Request, tr *obs.Trace, explain bool) *obs.Trace {
 	release, ok := s.admit(w)
 	if !ok {
-		return
+		return tr
 	}
 	defer release()
-	ops, ok := decodeOps(w, r, OpInsert, maxBodyBytes)
+	t1 := tr.MarkSince(tr.StartTime(), obs.StageAdmission)
+	ops, binExplain, ok := decodeOps(w, r, OpInsert, maxBodyBytes)
 	if !ok {
-		return
+		return tr
+	}
+	if binExplain && !explain {
+		tr, explain = s.upgradeExplain(tr, OpInsert), true
 	}
 	op := ops[0]
 	if err := finite(op.X, op.Y); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return tr
 	}
+	tr.MarkSince(t1, obs.StageDecode)
 	start := time.Now()
-	if err := s.eng.InsertContext(r.Context(), geom.Pt(op.X, op.Y)); err != nil {
-		writeEngineError(w, err)
-		return
+	ctx := r.Context()
+	var before int64
+	if tr != nil {
+		ctx = obs.With(ctx, tr)
+		before = s.eng.Accesses()
 	}
-	s.histInsert.observe(time.Since(start))
-	respondBool(w, r, OKResponse{OK: true}, true)
+	err := s.eng.InsertContext(ctx, geom.Pt(op.X, op.Y))
+	if tr != nil {
+		tr.AddAccesses(s.eng.Accesses() - before)
+	}
+	if err != nil {
+		writeEngineError(w, err)
+		return tr
+	}
+	s.observeOp(opIdxInsert, transportHTTP, time.Since(start))
+	enc := tr.MarkSince(start, obs.StageExecute)
+	var tj *TraceJSON
+	if explain {
+		tr.MarkSince(enc, obs.StageEncode)
+		tj = traceJSON(tr)
+	}
+	respondBool(w, r, OKResponse{OK: true, Trace: tj}, true, tj)
+	if !explain {
+		tr.MarkSince(enc, obs.StageEncode)
+	}
+	return tr
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	tr, explain := s.startHTTPTrace(r, OpDelete)
+	s.cfg.Observer.Finish(s.serveDelete(w, r, tr, explain))
+}
+
+func (s *Server) serveDelete(w http.ResponseWriter, r *http.Request, tr *obs.Trace, explain bool) *obs.Trace {
 	release, ok := s.admit(w)
 	if !ok {
-		return
+		return tr
 	}
 	defer release()
-	ops, ok := decodeOps(w, r, OpDelete, maxBodyBytes)
+	t1 := tr.MarkSince(tr.StartTime(), obs.StageAdmission)
+	ops, binExplain, ok := decodeOps(w, r, OpDelete, maxBodyBytes)
 	if !ok {
-		return
+		return tr
+	}
+	if binExplain && !explain {
+		tr, explain = s.upgradeExplain(tr, OpDelete), true
 	}
 	op := ops[0]
 	if err := finite(op.X, op.Y); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return tr
 	}
+	tr.MarkSince(t1, obs.StageDecode)
 	start := time.Now()
-	deleted, err := s.eng.DeleteContext(r.Context(), geom.Pt(op.X, op.Y))
+	ctx := r.Context()
+	var before int64
+	if tr != nil {
+		ctx = obs.With(ctx, tr)
+		before = s.eng.Accesses()
+	}
+	deleted, err := s.eng.DeleteContext(ctx, geom.Pt(op.X, op.Y))
+	if tr != nil {
+		tr.AddAccesses(s.eng.Accesses() - before)
+	}
 	if err != nil {
 		writeEngineError(w, err)
-		return
+		return tr
 	}
-	s.histDelete.observe(time.Since(start))
-	respondBool(w, r, DeletedResponse{Deleted: deleted}, deleted)
+	s.observeOp(opIdxDelete, transportHTTP, time.Since(start))
+	enc := tr.MarkSince(start, obs.StageExecute)
+	var tj *TraceJSON
+	if explain {
+		tr.MarkSince(enc, obs.StageEncode)
+		tj = traceJSON(tr)
+	}
+	respondBool(w, r, DeletedResponse{Deleted: deleted, Trace: tj}, deleted, tj)
+	if !explain {
+		tr.MarkSince(enc, obs.StageEncode)
+	}
+	return tr
 }
 
 // validateOps checks every operation of a batch before any execution,
@@ -402,16 +620,24 @@ func validateOps(ops []BatchOp) error {
 // engine batch call per query kind: queries are grouped by kind, executed
 // via the engine's Batch*Context calls (writes run individually, in
 // request order relative to each other), and the answers are reassembled
-// in request order. It observes histBatch. Both the HTTP /v1/batch
-// handler and the stream transport execute batches through here.
+// in request order. It observes the batch histogram of the calling
+// transport; a non-nil tr rides the engine context for shard counting,
+// is bracketed with the engine's block-access counter, and records the
+// execute span. Both the HTTP /v1/batch handler and the stream transport
+// execute batches through here.
 //
 // ctx is the request's context: a batch whose client disconnects or
 // whose deadline passes stops between engine calls (and, on Sharded,
 // between shard visits inside one) and returns the context's error —
 // writes already applied stay applied, exactly as a batch interleaved
 // with a concurrent writer's operations would.
-func (s *Server) executeBatch(ctx context.Context, ops []BatchOp) ([]batchAnswer, error) {
+func (s *Server) executeBatch(ctx context.Context, ops []BatchOp, t transportIdx, tr *obs.Trace) ([]batchAnswer, error) {
 	start := time.Now()
+	if tr != nil {
+		ctx = obs.With(ctx, tr)
+		before := s.eng.Accesses()
+		defer func() { tr.AddAccesses(s.eng.Accesses() - before) }()
+	}
 	answers := make([]batchAnswer, len(ops))
 	var (
 		points   []geom.Point
@@ -473,7 +699,9 @@ func (s *Server) executeBatch(ctx context.Context, ops []BatchOp) ([]batchAnswer
 			answers[knnIdx[j]].pts = pts
 		}
 	}
-	s.histBatch.observe(time.Since(start))
+	d := time.Since(start)
+	s.observeOp(opIdxBatch, t, d)
+	tr.ObserveStage(obs.StageExecute, d)
 	return answers, nil
 }
 
@@ -481,40 +709,65 @@ func (s *Server) executeBatch(ctx context.Context, ops []BatchOp) ([]batchAnswer
 // transaction: queries in a batch may observe the batch's own writes or
 // concurrent writers'.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	tr, explain := s.startHTTPTrace(r, "batch")
+	s.cfg.Observer.Finish(s.serveBatch(w, r, tr, explain))
+}
+
+func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, tr *obs.Trace, explain bool) *obs.Trace {
 	release, ok := s.admit(w)
 	if !ok {
-		return
+		return tr
 	}
 	defer release()
-	ops, ok := decodeOps(w, r, "", maxBatchBodyBytes)
+	t1 := tr.MarkSince(tr.StartTime(), obs.StageAdmission)
+	ops, binExplain, ok := decodeOps(w, r, "", maxBatchBodyBytes)
 	if !ok {
-		return
+		return tr
+	}
+	if binExplain && !explain {
+		tr, explain = s.upgradeExplain(tr, "batch"), true
 	}
 	if len(ops) > maxBatchOps {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch exceeds %d ops", maxBatchOps))
-		return
+		return tr
 	}
 	// Validate everything before executing anything.
 	if err := validateOps(ops); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return tr
 	}
-	answers, err := s.executeBatch(r.Context(), ops)
+	tr.MarkSince(t1, obs.StageDecode)
+	answers, err := s.executeBatch(r.Context(), ops, transportHTTP, tr)
 	if err != nil {
 		writeEngineError(w, err)
-		return
+		return tr
+	}
+	var enc time.Time
+	if tr != nil {
+		enc = time.Now()
+	}
+	var tj *TraceJSON
+	if explain {
+		tr.MarkSince(enc, obs.StageEncode)
+		tj = traceJSON(tr)
 	}
 	if wantsBinaryResponse(r) {
 		// The engine's result points are encoded straight into the pooled
 		// frame buffer: O(1) allocations per batch, whatever its size.
-		writeBinary(w, func(b []byte) []byte { return appendBatchAnswers(b, answers) })
-		return
+		writeBinary(w, func(b []byte) []byte { return appendBinTrace(appendBatchAnswers(b, answers), tj) })
+	} else if tj != nil {
+		writeJSON(w, BatchResponse{Results: toBatchResults(answers), Trace: tj})
+	} else {
+		// The JSON path streams too: the response is encoded straight from
+		// the engine's points into the pooled buffer (jsonstream.go) — no
+		// []PointJSON intermediates, O(1) allocations per batch like the
+		// binary path.
+		writeJSONBuffered(w, func(b []byte) []byte { return appendBatchAnswersJSON(b, answers) })
 	}
-	// The JSON path streams too: the response is encoded straight from
-	// the engine's points into the pooled buffer (jsonstream.go) — no
-	// []PointJSON intermediates, O(1) allocations per batch like the
-	// binary path.
-	writeJSONBuffered(w, func(b []byte) []byte { return appendBatchAnswersJSON(b, answers) })
+	if !explain {
+		tr.MarkSince(enc, obs.StageEncode)
+	}
+	return tr
 }
 
 func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
@@ -529,6 +782,12 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	writeJSONStatus(w, http.StatusAccepted, OKResponse{OK: true})
 }
 
+// opStats merges one op's per-transport histograms into its /v1/stats
+// summary.
+func (s *Server) opStats(op opIdx) OpStats {
+	return mergedStats(&s.hists[op][transportHTTP], &s.hists[op][transportStream])
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		Engine:         s.eng.Name(),
@@ -540,12 +799,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Rebuilds:       s.rebuilds.Load(),
 		RebuildRunning: s.rebuildRunning.Load(),
 		Ops: map[string]OpStats{
-			OpPoint:  s.histPoint.stats(),
-			OpWindow: s.histWindow.stats(),
-			OpKNN:    s.histKNN.stats(),
-			OpInsert: s.histInsert.stats(),
-			OpDelete: s.histDelete.stats(),
-			"batch":  s.histBatch.stats(),
+			OpPoint:  s.opStats(opIdxPoint),
+			OpWindow: s.opStats(opIdxWindow),
+			OpKNN:    s.opStats(opIdxKNN),
+			OpInsert: s.opStats(opIdxInsert),
+			OpDelete: s.opStats(opIdxDelete),
+			"batch":  s.opStats(opIdxBatch),
 		},
 	}
 	if sc, ok := s.eng.(shardCounter); ok {
@@ -577,7 +836,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// handleHealth answers /healthz: pure liveness — the process is up and
+// serving its mux. Readiness (is this node safe to route queries to?)
+// is /readyz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReady answers /readyz. A primary or standalone server is ready
+// as soon as it serves; a replica is ready only when it is bootstrapped,
+// connected to its feed, and its applied sequence is within
+// Config.ReadyMaxLag of the primary's — a freshly (re)bootstrapping or
+// badly lagging replica answers 503 so load balancers route around it
+// while /healthz keeps reporting the process alive.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if rep := s.cfg.Replica; rep != nil {
+		if ready, reason := rep.Ready(s.cfg.ReadyMaxLag); !ready {
+			writeError(w, http.StatusServiceUnavailable, "replica not ready: "+reason)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ready")
 }

@@ -52,6 +52,28 @@ func bucketMid(i int) time.Duration {
 	return time.Duration(us * 1e3)
 }
 
+// histSnapshot is a point-in-time copy of one or more histograms:
+// snapshotInto accumulates, so per-transport histograms of the same op
+// merge into one summary for /v1/stats, and quantiles are computed on a
+// consistent local copy rather than racing the live atomics bucket by
+// bucket.
+type histSnapshot struct {
+	count   int64
+	sumNS   int64
+	buckets [histBuckets]int64
+}
+
+// snapshotInto adds h's current state to s. The count is loaded before
+// the buckets (mirroring observe's bucket-before-count order), so the
+// summed buckets can only meet or exceed the rank derived from count.
+func (h *histogram) snapshotInto(s *histSnapshot) {
+	s.count += h.count.Load()
+	s.sumNS += h.sumNS.Load()
+	for i := range h.buckets {
+		s.buckets[i] += h.buckets[i].Load()
+	}
+}
+
 // quantile estimates the q-th latency quantile (q in (0, 1]) as the
 // geometric midpoint of the bucket holding the q-th sample; it returns 0
 // when no samples were recorded. Concurrent observes make the estimate
@@ -60,8 +82,8 @@ func bucketMid(i int) time.Duration {
 // between the count load and the bucket scan), the answer clamps to the
 // last non-empty bucket instead of running off the end and reporting the
 // ~2^30 µs top of range as a latency.
-func (h *histogram) quantile(q float64) time.Duration {
-	total := h.count.Load()
+func (s *histSnapshot) quantile(q float64) time.Duration {
+	total := s.count
 	if total == 0 {
 		return 0
 	}
@@ -71,8 +93,8 @@ func (h *histogram) quantile(q float64) time.Duration {
 	}
 	var cum int64
 	last := -1
-	for i := range h.buckets {
-		n := h.buckets[i].Load()
+	for i := range s.buckets {
+		n := s.buckets[i]
 		if n == 0 {
 			continue
 		}
@@ -88,16 +110,44 @@ func (h *histogram) quantile(q float64) time.Duration {
 	return 0
 }
 
-// stats summarises the histogram for /v1/stats.
-func (h *histogram) stats() OpStats {
+// quantile on the live histogram snapshots first (kept for tests and
+// single-histogram callers).
+func (h *histogram) quantile(q float64) time.Duration {
+	var s histSnapshot
+	h.snapshotInto(&s)
+	return s.quantile(q)
+}
+
+// stats summarises the snapshot. The mean is exact (running sum over
+// count, not bucket midpoints); the percentiles — p999 included — are
+// quarter-octave estimates.
+func (s *histSnapshot) stats() OpStats {
 	st := OpStats{
-		Count: h.count.Load(),
-		P50us: float64(h.quantile(0.50).Nanoseconds()) / 1e3,
-		P95us: float64(h.quantile(0.95).Nanoseconds()) / 1e3,
-		P99us: float64(h.quantile(0.99).Nanoseconds()) / 1e3,
+		Count:  s.count,
+		P50us:  float64(s.quantile(0.50).Nanoseconds()) / 1e3,
+		P95us:  float64(s.quantile(0.95).Nanoseconds()) / 1e3,
+		P99us:  float64(s.quantile(0.99).Nanoseconds()) / 1e3,
+		P999us: float64(s.quantile(0.999).Nanoseconds()) / 1e3,
 	}
 	if st.Count > 0 {
-		st.MeanUs = float64(h.sumNS.Load()) / float64(st.Count) / 1e3
+		st.MeanUs = float64(s.sumNS) / float64(st.Count) / 1e3
 	}
 	return st
+}
+
+// stats summarises the histogram for /v1/stats.
+func (h *histogram) stats() OpStats {
+	var s histSnapshot
+	h.snapshotInto(&s)
+	return s.stats()
+}
+
+// mergedStats summarises several histograms (the per-transport
+// histograms of one op) as one.
+func mergedStats(hs ...*histogram) OpStats {
+	var s histSnapshot
+	for _, h := range hs {
+		h.snapshotInto(&s)
+	}
+	return s.stats()
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -21,7 +22,7 @@ func TestQuantileTornObserve(t *testing.T) {
 	// A concurrent observe caught between its count and bucket updates:
 	// count says 11 samples, the buckets hold 10.
 	h.count.Add(1)
-	for _, q := range []float64{0.50, 0.95, 0.99} {
+	for _, q := range []float64{0.50, 0.95, 0.99, 0.999} {
 		got := h.quantile(q)
 		if got > time.Millisecond {
 			t.Fatalf("quantile(%v) = %v with a torn observe in flight; want ≈100µs, not the top-of-range fallback", q, got)
@@ -30,12 +31,19 @@ func TestQuantileTornObserve(t *testing.T) {
 			t.Fatalf("quantile(%v) = 0 with 10 recorded samples", q)
 		}
 	}
+	// stats() runs the same clamped quantile code for every percentile,
+	// p999 included.
+	if st := h.stats(); st.P999us > 1000 || st.P999us == 0 {
+		t.Fatalf("stats().P999us = %v with a torn observe in flight", st.P999us)
+	}
 	// A torn observe on an otherwise empty histogram must read as "no
 	// data", not as an 18-minute latency.
 	var empty histogram
 	empty.count.Add(1)
-	if got := empty.quantile(0.99); got != 0 {
-		t.Fatalf("quantile on empty buckets with torn count = %v, want 0", got)
+	for _, q := range []float64{0.99, 0.999} {
+		if got := empty.quantile(q); got != 0 {
+			t.Fatalf("quantile(%v) on empty buckets with torn count = %v, want 0", q, got)
+		}
 	}
 }
 
@@ -69,7 +77,7 @@ func TestQuantileConcurrent(t *testing.T) {
 				return
 			default:
 			}
-			for _, q := range []float64{0.5, 0.95, 0.99} {
+			for _, q := range []float64{0.5, 0.95, 0.99, 0.999} {
 				got := h.quantile(q)
 				// The histogram is quarter-octave; allow one bucket (~19%)
 				// of estimator slack above the largest observed value.
@@ -85,5 +93,56 @@ func TestQuantileConcurrent(t *testing.T) {
 	readWG.Wait()
 	if got := h.quantile(0.99); got == 0 || got > maxObs+maxObs/4 {
 		t.Fatalf("final p99 = %v out of range", got)
+	}
+}
+
+// TestStatsExactMeanAndP999 pins the stats contract: the mean comes
+// from the exact running sum (not bucket midpoints), and p999 resolves
+// a tail a coarser percentile misses.
+func TestStatsExactMeanAndP999(t *testing.T) {
+	var h histogram
+	// 998 fast samples and two 8ms outliers: p99 stays in the fast band,
+	// p999 (rank ceil(0.999·1000) = 999) must surface the outlier bucket.
+	for i := 0; i < 998; i++ {
+		h.observe(100 * time.Microsecond)
+	}
+	h.observe(8 * time.Millisecond)
+	h.observe(8 * time.Millisecond)
+	st := h.stats()
+	wantMean := (998*100.0 + 2*8000.0) / 1000.0
+	if math.Abs(st.MeanUs-wantMean) > 1e-9 {
+		t.Fatalf("MeanUs = %v, want exact %v", st.MeanUs, wantMean)
+	}
+	if st.P99us > 200 {
+		t.Fatalf("P99us = %v, want the fast band", st.P99us)
+	}
+	// Quarter-octave estimate of 8ms is within ~19%.
+	if st.P999us < 6000 || st.P999us > 10000 {
+		t.Fatalf("P999us = %v, want ≈8000 (the outlier)", st.P999us)
+	}
+}
+
+// TestMergedStats checks that per-transport histograms of one op merge
+// into a single consistent summary.
+func TestMergedStats(t *testing.T) {
+	var a, b histogram
+	for i := 0; i < 10; i++ {
+		a.observe(100 * time.Microsecond)
+		b.observe(400 * time.Microsecond)
+	}
+	st := mergedStats(&a, &b)
+	if st.Count != 20 {
+		t.Fatalf("merged count = %d, want 20", st.Count)
+	}
+	if math.Abs(st.MeanUs-250) > 1e-9 {
+		t.Fatalf("merged MeanUs = %v, want exact 250", st.MeanUs)
+	}
+	// The median of {10×100µs, 10×400µs} sits in the 100µs bucket
+	// (rank 10 of 20); p95 must sit in the 400µs bucket.
+	if st.P50us > 150 {
+		t.Fatalf("merged P50us = %v, want ≈100", st.P50us)
+	}
+	if st.P95us < 300 {
+		t.Fatalf("merged P95us = %v, want ≈400", st.P95us)
 	}
 }

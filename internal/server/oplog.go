@@ -21,6 +21,7 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"sync"
+	"time"
 
 	"rsmi/internal/geom"
 	"rsmi/internal/shard"
@@ -30,11 +31,14 @@ import (
 const opLogDefaultCap = 1 << 16
 
 // opRecord is one sequenced applied write. Rebuild records carry no
-// point.
+// point. at is the primary's wall clock (UnixNano) at append time: it
+// travels with the record over the feed so replicas can report lag in
+// seconds without comparing two hosts' clocks (see Replica.LagSeconds).
 type opRecord struct {
 	seq  uint64
 	kind shard.WriteKind
 	p    geom.Point
+	at   int64
 }
 
 // opLog is the ring. Appends come from the shard write hook — under a
@@ -78,13 +82,16 @@ func (l *opLog) append(kind shard.WriteKind, p geom.Point) uint64 {
 	l.mu.Lock()
 	seq := l.next
 	l.next++
-	l.buf[seq%uint64(len(l.buf))] = opRecord{seq: seq, kind: kind, p: p}
+	l.buf[seq%uint64(len(l.buf))] = opRecord{seq: seq, kind: kind, p: p, at: time.Now().UnixNano()}
 	ch := l.updated
 	l.updated = make(chan struct{})
 	l.mu.Unlock()
 	close(ch)
 	return seq
 }
+
+// capacity reports the ring's retention in records.
+func (l *opLog) capacity() int { return len(l.buf) }
 
 // lastSeq reports the newest assigned sequence (0 when empty).
 func (l *opLog) lastSeq() uint64 {

@@ -104,6 +104,16 @@ type Replica struct {
 	connected  atomic.Bool
 	resyncs    atomic.Int64
 
+	// Lag-in-seconds bookkeeping. Every feed frame carries primary-clock
+	// (UnixNano) timestamps, so lag is measured against the clock that
+	// stamped the records — the two hosts' clocks are never compared.
+	// primaryClock is the newest primary stamp seen, frameLocal the local
+	// clock when it arrived, appliedAt the primary stamp of the last
+	// applied record. All written by the single follow goroutine.
+	primaryClock atomic.Int64
+	frameLocal   atomic.Int64
+	appliedAt    atomic.Int64
+
 	mu         sync.Mutex
 	streamAddr string
 
@@ -147,12 +157,79 @@ func (r *Replica) Connected() bool { return r.connected.Load() }
 // Resyncs reports how many times the replica had to re-bootstrap.
 func (r *Replica) Resyncs() int64 { return r.resyncs.Load() }
 
+// LagSeq reports how many oplog sequences the replica is behind the
+// primary's last known position (0 when caught up).
+func (r *Replica) LagSeq() uint64 {
+	p, a := r.primarySeq.Load(), r.applied.Load()
+	if a >= p {
+		return 0
+	}
+	return p - a
+}
+
+// LagSeconds estimates replication lag in seconds. A caught-up replica
+// reports exactly 0. Otherwise the estimate is the primary-clock
+// distance from the last applied record to the newest primary stamp
+// heard, plus the locally-measured time since that stamp arrived —
+// both terms are same-clock differences, so host clock skew cancels.
+func (r *Replica) LagSeconds() float64 {
+	if r.LagSeq() == 0 {
+		return 0
+	}
+	pc := r.primaryClock.Load()
+	if pc == 0 {
+		// Nothing heard on the feed yet (just bootstrapped): lag in
+		// sequences is known but its age is not.
+		return 0
+	}
+	at := r.appliedAt.Load()
+	if at == 0 || at > pc {
+		// No record applied since bootstrap, or the applied record is the
+		// newest stamp itself: only the local wait since the last frame
+		// is attributable.
+		at = pc
+	}
+	lag := float64(pc-at)/1e9 + float64(time.Now().UnixNano()-r.frameLocal.Load())/1e9
+	if lag < 0 {
+		return 0
+	}
+	return lag
+}
+
+// Ready reports whether the replica should receive traffic: it is
+// bootstrapped, its oplog feed is connected, and it is within maxLag
+// sequences of the primary. reason explains a false answer.
+func (r *Replica) Ready(maxLag uint64) (ready bool, reason string) {
+	if r.cur.Load() == nil {
+		return false, "not bootstrapped"
+	}
+	if !r.connected.Load() {
+		return false, "oplog feed disconnected"
+	}
+	if lag := r.LagSeq(); lag > maxLag {
+		return false, fmt.Sprintf("applied seq %d lags primary seq %d by %d (max %d)",
+			r.applied.Load(), r.primarySeq.Load(), lag, maxLag)
+	}
+	return true, ""
+}
+
+// observeClock records a primary-clock stamp heard on the feed and the
+// local time it arrived.
+func (r *Replica) observeClock(primaryNS int64) {
+	if primaryNS > r.primaryClock.Load() {
+		r.primaryClock.Store(primaryNS)
+		r.frameLocal.Store(time.Now().UnixNano())
+	}
+}
+
 func (r *Replica) stats() *ReplicationStats {
 	return &ReplicationStats{
 		Role:       "replica",
 		Epoch:      r.epoch.Load(),
 		LastSeq:    r.primarySeq.Load(),
 		AppliedSeq: r.applied.Load(),
+		LagSeq:     r.LagSeq(),
+		LagSeconds: r.LagSeconds(),
 		Connected:  r.connected.Load(),
 		Resyncs:    r.resyncs.Load(),
 	}
@@ -393,10 +470,12 @@ func (r *Replica) applyFrame(payload []byte) error {
 		return errReplResync
 	case replFrameHeartbeat:
 		last := br.uvarint()
+		now := br.uvarint()
 		if br.err != nil {
 			return fmt.Errorf("repl: bad heartbeat: %w", br.err)
 		}
 		r.primarySeq.Store(last)
+		r.observeClock(int64(now))
 		return nil
 	case replFrameOps:
 		n := br.uvarint()
@@ -407,6 +486,7 @@ func (r *Replica) applyFrame(payload []byte) error {
 		for i := uint64(0); i < n; i++ {
 			seq := br.uvarint()
 			kind := shard.WriteKind(br.byte())
+			at := int64(br.uvarint())
 			var p geom.Point
 			if kind != shard.WriteRebuild {
 				p = geom.Pt(br.f64(), br.f64())
@@ -433,6 +513,8 @@ func (r *Replica) applyFrame(payload []byte) error {
 				return fmt.Errorf("repl: unknown op kind %d", kind)
 			}
 			r.applied.Store(seq)
+			r.appliedAt.Store(at)
+			r.observeClock(at)
 		}
 		if len(br.data) != 0 {
 			return errors.New("repl: trailing bytes in ops frame")

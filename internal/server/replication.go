@@ -52,10 +52,15 @@ import (
 // Replication feed wire constants. Handshake and every pushed frame
 // start 'R','L' + version; rsmibin frames start 'R','B' + version, so
 // the stream listener tells them apart on the first three bytes.
+// Version 2 added per-record and heartbeat timestamps (primary wall
+// clock, UnixNano) so replicas can report lag in seconds. A v1 binary
+// on either side fails the three-byte handshake match and the replica
+// re-dials until versions agree — mixed versions fail loudly instead of
+// silently mis-decoding timestamped frames.
 const (
 	replMagic0  byte = 'R'
 	replMagic1  byte = 'L'
-	replVersion byte = 1
+	replVersion byte = 2
 )
 
 // Pushed feed frame types.
@@ -65,8 +70,9 @@ const (
 	// replFrameResync tells the replica its position is unservable
 	// (epoch mismatch or out of retention): re-bootstrap from a snapshot.
 	replFrameResync byte = 2
-	// replFrameHeartbeat carries the primary's last sequence so an idle
-	// replica can both detect a dead link and report zero lag.
+	// replFrameHeartbeat carries the primary's last sequence and wall
+	// clock so an idle replica can both detect a dead link and report
+	// zero lag.
 	replFrameHeartbeat byte = 3
 )
 
@@ -267,13 +273,16 @@ func writeReplFrame(conn net.Conn, fill func([]byte) []byte) error {
 	return err
 }
 
-// appendReplOps encodes an ops feed frame payload.
+// appendReplOps encodes an ops feed frame payload. Each record carries
+// its primary-clock append timestamp so replicas can measure lag in
+// seconds against the same clock that stamped it.
 func appendReplOps(b []byte, recs []opRecord) []byte {
 	b = append(b, replMagic0, replMagic1, replVersion, replFrameOps)
 	b = appendUvarint(b, uint64(len(recs)))
 	for _, rec := range recs {
 		b = appendUvarint(b, rec.seq)
 		b = append(b, byte(rec.kind))
+		b = appendUvarint(b, uint64(rec.at))
 		if rec.kind != shard.WriteRebuild {
 			b = appendF64(b, rec.p.X)
 			b = appendF64(b, rec.p.Y)
@@ -350,7 +359,8 @@ func (s *Server) serveReplFeed(conn net.Conn, payload []byte) {
 		case <-heartbeat.C:
 			err := writeReplFrame(conn, func(b []byte) []byte {
 				b = append(b, replMagic0, replMagic1, replVersion, replFrameHeartbeat)
-				return appendUvarint(b, r.log.lastSeq())
+				b = appendUvarint(b, r.log.lastSeq())
+				return appendUvarint(b, uint64(time.Now().UnixNano()))
 			})
 			if err != nil {
 				return

@@ -533,3 +533,110 @@ func TestReplicaProtocolEquivalence(t *testing.T) {
 		t.Fatalf("replica stats: %+v", rst.Replication)
 	}
 }
+
+// TestReplicaLagAccounting unit-tests the lag arithmetic against
+// hand-set feed bookkeeping: caught-up is exactly 0, and a lagging
+// replica's LagSeconds is the primary-clock distance plus local wait.
+func TestReplicaLagAccounting(t *testing.T) {
+	r := NewReplica("127.0.0.1:1", ReplicaOptions{Timeout: time.Second})
+
+	// Caught up: both lags are exactly zero whatever the clocks say.
+	r.applied.Store(10)
+	r.primarySeq.Store(10)
+	r.primaryClock.Store(time.Now().UnixNano() - int64(time.Hour))
+	if got := r.LagSeq(); got != 0 {
+		t.Fatalf("caught-up LagSeq = %d, want 0", got)
+	}
+	if got := r.LagSeconds(); got != 0 {
+		t.Fatalf("caught-up LagSeconds = %v, want exactly 0", got)
+	}
+
+	// Two records behind, the applied one stamped 50ms before the
+	// newest primary clock heard just now.
+	base := time.Now().UnixNano()
+	r.primarySeq.Store(12)
+	r.appliedAt.Store(base - 50*int64(time.Millisecond))
+	r.primaryClock.Store(base)
+	r.frameLocal.Store(time.Now().UnixNano())
+	if got := r.LagSeq(); got != 2 {
+		t.Fatalf("LagSeq = %d, want 2", got)
+	}
+	if got := r.LagSeconds(); got < 0.05 || got > 2 {
+		t.Fatalf("LagSeconds = %v, want ~0.05 (50ms primary-clock distance + local wait)", got)
+	}
+
+	// Behind but nothing heard on the feed yet: lag age is unknown, 0.
+	r.primaryClock.Store(0)
+	if got := r.LagSeconds(); got != 0 {
+		t.Fatalf("pre-feed LagSeconds = %v, want 0", got)
+	}
+}
+
+// TestReplicationLagTelemetryEndToEnd runs a real primary/replica pair
+// and checks the full lag telemetry chain: the timestamped feed drives
+// LagSeq/LagSeconds back to exactly 0 after catch-up, Ready flips true,
+// /readyz answers 200, /v1/stats carries the lag fields, and the
+// replica's /metrics page reports the zero lag gauges.
+func TestReplicationLagTelemetryEndToEnd(t *testing.T) {
+	eng, pts := testEngine(t)
+	p := startReplPrimary(t, eng, "127.0.0.1:0", "127.0.0.1:0", 0)
+	rng := rand.New(rand.NewSource(7))
+	applyMixedWrites(t, p.repl.Engine(), rng, 300, pts)
+
+	rep := startReplica(t, p, fastReplicaOptions())
+	waitRepl(t, rep, "connected", func() bool { return rep.Connected() })
+	// The snapshot already reflects the pre-start writes; drive more so
+	// catch-up exercises the timestamped feed, not just the bootstrap.
+	applyMixedWrites(t, p.repl.Engine(), rng, 200, pts)
+	target := p.repl.LastSeq()
+	waitRepl(t, rep, "caught up", func() bool { return rep.AppliedSeq() >= target })
+	waitRepl(t, rep, "reported zero lag", func() bool {
+		return rep.LagSeq() == 0 && rep.LagSeconds() == 0
+	})
+	if ready, reason := rep.Ready(1024); !ready {
+		t.Fatalf("caught-up replica not ready: %s", reason)
+	}
+	st := rep.stats()
+	if st.LagSeq != 0 || st.LagSeconds != 0 {
+		t.Fatalf("stats lag = %d seq / %v s, want 0/0", st.LagSeq, st.LagSeconds)
+	}
+
+	// Serve the replica and check its operator surfaces.
+	rs := New(Config{Engine: rep.Engine(), Replica: rep})
+	defer rs.Shutdown(context.Background())
+	rl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go rs.Serve(rl)
+	base := "http://" + rl.Addr().String()
+
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz on caught-up replica = %d, want 200", resp.StatusCode)
+	}
+
+	body := scrapeMetrics(t, base)
+	for _, want := range []string{
+		"rsmi_replication_role{role=\"replica\"} 1",
+		"rsmi_replication_lag_seq 0",
+		"rsmi_replication_lag_seconds 0",
+		"rsmi_replication_connected 1",
+	} {
+		if !bytes.Contains([]byte(body), []byte(want)) {
+			t.Errorf("replica /metrics lacks %q", want)
+		}
+	}
+
+	// New writes flow through and lag returns to zero again — the gauge
+	// is live, not stuck at its initial value.
+	applyMixedWrites(t, p.repl.Engine(), rng, 100, pts)
+	target = p.repl.LastSeq()
+	waitRepl(t, rep, "re-converged", func() bool {
+		return rep.AppliedSeq() >= target && rep.LagSeq() == 0 && rep.LagSeconds() == 0
+	})
+}

@@ -54,12 +54,14 @@ import (
 	"context"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"rsmi"
 	"rsmi/internal/geom"
+	"rsmi/internal/obs"
 	"rsmi/internal/shard"
 )
 
@@ -114,6 +116,31 @@ type Config struct {
 	// Replica, when non-nil, marks this server a replica so /v1/stats
 	// reports its replication state. Engine should be Replica.Engine().
 	Replica *Replica
+	// Observer decides which requests are traced (sampling and/or the
+	// slow-query log; see internal/obs). nil traces nothing — EXPLAIN
+	// requests are still honoured, every other request pays one nil
+	// check.
+	Observer *obs.Observer
+	// ReadyMaxLag is the /readyz threshold on a replica: the replica
+	// reports ready only while primarySeq - appliedSeq <= ReadyMaxLag
+	// (default 1024). Primaries and standalone servers are always ready.
+	ReadyMaxLag uint64
+	// EnablePprof registers net/http/pprof under /debug/pprof/ on this
+	// server's mux. Off by default: profiling endpoints leak heap and
+	// symbol contents, so exposure is an explicit operator decision
+	// (rsmi-serve -pprof).
+	EnablePprof bool
+	// HedgeSource, when non-nil, feeds the rsmi_hedge_* /metrics series
+	// (hedging is client-side — see HedgedClient — so a server embedding
+	// one wires its counters here; the series report 0 otherwise).
+	HedgeSource HedgeStats
+}
+
+// HedgeStats is the counter surface /metrics scrapes hedge telemetry
+// from; *HedgedClient implements it.
+type HedgeStats interface {
+	Hedges() int64
+	HedgeWins() int64
 }
 
 // withDefaults fills unset fields.
@@ -124,8 +151,42 @@ func (c Config) withDefaults() Config {
 	if c.MaxInFlight == 0 {
 		c.MaxInFlight = 1024
 	}
+	if c.ReadyMaxLag == 0 {
+		c.ReadyMaxLag = 1024
+	}
 	return c
 }
+
+// opIdx indexes the per-op histogram tables. The order is fixed: it is
+// also the exposition order of /metrics series.
+type opIdx int
+
+const (
+	opIdxPoint opIdx = iota
+	opIdxWindow
+	opIdxKNN
+	opIdxInsert
+	opIdxDelete
+	opIdxBatch
+	numOps
+)
+
+// opIdxName maps an opIdx to its wire label (shared by /v1/stats keys
+// and the /metrics "op" label).
+var opIdxName = [numOps]string{OpPoint, OpWindow, OpKNN, OpInsert, OpDelete, "batch"}
+
+// transportIdx indexes the per-transport histogram tables: HTTP (JSON
+// and rsmibin share the socket semantics) vs the persistent TCP stream.
+type transportIdx int
+
+const (
+	transportHTTP transportIdx = iota
+	transportStream
+	numTransports
+)
+
+// transportIdxName maps a transportIdx to its /metrics label.
+var transportIdxName = [numTransports]string{"http", "stream"}
 
 // Server serves an Engine over HTTP. Create with New, attach with
 // Handler or Serve/ListenAndServe, stop with Shutdown.
@@ -141,13 +202,12 @@ type Server struct {
 	inFlight atomic.Int64
 	shed     atomic.Int64
 
-	// Per-op latency histograms.
-	histPoint  histogram
-	histWindow histogram
-	histKNN    histogram
-	histInsert histogram
-	histDelete histogram
-	histBatch  histogram
+	// Per-op × per-transport latency histograms (successful operations
+	// only). /v1/stats reports them merged per op; /metrics exposes the
+	// full op × transport matrix.
+	hists [numOps][numTransports]histogram
+	// histRebuild tracks rolling-rebuild durations for /metrics.
+	histRebuild histogram
 
 	// Single-query coalescers (nil when MaxBatch <= 1).
 	coPoint  *coalescer[geom.Point, bool]
@@ -190,6 +250,11 @@ func New(cfg Config) *Server {
 		s.coPoint = newCoalescer(cfg.MaxBatch, cfg.BatchWindow, s.eng.BatchPointQueryContext)
 		s.coWindow = newCoalescer(cfg.MaxBatch, cfg.BatchWindow, s.eng.BatchWindowQueryContext)
 		s.coKNN = newCoalescer(cfg.MaxBatch, cfg.BatchWindow, s.eng.BatchKNNContext)
+		// The coalescers bracket traced micro-batches with engine access
+		// deltas, so EXPLAIN can report block accesses per query.
+		s.coPoint.accesses = s.eng.Accesses
+		s.coWindow.accesses = s.eng.Accesses
+		s.coKNN.accesses = s.eng.Accesses
 	}
 	s.mux.HandleFunc("/v1/point", s.handlePoint)
 	s.mux.HandleFunc("/v1/window", s.handleWindow)
@@ -199,13 +264,32 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/rebuild", s.handleRebuild)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/readyz", s.handleReady)
 	if cfg.Replicator != nil {
 		s.mux.HandleFunc("/v1/replica/info", s.handleReplicaInfo)
 		s.mux.HandleFunc("/v1/replica/snapshot", s.handleReplicaSnapshot)
 	}
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.hs = &http.Server{Handler: s.mux}
 	return s
+}
+
+// hist returns the latency histogram for one op on one transport.
+func (s *Server) hist(op opIdx, tr transportIdx) *histogram {
+	return &s.hists[op][tr]
+}
+
+// observeOp records one successful operation's latency.
+func (s *Server) observeOp(op opIdx, tr transportIdx, d time.Duration) {
+	s.hists[op][tr].observe(d)
 }
 
 // Handler returns the HTTP handler (useful for tests and embedding).
@@ -278,8 +362,10 @@ func (s *Server) TriggerRebuild() bool {
 		}()
 		// The rebuild is server-initiated, not tied to any request's
 		// lifetime; Shutdown waits for it rather than cancelling it.
+		start := time.Now()
 		if err := s.eng.RebuildContext(context.Background()); err == nil {
 			s.rebuilds.Add(1)
+			s.histRebuild.observe(time.Since(start))
 		}
 	}()
 	return true

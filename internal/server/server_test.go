@@ -349,7 +349,7 @@ func TestGracefulShutdown(t *testing.T) {
 	// Coalescers are stopped but late do() calls degrade gracefully —
 	// and the direct-execution fallback is counted, so drain-time traffic
 	// does not vanish from the stats snapshot.
-	if got, err := s.queryPoint(context.Background(), pts[0]); err != nil || !got {
+	if got, err := s.queryPoint(context.Background(), pts[0], nil); err != nil || !got {
 		t.Fatalf("post-shutdown query failed: %v, %v", got, err)
 	}
 	if _, _, _, direct := s.coPoint.snapshot(); direct == 0 {

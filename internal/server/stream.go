@@ -20,7 +20,8 @@ package server
 //	            op is a batch of one)
 //	response    uvarint request id, status byte
 //	  status 0    rsmibin batch response frame (header, uvarint n,
-//	              n × result)
+//	              n × result [, trace] — the trace result rides along
+//	              when an entry carried the rsmibin explain flag bit)
 //	  status 1    uvarint code (HTTP status semantics: 400, 429, 503),
 //	              uvarint msg length, msg bytes
 //
@@ -56,6 +57,7 @@ import (
 	"time"
 
 	"rsmi/internal/geom"
+	"rsmi/internal/obs"
 	"rsmi/internal/shard"
 )
 
@@ -155,11 +157,12 @@ func (w *streamWriter) writeFrame(id uint64, fill func([]byte) []byte) {
 }
 
 // writeAnswers writes a status-0 response: the rsmibin batch response
-// frame encoded straight from the engine's points.
-func (w *streamWriter) writeAnswers(id uint64, answers []batchAnswer) {
+// frame encoded straight from the engine's points, with the EXPLAIN
+// trace riding after the results when tj is non-nil.
+func (w *streamWriter) writeAnswers(id uint64, answers []batchAnswer, tj *TraceJSON) {
 	w.writeFrame(id, func(b []byte) []byte {
 		b = append(b, streamStatusOK)
-		return appendBatchAnswers(appendBinHeader(b), answers)
+		return appendBinTrace(appendBatchAnswers(appendBinHeader(b), answers), tj)
 	})
 }
 
@@ -306,14 +309,26 @@ func (s *Server) serveStreamConn(conn net.Conn) {
 
 // handleStreamRequest serves one decoded frame with the exact HTTP
 // semantics: admission gate, validation, coalescers for one-op query
-// frames, executeBatch for multi-op frames, per-op/batch histograms.
-// ctx is the connection's context, additionally bounded by the
-// per-request deadline when Config.StreamRequestTimeout is set.
+// frames, executeBatch for multi-op frames, per-op/batch histograms
+// (stream transport column). ctx is the connection's context,
+// additionally bounded by the per-request deadline when
+// Config.StreamRequestTimeout is set.
 func (s *Server) handleStreamRequest(ctx context.Context, sw *streamWriter, id uint64, payload []byte) {
+	// The op kind is only known after decode; a sampled trace starts with
+	// an empty op and is labelled once the frame is decoded.
+	var tr *obs.Trace
+	if s.cfg.Observer.ShouldTrace() {
+		tr = obs.StartTrace("", "stream")
+		tr.Backend = s.eng.Name()
+	}
+	s.cfg.Observer.Finish(s.serveStreamRequest(ctx, sw, id, payload, tr))
+}
+
+func (s *Server) serveStreamRequest(ctx context.Context, sw *streamWriter, id uint64, payload []byte, tr *obs.Trace) *obs.Trace {
 	release, ok := s.admitSlot()
 	if !ok {
 		sw.writeError(id, http.StatusTooManyRequests, "server saturated; retry")
-		return
+		return tr
 	}
 	defer release()
 	if s.cfg.StreamRequestTimeout > 0 {
@@ -321,62 +336,110 @@ func (s *Server) handleStreamRequest(ctx context.Context, sw *streamWriter, id u
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.StreamRequestTimeout)
 		defer cancel()
 	}
-	ops, err := decodeBinaryOps(payload, false)
+	t1 := tr.MarkSince(tr.StartTime(), obs.StageAdmission)
+	ops, explain, err := decodeBinaryOps(payload, false)
 	if err != nil {
 		sw.writeError(id, http.StatusBadRequest, err.Error())
-		return
+		return tr
+	}
+	if explain && tr == nil {
+		// Late trace for the explain flag bit: admission and decode spans
+		// are absent — they were not measured.
+		tr = obs.StartTrace("", "stream")
+		tr.Backend = s.eng.Name()
+	}
+	if tr != nil {
+		tr.Explain = explain
+		if len(ops) == 1 {
+			tr.Op = ops[0].Op
+		} else {
+			tr.Op = "batch"
+		}
 	}
 	if err := validateOps(ops); err != nil {
 		sw.writeError(id, http.StatusBadRequest, err.Error())
-		return
+		return tr
 	}
+	tr.MarkSince(t1, obs.StageDecode)
 	var answers []batchAnswer
 	if len(ops) == 1 {
-		answers, err = s.executeSingle(ctx, ops[0])
+		answers, err = s.executeSingle(ctx, ops[0], tr)
 	} else {
-		answers, err = s.executeBatch(ctx, ops)
+		answers, err = s.executeBatch(ctx, ops, transportStream, tr)
 	}
 	if err != nil {
 		sw.writeError(id, engineErrorCode(err), err.Error())
-		return
+		return tr
 	}
-	sw.writeAnswers(id, answers)
+	var enc time.Time
+	if tr != nil {
+		enc = time.Now()
+	}
+	var tj *TraceJSON
+	if explain {
+		tr.MarkSince(enc, obs.StageEncode)
+		tj = traceJSON(tr)
+	}
+	sw.writeAnswers(id, answers, tj)
+	if !explain {
+		tr.MarkSince(enc, obs.StageEncode)
+	}
+	return tr
 }
 
 // executeSingle runs a one-op frame the way the per-op HTTP endpoints do:
 // queries through the request coalescer (so back-to-back frames from
 // pipelined connections micro-batch), writes directly, each observing its
-// per-op histogram.
-func (s *Server) executeSingle(ctx context.Context, op BatchOp) ([]batchAnswer, error) {
+// per-op histogram in the stream transport column.
+func (s *Server) executeSingle(ctx context.Context, op BatchOp, tr *obs.Trace) ([]batchAnswer, error) {
 	a := batchAnswer{op: op.Op}
 	var err error
 	start := time.Now()
 	switch op.Op {
 	case OpPoint:
-		if a.flag, err = s.queryPoint(ctx, geom.Pt(op.X, op.Y)); err == nil {
-			s.histPoint.observe(time.Since(start))
+		if a.flag, err = s.queryPoint(ctx, geom.Pt(op.X, op.Y), tr); err == nil {
+			s.observeOp(opIdxPoint, transportStream, time.Since(start))
 		}
 	case OpWindow:
-		if a.pts, err = s.queryWindow(ctx, geom.Rect{MinX: op.MinX, MinY: op.MinY, MaxX: op.MaxX, MaxY: op.MaxY}); err == nil {
-			s.histWindow.observe(time.Since(start))
+		if a.pts, err = s.queryWindow(ctx, geom.Rect{MinX: op.MinX, MinY: op.MinY, MaxX: op.MaxX, MaxY: op.MaxY}, tr); err == nil {
+			s.observeOp(opIdxWindow, transportStream, time.Since(start))
 		}
 	case OpKNN:
-		if a.pts, err = s.queryKNN(ctx, shard.KNNQuery{Q: geom.Pt(op.X, op.Y), K: op.K}); err == nil {
-			s.histKNN.observe(time.Since(start))
+		if a.pts, err = s.queryKNN(ctx, shard.KNNQuery{Q: geom.Pt(op.X, op.Y), K: op.K}, tr); err == nil {
+			s.observeOp(opIdxKNN, transportStream, time.Since(start))
 		}
 	case OpInsert:
-		if err = s.eng.InsertContext(ctx, geom.Pt(op.X, op.Y)); err == nil {
+		wctx := ctx
+		var before int64
+		if tr != nil {
+			wctx = obs.With(ctx, tr)
+			before = s.eng.Accesses()
+		}
+		if err = s.eng.InsertContext(wctx, geom.Pt(op.X, op.Y)); err == nil {
 			a.flag = true
-			s.histInsert.observe(time.Since(start))
+			s.observeOp(opIdxInsert, transportStream, time.Since(start))
+		}
+		if tr != nil {
+			tr.AddAccesses(s.eng.Accesses() - before)
 		}
 	case OpDelete:
-		if a.flag, err = s.eng.DeleteContext(ctx, geom.Pt(op.X, op.Y)); err == nil {
-			s.histDelete.observe(time.Since(start))
+		wctx := ctx
+		var before int64
+		if tr != nil {
+			wctx = obs.With(ctx, tr)
+			before = s.eng.Accesses()
+		}
+		if a.flag, err = s.eng.DeleteContext(wctx, geom.Pt(op.X, op.Y)); err == nil {
+			s.observeOp(opIdxDelete, transportStream, time.Since(start))
+		}
+		if tr != nil {
+			tr.AddAccesses(s.eng.Accesses() - before)
 		}
 	}
 	if err != nil {
 		return nil, err
 	}
+	tr.ObserveStage(obs.StageExecute, time.Since(start))
 	return []batchAnswer{a}, nil
 }
 

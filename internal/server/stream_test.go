@@ -266,7 +266,7 @@ func TestStreamMalformedFrames(t *testing.T) {
 	if err != nil || id != 7 {
 		t.Fatalf("error response: id=%d err=%v", id, err)
 	}
-	if _, rerr := decodeStreamResponse(payload); rerr == nil {
+	if _, _, rerr := decodeStreamResponse(payload); rerr == nil {
 		t.Fatal("bad magic did not produce an error response")
 	} else if se, ok := rerr.(*StatusError); !ok || se.Code != 400 {
 		t.Fatalf("bad magic error = %v, want StatusError 400", rerr)
@@ -282,7 +282,7 @@ func TestStreamMalformedFrames(t *testing.T) {
 	if err != nil || id != 8 {
 		t.Fatalf("follow-up after 400: id=%d err=%v", id, err)
 	}
-	rs, rerr := decodeStreamResponse(payload)
+	rs, _, rerr := decodeStreamResponse(payload)
 	if rerr != nil || len(rs) != 1 || rs[0].tag != binResBool || !rs[0].flag {
 		t.Fatalf("follow-up answer: %+v, %v", rs, rerr)
 	}

@@ -98,6 +98,7 @@ var errStreamClientClosed = errors.New("stream: client closed")
 // streamAnswer is one matched response (or the connection's fatal error).
 type streamAnswer struct {
 	results []binResult
+	trace   *TraceJSON
 	err     error
 }
 
@@ -157,7 +158,7 @@ func (c *streamConn) readLoop() {
 			c.fail(fmt.Errorf("stream: %w", err))
 			return
 		}
-		results, rerr := decodeStreamResponse(payload)
+		results, trace, rerr := decodeStreamResponse(payload)
 		if rerr != nil && !isStatusError(rerr) {
 			// Frame-level garbage: the stream is unsynchronised.
 			c.fail(rerr)
@@ -180,7 +181,7 @@ func (c *streamConn) readLoop() {
 			c.fail(fmt.Errorf("stream: response for unknown request id %d", id))
 			return
 		}
-		ch <- streamAnswer{results: results, err: rerr}
+		ch <- streamAnswer{results: results, trace: trace, err: rerr}
 	}
 }
 
@@ -213,13 +214,13 @@ func (c *streamConn) abandon(id uint64) bool {
 // unknown cannot be reused. Context cancellation does not poison:
 // the request is tombstoned and its late answer discarded, so a hedged
 // read's losing leg releases its connection for reuse.
-func (c *streamConn) roundTrip(ctx context.Context, body []byte) ([]binResult, error) {
+func (c *streamConn) roundTrip(ctx context.Context, body []byte) ([]binResult, *TraceJSON, error) {
 	ch := make(chan streamAnswer, 1)
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
-		return nil, err
+		return nil, nil, err
 	}
 	c.nextID++
 	id := c.nextID
@@ -242,36 +243,36 @@ func (c *streamConn) roundTrip(ctx context.Context, body []byte) ([]binResult, e
 		// write error directly if fail lost the race to another caller).
 		a := <-ch
 		if a.err != nil {
-			return nil, a.err
+			return nil, nil, a.err
 		}
-		return nil, err
+		return nil, nil, err
 	}
 
 	timer := time.NewTimer(c.timeout)
 	defer timer.Stop()
 	select {
 	case a := <-ch:
-		return a.results, a.err
+		return a.results, a.trace, a.err
 	case <-ctx.Done():
 		if !c.abandon(id) {
 			// The answer raced the cancellation; it is already on ch.
 			a := <-ch
-			return a.results, a.err
+			return a.results, a.trace, a.err
 		}
-		return nil, ctx.Err()
+		return nil, nil, ctx.Err()
 	case <-timer.C:
 		c.fail(fmt.Errorf("stream: request timed out after %v", c.timeout))
-		return nil, fmt.Errorf("stream: request timed out after %v", c.timeout)
+		return nil, nil, fmt.Errorf("stream: request timed out after %v", c.timeout)
 	}
 }
 
 // decodeStreamResponse parses a response payload (after the request id):
-// status 0 wraps an rsmibin batch response frame, status 1 an error code
-// and message, surfaced as *StatusError exactly like HTTP non-2xx
-// answers.
-func decodeStreamResponse(payload []byte) ([]binResult, error) {
+// status 0 wraps an rsmibin batch response frame (with its optional
+// trailing EXPLAIN trace), status 1 an error code and message, surfaced
+// as *StatusError exactly like HTTP non-2xx answers.
+func decodeStreamResponse(payload []byte) ([]binResult, *TraceJSON, error) {
 	if len(payload) == 0 {
-		return nil, errors.New("stream: empty response payload")
+		return nil, nil, errors.New("stream: empty response payload")
 	}
 	switch payload[0] {
 	case streamStatusOK:
@@ -280,42 +281,46 @@ func decodeStreamResponse(payload []byte) ([]binResult, error) {
 		r := bytes.NewReader(payload[1:])
 		code, err := binary.ReadUvarint(r)
 		if err != nil {
-			return nil, errors.New("stream: bad error code")
+			return nil, nil, errors.New("stream: bad error code")
 		}
 		n, err := binary.ReadUvarint(r)
 		if err != nil || n > uint64(r.Len()) {
-			return nil, errors.New("stream: bad error message length")
+			return nil, nil, errors.New("stream: bad error message length")
 		}
 		msg := make([]byte, n)
 		r.Read(msg)
-		return nil, &StatusError{Code: int(code), Msg: string(msg)}
+		return nil, nil, &StatusError{Code: int(code), Msg: string(msg)}
 	default:
-		return nil, fmt.Errorf("stream: unknown response status 0x%02x", payload[0])
+		return nil, nil, fmt.Errorf("stream: unknown response status 0x%02x", payload[0])
 	}
 }
 
 // streamDo executes an op list over the stream transport and returns the
 // raw results; the Client maps them to API shapes exactly as it does for
-// HTTP binary responses.
-func (sc *streamClient) streamDo(ctx context.Context, ops []BatchOp) ([]binResult, error) {
+// HTTP binary responses. explain sets the rsmibin explain flag bit, and
+// the response's trace (nil otherwise) is returned alongside.
+func (sc *streamClient) streamDo(ctx context.Context, ops []BatchOp, explain bool) ([]binResult, *TraceJSON, error) {
 	body := appendBinHeader(make([]byte, 0, 16+24*len(ops)))
 	body = appendUvarint(body, uint64(len(ops)))
 	var err error
 	for _, op := range ops {
 		if body, err = appendOp(body, op); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+	}
+	if explain {
+		body = markBinExplain(body, false)
 	}
 	conn, err := sc.get()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	rs, err := conn.roundTrip(ctx, body)
+	rs, tj, err := conn.roundTrip(ctx, body)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(rs) != len(ops) {
-		return nil, fmt.Errorf("stream: %d results for %d ops", len(rs), len(ops))
+		return nil, nil, fmt.Errorf("stream: %d results for %d ops", len(rs), len(ops))
 	}
-	return rs, nil
+	return rs, tj, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"rsmi/internal/geom"
 	"rsmi/internal/index"
+	"rsmi/internal/obs"
 )
 
 // Batch execution layer. A network server amortises two per-query costs by
@@ -69,6 +70,8 @@ func (s *Sharded) batchPointQuery(ctx context.Context, qs []geom.Point) ([]bool,
 			}
 		}
 	}
+	// A trace in ctx counts the distinct shards this batch touches.
+	obs.FromContext(ctx).AddShards(len(cands))
 	if err := s.fanOut(ctx, cands, func(i int, sh *state) {
 		for _, qi := range groups[i] {
 			if !found[qi].Load() && sh.idx.PointQuery(qs[qi]) {
@@ -118,6 +121,8 @@ func (s *Sharded) batchWindowQuery(ctx context.Context, qs []geom.Rect) ([][]geo
 		}
 		parts[qi] = make([][]geom.Point, n)
 	}
+	// A trace in ctx counts the distinct shards this batch touches.
+	obs.FromContext(ctx).AddShards(len(cands))
 	if err := s.fanOut(ctx, cands, func(i int, sh *state) {
 		for _, ref := range groups[i] {
 			parts[ref.qi][ref.slot] = sh.idx.WindowQuery(qs[ref.qi])
@@ -169,6 +174,8 @@ func (s *Sharded) batchKNN(ctx context.Context, qs []KNNQuery) ([][]geom.Point, 
 			cands = append(cands, sh)
 		}
 	}
+	// A trace in ctx counts the distinct shards this batch touches.
+	obs.FromContext(ctx).AddShards(len(cands))
 	err := s.fanOut(ctx, cands, func(_ int, sh *state) {
 		r := sh.loadRegion()
 		for i, q := range qs {

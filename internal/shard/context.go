@@ -16,22 +16,29 @@ import (
 	"context"
 
 	"rsmi/internal/geom"
+	"rsmi/internal/obs"
 )
 
 // PointQueryContext is PointQuery observing ctx between candidate-shard
-// probes.
+// probes. A trace in ctx counts the shards actually probed (the walk
+// stops at the first hit).
 func (s *Sharded) PointQueryContext(ctx context.Context, q geom.Point) (bool, error) {
-	for _, sh := range s.pointCandidates(q) {
+	tr := obs.FromContext(ctx)
+	cands := s.pointCandidates(q)
+	for i, sh := range cands {
 		if err := ctx.Err(); err != nil {
+			tr.AddShards(i)
 			return false, err
 		}
 		sh.mu.RLock()
 		found := sh.idx.PointQuery(q)
 		sh.mu.RUnlock()
 		if found {
+			tr.AddShards(i + 1)
 			return true, nil
 		}
 	}
+	tr.AddShards(len(cands))
 	return false, ctx.Err()
 }
 
@@ -98,9 +105,13 @@ func (s *Sharded) InsertContext(ctx context.Context, p geom.Point) error {
 }
 
 // DeleteContext is Delete observing ctx between candidate-shard probes.
+// A trace in ctx counts the shards probed.
 func (s *Sharded) DeleteContext(ctx context.Context, p geom.Point) (bool, error) {
-	for _, sh := range s.pointCandidates(p) {
+	tr := obs.FromContext(ctx)
+	cands := s.pointCandidates(p)
+	for i, sh := range cands {
 		if err := ctx.Err(); err != nil {
+			tr.AddShards(i)
 			return false, err
 		}
 		sh.mu.Lock()
@@ -110,9 +121,11 @@ func (s *Sharded) DeleteContext(ctx context.Context, p geom.Point) (bool, error)
 		}
 		sh.mu.Unlock()
 		if ok {
+			tr.AddShards(i + 1)
 			return true, nil
 		}
 	}
+	tr.AddShards(len(cands))
 	return false, ctx.Err()
 }
 

@@ -47,6 +47,7 @@ import (
 	"rsmi/internal/core"
 	"rsmi/internal/geom"
 	"rsmi/internal/index"
+	"rsmi/internal/obs"
 	"rsmi/internal/rank"
 	"rsmi/internal/store"
 )
@@ -449,6 +450,9 @@ func (s *Sharded) ExactWindow(q geom.Rect) []geom.Point {
 // partial answers are never surfaced.
 func (s *Sharded) gatherWindow(ctx context.Context, dst []geom.Point, q geom.Rect, query func(sh *state) []geom.Point) ([]geom.Point, error) {
 	cands := s.windowCandidates(q)
+	// A trace in ctx (EXPLAIN / slow-query sampling) counts the shards
+	// whose region overlapped the window — the query's fan-out width.
+	obs.FromContext(ctx).AddShards(len(cands))
 	if len(cands) == 0 {
 		return dst, ctx.Err()
 	}
@@ -527,6 +531,9 @@ func (s *Sharded) knnFanOut(ctx context.Context, q geom.Point, k int, query func
 		workers = len(order)
 	}
 	var next int64 = -1
+	// visited counts shards actually searched (pruned shards excluded),
+	// reported to a trace in ctx — the number EXPLAIN shows for kNN.
+	var visited int64
 	run := func() {
 		for ctx.Err() == nil {
 			i := int(atomic.AddInt64(&next, 1))
@@ -541,6 +548,7 @@ func (s *Sharded) knnFanOut(ctx context.Context, q geom.Point, k int, query func
 				continue
 			}
 			sh := order[i]
+			atomic.AddInt64(&visited, 1)
 			sh.mu.RLock()
 			got := query(sh, k)
 			sh.mu.RUnlock()
@@ -560,6 +568,7 @@ func (s *Sharded) knnFanOut(ctx context.Context, q geom.Point, k int, query func
 		}
 		wg.Wait()
 	}
+	obs.FromContext(ctx).AddShards(int(atomic.LoadInt64(&visited)))
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
