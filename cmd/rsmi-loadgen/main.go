@@ -13,6 +13,14 @@
 //	rsmi-loadgen -duration 2s -min-ok 1.0          # CI smoke: exit 1 unless 100% 2xx
 //	rsmi-loadgen -addr 127.0.0.1:8080,127.0.0.1:8090 -hedge-delay 2ms  # hedged replica set
 //	rsmi-loadgen -explain-sample 20                # EXPLAIN stage-breakdown table
+//	rsmi-loadgen -mix sql=100                      # spatial SQL via POST /v1/sql
+//
+// The mix accepts point, window, knn, insert, delete, and sql weights.
+// sql drives POST /v1/sql with generated spatial SQL statements (a
+// rotation of window, distance-ordered window, and kNN queries — see
+// internal/sqlfe for the dialect); aim it at rsmi-serve -planner to
+// exercise cost-based routing. SQL is single-request only, so with
+// -batch > 1 its weight folds into windows.
 //
 // -batch n groups n operations per /v1/batch request (one round-trip);
 // -batch 1 sends one operation per request through the per-op endpoints,

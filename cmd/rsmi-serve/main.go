@@ -27,6 +27,7 @@
 //	rsmi-serve -addr :8080 -stream-addr :8081 -stream-request-timeout 5s
 //	rsmi-serve -addr :8080 -stream-addr :8081              # primary
 //	rsmi-serve -addr :8082 -replica-of 127.0.0.1:8080      # replica
+//	rsmi-serve -planner -dist skewed -n 100000             # cost-based router
 //	rsmi-serve -trace-sample 100 -slow-query 50ms -pprof   # observability
 //
 // -engine selects the backend: "sharded" (the default: S parallel RSMI
@@ -35,6 +36,15 @@
 // (K-D-B-tree) — all served through the identical stack, which is what
 // makes cross-engine serving numbers comparable (EXPERIMENTS.md "Serving
 // across backends").
+//
+// -planner builds every backend (sharded RSMI primary plus the three
+// baselines) over the same point set and serves them behind the
+// cost-based planner (internal/plan): each query routes to the backend
+// the calibrated cost models predict cheapest, writes apply everywhere,
+// and POST /v1/sql accepts the spatial SQL dialect (internal/sqlfe).
+// EXPLAIN (?explain=1 or the rsmibin flag bit) reports the chosen
+// backend with estimated vs actual cost, /v1/stats gains planner
+// counters, and /metrics gains rsmi_plan_* series.
 //
 // With -snapshot (sharded engine only), the index is loaded from the
 // snapshot when it exists (restart without retraining) and
@@ -87,6 +97,7 @@ import (
 	"rsmi"
 	"rsmi/internal/dataset"
 	"rsmi/internal/obs"
+	"rsmi/internal/plan"
 	"rsmi/internal/server"
 )
 
@@ -96,6 +107,7 @@ func main() {
 		streamAddr  = flag.String("stream-addr", "", "rsmistream TCP listen address (rsmibin/1 over persistent pipelined connections; empty disables)")
 		streamRTO   = flag.Duration("stream-request-timeout", 0, "server-side per-request deadline on the stream transport (0 = none)")
 		engine      = flag.String("engine", "sharded", "backend: sharded|concurrent|rstar|grid|kdb")
+		planner     = flag.Bool("planner", false, "serve every backend (sharded RSMI + rstar + grid + kdb) behind the cost-based query planner; enables routed /v1/sql")
 		datasetPath = flag.String("dataset", "", "binary point file (rsmi-datagen format); empty generates -dist/-n")
 		dist        = flag.String("dist", "skewed", "generated distribution: uniform|normal|skewed|tiger|osm")
 		n           = flag.Int("n", 100000, "generated data set cardinality")
@@ -155,6 +167,19 @@ func main() {
 		}
 		rep.Start()
 		eng = rep.Engine()
+	} else if *planner {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "engine":
+				log.Printf("warning: -engine has no effect with -planner (all backends are built)")
+			case "snapshot":
+				log.Fatalf("-snapshot is not supported with -planner (baselines rebuild from the data set)")
+			}
+		})
+		eng, err = buildPlannerEngine(*datasetPath, *dist, *n, *seed, *shards, *partition, *epochs, *lr)
+		if err != nil {
+			log.Fatal(err)
+		}
 	} else {
 		warnIgnoredFlags(*engine)
 		eng, err = buildEngine(*engine, *snapshot, *datasetPath, *dist, *n, *seed, *shards, *partition, *epochs, *lr)
@@ -323,6 +348,63 @@ func buildEngine(engine, snapshot, datasetPath, dist string, n int, seed int64, 
 	}
 }
 
+// buildPlannerEngine builds the cost-based router: the sharded RSMI as
+// the primary backend plus every baseline over the same point set, a
+// statistics store sampled from the data, and calibrated per-backend
+// cost models (a micro-probe grid; tens of milliseconds per backend).
+func buildPlannerEngine(datasetPath, dist string, n int, seed int64, shards int, partition string, epochs int, lr float64) (server.Engine, error) {
+	pts, err := loadPoints(datasetPath, dist, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := parsePartitioning(partition)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("building sharded index (%d points, epochs=%d)...", len(pts), epochs)
+	primary := rsmi.NewSharded(pts, rsmi.ShardOptions{
+		Shards:       shards,
+		Partitioning: parts,
+		Index: rsmi.Options{
+			Epochs:       epochs,
+			LearningRate: lr,
+			Seed:         seed,
+		},
+	})
+	backends := []rsmi.Engine{primary}
+	for _, name := range []string{"rstar", "grid", "kdb"} {
+		log.Printf("building %s baseline engine (%d points)...", name, len(pts))
+		b, err := rsmi.NewBaselineEngine(name, pts)
+		if err != nil {
+			return nil, err
+		}
+		backends = append(backends, b)
+	}
+	me, err := plan.NewMultiEngine(plan.NewStats(pts), backends...)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := me.Calibrate(context.Background()); err != nil {
+		return nil, err
+	}
+	log.Printf("planner cost models calibrated over %d backends in %v",
+		len(backends), time.Since(start).Round(time.Millisecond))
+	return me, nil
+}
+
+// parsePartitioning resolves the -partition flag.
+func parsePartitioning(partition string) (rsmi.Partitioning, error) {
+	switch partition {
+	case "space":
+		return rsmi.SpacePartitioned, nil
+	case "hash":
+		return rsmi.HashPartitioned, nil
+	default:
+		return 0, fmt.Errorf("unknown -partition %q (want space|hash)", partition)
+	}
+}
+
 // buildOrLoadSharded resolves the sharded engine: snapshot if present,
 // else a fresh build from the data set (saved back when -snapshot names a
 // path).
@@ -339,14 +421,9 @@ func buildOrLoadSharded(snapshot, datasetPath, dist string, n int, seed int64, s
 	if err != nil {
 		return nil, err
 	}
-	var parts rsmi.Partitioning
-	switch partition {
-	case "space":
-		parts = rsmi.SpacePartitioned
-	case "hash":
-		parts = rsmi.HashPartitioned
-	default:
-		return nil, fmt.Errorf("unknown -partition %q (want space|hash)", partition)
+	parts, err := parsePartitioning(partition)
+	if err != nil {
+		return nil, err
 	}
 	log.Printf("building sharded index (%d points, epochs=%d)...", len(pts), epochs)
 	idx := rsmi.NewSharded(pts, rsmi.ShardOptions{

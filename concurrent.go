@@ -30,6 +30,9 @@ func WrapConcurrent(idx *Index) *Concurrent {
 }
 
 // PointQuery reports whether a point with q's exact coordinates is indexed.
+//
+// Deprecated: use PointQueryContext instead; the context-free form wraps
+// it with context.Background().
 func (c *Concurrent) PointQuery(q Point) bool {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -38,6 +41,9 @@ func (c *Concurrent) PointQuery(q Point) bool {
 
 // WindowQuery returns the indexed points inside the window (approximate, no
 // false positives).
+//
+// Deprecated: use WindowQueryContext instead; the context-free form wraps
+// it with context.Background().
 func (c *Concurrent) WindowQuery(q Rect) []Point {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -45,6 +51,9 @@ func (c *Concurrent) WindowQuery(q Rect) []Point {
 }
 
 // ExactWindow returns the exact window answer (RSMIa traversal).
+//
+// Deprecated: use ExactWindowContext instead; the context-free form wraps
+// it with context.Background().
 func (c *Concurrent) ExactWindow(q Rect) []Point {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -52,6 +61,9 @@ func (c *Concurrent) ExactWindow(q Rect) []Point {
 }
 
 // KNN returns up to k approximate nearest neighbours, closest first.
+//
+// Deprecated: use KNNContext instead; the context-free form wraps
+// it with context.Background().
 func (c *Concurrent) KNN(q Point, k int) []Point {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -59,6 +71,9 @@ func (c *Concurrent) KNN(q Point, k int) []Point {
 }
 
 // ExactKNN returns the exact k nearest neighbours (best-first traversal).
+//
+// Deprecated: use ExactKNNContext instead; the context-free form wraps
+// it with context.Background().
 func (c *Concurrent) ExactKNN(q Point, k int) []Point {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
@@ -68,6 +83,9 @@ func (c *Concurrent) ExactKNN(q Point, k int) []Point {
 // BatchPointQuery answers one point query per element of qs under a single
 // read-lock acquisition, amortising the lock overhead across the batch.
 // Answers are identical to calling PointQuery per element.
+//
+// Deprecated: use BatchPointQueryContext instead; the context-free form wraps
+// it with context.Background().
 func (c *Concurrent) BatchPointQuery(qs []Point) []bool {
 	out := make([]bool, len(qs))
 	c.mu.RLock()
@@ -81,6 +99,9 @@ func (c *Concurrent) BatchPointQuery(qs []Point) []bool {
 // BatchWindowQuery answers one window query per element of qs under a
 // single read-lock acquisition. Answers are identical to calling
 // WindowQuery per element.
+//
+// Deprecated: use BatchWindowQueryContext instead; the context-free form wraps
+// it with context.Background().
 func (c *Concurrent) BatchWindowQuery(qs []Rect) [][]Point {
 	out := make([][]Point, len(qs))
 	c.mu.RLock()
@@ -93,6 +114,9 @@ func (c *Concurrent) BatchWindowQuery(qs []Rect) [][]Point {
 
 // BatchKNN answers one kNN query per element of qs under a single
 // read-lock acquisition. Answers are identical to calling KNN per element.
+//
+// Deprecated: use BatchKNNContext instead; the context-free form wraps
+// it with context.Background().
 func (c *Concurrent) BatchKNN(qs []KNNQuery) [][]Point {
 	out := make([][]Point, len(qs))
 	c.mu.RLock()
@@ -104,6 +128,9 @@ func (c *Concurrent) BatchKNN(qs []KNNQuery) [][]Point {
 }
 
 // Insert adds a point.
+//
+// Deprecated: use InsertContext instead; the context-free form wraps
+// it with context.Background().
 func (c *Concurrent) Insert(p Point) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -111,6 +138,9 @@ func (c *Concurrent) Insert(p Point) {
 }
 
 // Delete removes the point with p's exact coordinates.
+//
+// Deprecated: use DeleteContext instead; the context-free form wraps
+// it with context.Background().
 func (c *Concurrent) Delete(p Point) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -119,6 +149,9 @@ func (c *Concurrent) Delete(p Point) bool {
 
 // Rebuild reconstructs the index from its live points (§5's periodic
 // rebuild), blocking all other operations for the duration.
+//
+// Deprecated: use RebuildContext instead; the context-free form wraps
+// it with context.Background().
 func (c *Concurrent) Rebuild() {
 	c.mu.Lock()
 	defer c.mu.Unlock()

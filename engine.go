@@ -20,6 +20,8 @@ package rsmi
 // The context-free methods (PointQuery(q) bool, …) remain on every
 // concrete type as thin compatibility wrappers over the context variants
 // with context.Background(), so existing callers migrate incrementally.
+// They are deprecated: new code should call the *Context forms, and each
+// wrapper's godoc carries a "Deprecated:" pointer to its replacement.
 
 import (
 	"context"

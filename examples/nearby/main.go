@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -29,10 +30,13 @@ func main() {
 	rtree := rstar.New(restaurants, 100)
 	oracle := index.NewLinear(restaurants)
 
-	// One user, one query: show the actual answer.
+	// One user, one query: show the actual answer (ctx-first v2 API; the
+	// error is non-nil only on cancellation).
+	ctx := context.Background()
 	me := rsmi.Pt(0.37, 0.52)
 	fmt.Printf("\nuser at %v asks for %d nearest restaurants:\n", me, 5)
-	for i, p := range learned.KNN(me, 5) {
+	nearest, _ := learned.KNNContext(ctx, me, 5)
+	for i, p := range nearest {
 		fmt.Printf("  #%d  %v  (%.4f away)\n", i+1, p, me.Dist(p))
 	}
 
@@ -51,7 +55,10 @@ func main() {
 		name  string
 		query func(q rsmi.Point, k int) []rsmi.Point
 	}{
-		{"RSMI (Algorithm 3)", learned.KNN},
+		{"RSMI (Algorithm 3)", func(q rsmi.Point, k int) []rsmi.Point {
+			out, _ := learned.KNNContext(ctx, q, k)
+			return out
+		}},
 		{"RSMIa (best-first)", learned.AsExact().KNN},
 		{"RR* (best-first)", rtree.KNN},
 	} {

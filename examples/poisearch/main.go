@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -57,9 +58,20 @@ func main() {
 		return result{name, dur, acc(), recall / float64(len(views)), found}
 	}
 
+	// The learned index is driven through the ctx-first v2 API; with a
+	// Background context the error is never non-nil, so it is dropped.
+	ctx := context.Background()
+	learnedWindow := func(w rsmi.Rect) []rsmi.Point {
+		out, _ := learned.WindowQueryContext(ctx, w)
+		return out
+	}
+	exactWindow := func(w rsmi.Rect) []rsmi.Point {
+		out, _ := learned.ExactWindowContext(ctx, w)
+		return out
+	}
 	rs := []result{
-		measure("RSMI (learned)", learned.ResetAccesses, learned.WindowQuery, learned.Accesses),
-		measure("RSMIa (exact)", learned.ResetAccesses, learned.AsExact().WindowQuery, learned.Accesses),
+		measure("RSMI (learned)", learned.ResetAccesses, learnedWindow, learned.Accesses),
+		measure("RSMIa (exact)", learned.ResetAccesses, exactWindow, learned.Accesses),
 		measure("HRR (packed R-tree)", packed.ResetAccesses, packed.WindowQuery, packed.Accesses),
 	}
 	fmt.Printf("\n%-22s %12s %14s %10s %8s\n", "index", "session time", "block accesses", "results", "recall")

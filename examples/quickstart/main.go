@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"rsmi"
@@ -28,24 +29,31 @@ func main() {
 	fmt.Printf("built RSMI: n=%d height=%d models=%d size=%.1f MB in %v\n",
 		idx.Len(), s.Height, s.Models, float64(s.SizeBytes)/(1<<20), s.BuildTime)
 
+	// The ctx-first v2 API: every query takes a context and returns an
+	// error (non-nil only on cancellation, so a Background context makes
+	// the errors ignorable here).
+	ctx := context.Background()
+
 	// Point query: exact, no false negatives.
 	q := pts[4242]
-	fmt.Printf("point query %v found=%v\n", q, idx.PointQuery(q))
+	found, _ := idx.PointQueryContext(ctx, q)
+	fmt.Printf("point query %v found=%v\n", q, found)
 
 	// Window query: approximate, never returns a point outside the window.
 	w := rsmi.RectAround(rsmi.Pt(0.5, 0.1), 0.05, 0.05)
 	idx.ResetAccesses()
-	hits := idx.WindowQuery(w)
+	hits, _ := idx.WindowQueryContext(ctx, w)
 	fmt.Printf("window %v: %d points, %d block accesses\n", w, len(hits), idx.Accesses())
 
 	// Exact window query via the RSMIa variant (MBR traversal).
-	exact := idx.AsExact().WindowQuery(w)
+	exact, _ := idx.ExactWindowContext(ctx, w)
 	fmt.Printf("exact window: %d points (approximate recall %.3f)\n",
 		len(exact), float64(len(hits))/float64(max(1, len(exact))))
 
 	// kNN: the 10 nearest neighbours of a location.
 	me := rsmi.Pt(0.5, 0.1)
-	for i, p := range idx.KNN(me, 10) {
+	nn, _ := idx.KNNContext(ctx, me, 10)
+	for i, p := range nn {
 		if i < 3 {
 			fmt.Printf("  #%d nearest: %v (dist %.5f)\n", i+1, p, me.Dist(p))
 		}
@@ -53,10 +61,12 @@ func main() {
 
 	// Dynamic updates.
 	newPOI := rsmi.Pt(0.500001, 0.100001)
-	idx.Insert(newPOI)
-	fmt.Printf("after insert: found=%v, n=%d\n", idx.PointQuery(newPOI), idx.Len())
-	idx.Delete(newPOI)
-	fmt.Printf("after delete: found=%v, n=%d\n", idx.PointQuery(newPOI), idx.Len())
+	_ = idx.InsertContext(ctx, newPOI)
+	found, _ = idx.PointQueryContext(ctx, newPOI)
+	fmt.Printf("after insert: found=%v, n=%d\n", found, idx.Len())
+	_, _ = idx.DeleteContext(ctx, newPOI)
+	found, _ = idx.PointQueryContext(ctx, newPOI)
+	fmt.Printf("after delete: found=%v, n=%d\n", found, idx.Len())
 }
 
 func max(a, b int) int {

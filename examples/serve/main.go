@@ -38,31 +38,43 @@ func main() {
 	go srv.Serve(l)
 	fmt.Printf("serving %d points on http://%s\n", eng.Len(), l.Addr())
 
+	ctx := context.Background()
 	cl := server.NewClient(l.Addr().String())
 
 	// Single operations over the wire.
-	found, err := cl.PointQuery(pts[4242])
+	found, err := cl.PointQuery(ctx, pts[4242])
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("point query (indexed point): found=%v\n", found)
 
 	win := geom.RectAround(pts[7], 0.02, 0.02)
-	inWin, err := cl.WindowQuery(win)
+	inWin, err := cl.WindowQuery(ctx, win)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("window query: %d points in %v\n", len(inWin), win)
 
-	nn, err := cl.KNN(geom.Pt(0.5, 0.1), 5)
+	nn, err := cl.KNN(ctx, geom.Pt(0.5, 0.1), 5)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("kNN: %d neighbours, nearest %v\n", len(nn), nn[0])
 
+	// The SQL front-end compiles spatial SQL into the same query plans;
+	// WithExplain surfaces the server-side trace, plan included.
+	var tj *server.TraceJSON
+	sqlPts, err := cl.SQL(ctx,
+		"SELECT * FROM points WHERE ST_Within(pt, BOX(0.4, 0.2, 0.44, 0.28)) ORDER BY ST_Distance(pt, POINT(0.42, 0.24)) LIMIT 3",
+		server.WithExplain(&tj))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sql: %d points, executed by %s\n", len(sqlPts), tj.Plan.Backend)
+
 	// A heterogeneous batch: one round-trip, one engine batch call per
 	// query kind.
-	res, err := cl.Batch([]server.BatchOp{
+	res, err := cl.Batch(ctx, []server.BatchOp{
 		{Op: server.OpInsert, X: 0.42, Y: 0.24},
 		{Op: server.OpPoint, X: 0.42, Y: 0.24},
 		{Op: server.OpKNN, X: 0.42, Y: 0.24, K: 3},
@@ -76,8 +88,8 @@ func main() {
 
 	// The same server speaks rsmibin/1: a binary client sees identical
 	// answers, just cheaper on the wire (no JSON encode/decode per point).
-	binCl := server.NewClientProto(l.Addr().String(), server.ProtoBinary)
-	binWin, err := binCl.WindowQuery(win)
+	binCl := server.NewClient(l.Addr().String(), server.WithProto(server.ProtoBinary))
+	binWin, err := binCl.WindowQuery(ctx, win)
 	if err != nil {
 		log.Fatal(err)
 	}

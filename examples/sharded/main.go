@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -18,16 +19,17 @@ import (
 	"rsmi/internal/workload"
 )
 
-// engine is the slice of the index API the workload driver uses.
+// engine is the slice of the ctx-first index API the workload driver
+// uses.
 type engine interface {
-	PointQuery(q rsmi.Point) bool
-	WindowQuery(q rsmi.Rect) []rsmi.Point
-	Insert(p rsmi.Point)
+	WindowQueryContext(ctx context.Context, q rsmi.Rect) ([]rsmi.Point, error)
+	InsertContext(ctx context.Context, p rsmi.Point) error
 }
 
 // drive runs ops operations (90% window queries, 10% inserts) across g
 // client goroutines and returns the wall-clock rate in kops/s.
 func drive(e engine, g, ops int, windows []rsmi.Rect, inserts []rsmi.Point) float64 {
+	ctx := context.Background()
 	var next int64 = -1
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -41,9 +43,9 @@ func drive(e engine, g, ops int, windows []rsmi.Rect, inserts []rsmi.Point) floa
 					return
 				}
 				if i%10 == 9 {
-					e.Insert(inserts[i/10])
+					e.InsertContext(ctx, inserts[i/10])
 				} else {
-					e.WindowQuery(windows[i%len(windows)])
+					e.WindowQueryContext(ctx, windows[i%len(windows)])
 				}
 			}
 		}()
@@ -66,15 +68,19 @@ func main() {
 	sh := rsmi.NewSharded(pts, rsmi.ShardOptions{Shards: shards, Index: opts})
 	fmt.Printf("  %v\n", sh)
 
-	// The correctness guarantees compose across shards.
+	// The correctness guarantees compose across shards (ctx-first v2 API;
+	// errors are non-nil only on cancellation).
+	ctx := context.Background()
 	q := pts[1234]
 	w := rsmi.RectAround(rsmi.Pt(0.5, 0.1), 0.04, 0.04)
-	exact := sh.ExactWindow(w)
-	approx := sh.WindowQuery(w)
-	fmt.Printf("point query: concurrent=%v sharded=%v\n", conc.PointQuery(q), sh.PointQuery(q))
+	exact, _ := sh.ExactWindowContext(ctx, w)
+	approx, _ := sh.WindowQueryContext(ctx, w)
+	cFound, _ := conc.PointQueryContext(ctx, q)
+	sFound, _ := sh.PointQueryContext(ctx, q)
+	fmt.Printf("point query: concurrent=%v sharded=%v\n", cFound, sFound)
 	fmt.Printf("window %v: exact=%d approx=%d (recall %.3f, no false positives)\n",
 		w, len(exact), len(approx), float64(len(approx))/float64(max(1, len(exact))))
-	knn := sh.KNN(rsmi.Pt(0.5, 0.1), 5)
+	knn, _ := sh.KNNContext(ctx, rsmi.Pt(0.5, 0.1), 5)
 	fmt.Printf("kNN fan-out with shared bound: %d neighbours, nearest %v\n", len(knn), knn[0])
 
 	// Throughput under concurrent clients. Fresh engines per client count,

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -28,12 +29,13 @@ func main() {
 	offline := workload.DeleteSample(base, nCouriers/2, 8)
 	online := workload.InsertPoints(base, nCouriers/2, 9)
 
+	ctx := context.Background()
 	pointQueryUS := func(idx interface {
-		PointQuery(rsmi.Point) bool
+		PointQueryContext(context.Context, rsmi.Point) (bool, error)
 	}, probes []rsmi.Point) float64 {
 		start := time.Now()
 		for _, p := range probes {
-			idx.PointQuery(p)
+			idx.PointQueryContext(ctx, p)
 		}
 		return float64(time.Since(start).Microseconds()) / float64(len(probes))
 	}
@@ -42,14 +44,14 @@ func main() {
 	fmt.Printf("\nbefore churn: point query %.2f µs (plain)\n", pointQueryUS(plain, probes))
 
 	for name, idx := range map[string]interface {
-		Insert(rsmi.Point)
-		Delete(rsmi.Point) bool
+		InsertContext(context.Context, rsmi.Point) error
+		DeleteContext(context.Context, rsmi.Point) (bool, error)
 		Len() int
 	}{"plain RSMI": plain, "RSMIr (auto-rebuild)": managed} {
 		start := time.Now()
 		for i := range online {
-			idx.Delete(offline[i])
-			idx.Insert(online[i])
+			idx.DeleteContext(ctx, offline[i])
+			idx.InsertContext(ctx, online[i])
 		}
 		fmt.Printf("%-22s churned %d updates in %v (n=%d)\n",
 			name, len(online)*2, time.Since(start).Round(time.Millisecond), idx.Len())
@@ -70,7 +72,7 @@ func main() {
 	// A manual rebuild brings the plain index back to packed layout — the
 	// "periodic rebuild (e.g., overnight)" of §5.
 	start := time.Now()
-	plain.Rebuild()
+	plain.RebuildContext(ctx)
 	fmt.Printf("\nmanual overnight rebuild of plain RSMI took %v\n",
 		time.Since(start).Round(time.Millisecond))
 	fmt.Printf("  plain RSMI   point query %.2f µs after rebuild\n",

@@ -28,7 +28,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
 		"deletions", "ablation-rank", "ablation-curve", "sharded", "serving",
-		"hedged",
+		"hedged", "planner",
 	}
 	ids := IDs()
 	got := make(map[string]bool, len(ids))
@@ -132,6 +132,8 @@ func experimentMustMention(id string) []string {
 		return []string{"RWMutex", "Sharded S=", "kqps", "workers="}
 	case "serving":
 		return []string{"per-request", "coalesced", "client batch", "shed rate", "p99"}
+	case "planner":
+		return []string{"Planner", "vs best", "vs worst", "planner routing", "mispredicts"}
 	}
 	return nil
 }

@@ -29,10 +29,12 @@ import (
 	"os"
 	"time"
 
+	"rsmi"
 	"rsmi/internal/dataset"
 	"rsmi/internal/geom"
 	"rsmi/internal/loadgen"
 	"rsmi/internal/obs"
+	"rsmi/internal/plan"
 	"rsmi/internal/server"
 	"rsmi/internal/shard"
 	"rsmi/internal/workload"
@@ -71,6 +73,12 @@ type Metrics struct {
 	// its own baseline, it keeps the tracing overhead itself from
 	// regressing silently (additive field; absent pre-observability).
 	ServingTracedOpsPerSec float64 `json:"serving_traced_ops_per_sec,omitempty"`
+	// PlannerWindowOpsPerSec is the same binary window cell served by the
+	// cost-based planner (plan.MultiEngine over the sharded RSMI plus
+	// every baseline): the planning overhead plus routed execution. It is
+	// gated so per-query planning can never silently become expensive
+	// (additive field; absent pre-planner).
+	PlannerWindowOpsPerSec float64 `json:"planner_window_ops_per_sec,omitempty"`
 }
 
 // metricsSchemaVersion guards baseline/current comparability (2: stream
@@ -244,6 +252,49 @@ func RunRegression(w io.Writer) (Metrics, error) {
 	m.HedgedP50Us = float64(rep.P50.Microseconds())
 	fmt.Fprintf(w, "  serving hedged: %.0f ops/s, p50 %v (2 targets, %d hedges)\n",
 		rep.OpsPerSec, rep.P50, rep.Hedges)
+
+	// Planner: the binary window cell again, served by the cost-based
+	// planner over every backend — the measured price of per-query
+	// planning on the wire path.
+	backends := []rsmi.Engine{eng}
+	for _, name := range []string{"rstar", "grid", "kdb"} {
+		b, err := rsmi.NewBaselineEngine(name, pts)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("planner cell: %w", err)
+		}
+		backends = append(backends, b)
+	}
+	me, err := plan.NewMultiEngine(plan.NewStats(pts), backends...)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("planner cell: %w", err)
+	}
+	if err := me.Calibrate(context.Background()); err != nil {
+		return Metrics{}, fmt.Errorf("planner cell: %w", err)
+	}
+	var planEng server.Engine = me
+	if slowdown > 0 {
+		planEng = slowEngine{Engine: me, delay: slowdown}
+	}
+	pAddr, _, pStop, err := startServing(planEng, 64, 0, 1024)
+	if err != nil {
+		return Metrics{}, err
+	}
+	defer pStop()
+	pRep, err := loadgen.Run(loadgen.Config{
+		Addr:       pAddr,
+		Clients:    4,
+		Duration:   cell,
+		Mix:        loadgen.Mix{Window: 1},
+		BatchSize:  32,
+		WindowFrac: 0.0001,
+		Proto:      server.ProtoBinary,
+	})
+	if err != nil {
+		return Metrics{}, fmt.Errorf("serving (planner): %w", err)
+	}
+	m.PlannerWindowOpsPerSec = pRep.OpsPerSec
+	fmt.Fprintf(w, "  serving planner: %.0f ops/s, p50 %v (cost-routed windows)\n",
+		pRep.OpsPerSec, pRep.P50)
 	return m, nil
 }
 
@@ -280,6 +331,7 @@ func Compare(baseline, current Metrics, tol float64) []string {
 	higher("hedged_ops_per_sec", baseline.HedgedOpsPerSec, current.HedgedOpsPerSec)
 	lower("hedged_p50_us", baseline.HedgedP50Us, current.HedgedP50Us)
 	higher("serving_traced_ops_per_sec", baseline.ServingTracedOpsPerSec, current.ServingTracedOpsPerSec)
+	higher("planner_window_ops_per_sec", baseline.PlannerWindowOpsPerSec, current.PlannerWindowOpsPerSec)
 	return regressions
 }
 

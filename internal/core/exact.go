@@ -13,6 +13,9 @@ import (
 // with every sub-model and block, instead of the learned predictions.
 
 // ExactWindow returns the exact window query answer using MBR traversal.
+//
+// Deprecated: use ExactWindowContext instead; the context-free form wraps
+// it with context.Background().
 func (t *RSMI) ExactWindow(q geom.Rect) []geom.Point {
 	var out []geom.Point
 	var walk func(n *node)
@@ -82,6 +85,9 @@ func (q *exactQueue) Pop() interface{} {
 
 // ExactKNN returns the exact k nearest neighbours using the best-first
 // algorithm of Roussopoulos et al. [40] over the RSMI's MBR hierarchy.
+//
+// Deprecated: use ExactKNNContext instead; the context-free form wraps
+// it with context.Background().
 func (t *RSMI) ExactKNN(q geom.Point, k int) []geom.Point {
 	if k <= 0 || t.n == 0 {
 		return nil

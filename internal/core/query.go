@@ -70,6 +70,9 @@ func (t *RSMI) scanRange(begin, end int, fn func(b *store.Block, base int) bool)
 // error-bounded block range (and any overflow chains) for a point with q's
 // exact coordinates. It implements index.Index and never returns a false
 // negative for indexed points.
+//
+// Deprecated: use PointQueryContext instead; the context-free form wraps
+// it with context.Background().
 func (t *RSMI) PointQuery(q geom.Point) bool {
 	_, _, found := t.findPoint(q)
 	return found
@@ -147,6 +150,9 @@ func (t *RSMI) findPointIn(q geom.Point, lo, hi int) (baseID, slot int, found bo
 // point queries, scan it, and filter by the window. The answer has no false
 // positives; it may miss points whose blocks fall outside the predicted
 // range (the approximate behaviour evaluated in §6.2.3, recall > 87%).
+//
+// Deprecated: use WindowQueryContext instead; the context-free form wraps
+// it with context.Background().
 func (t *RSMI) WindowQuery(q geom.Rect) []geom.Point {
 	return t.windowQueryAppend(nil, q)
 }
@@ -178,6 +184,9 @@ func (t *RSMI) windowQueryAppend(dst []geom.Point, q geom.Rect) []geom.Point {
 // KNN implements Algorithm 3: an expanding search region sized by the
 // learned per-dimension CDFs, probed with window queries. Results are
 // approximate (recall > 88% in §6.2.4) and sorted by distance.
+//
+// Deprecated: use KNNContext instead; the context-free form wraps
+// it with context.Background().
 func (t *RSMI) KNN(q geom.Point, k int) []geom.Point {
 	if k <= 0 || t.n == 0 {
 		return nil

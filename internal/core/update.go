@@ -15,6 +15,9 @@ import (
 // otherwise a new overflow block is created, marked Inserted so it does not
 // count towards the error bounds, and spliced after the chain. Ancestor
 // MBRs are extended recursively.
+//
+// Deprecated: use InsertContext instead; the context-free form wraps
+// it with context.Background().
 func (t *RSMI) Insert(p geom.Point) {
 	if t.root == nil || t.baseBlocks == 0 {
 		// Degenerate empty index: rebuild from a single point.
@@ -65,6 +68,9 @@ func (t *RSMI) Insert(p geom.Point) {
 // located with a point query, swapped with the last point in its block, and
 // flagged deleted. Blocks are never deallocated, keeping the error bounds
 // valid. MBRs are left unshrunk (conservative: supersets stay correct).
+//
+// Deprecated: use DeleteContext instead; the context-free form wraps
+// it with context.Background().
 func (t *RSMI) Delete(p geom.Point) bool {
 	blockID, slot, found := t.findPoint(p)
 	if !found {
@@ -122,6 +128,9 @@ func (t *RSMI) scanAll(fn func(b *store.Block)) {
 // RSMIr in §6.2.5). The paper rebuilds only over-threshold sub-models; a
 // full rebuild is used here because block ids must stay globally monotone
 // in curve order for window scans — see EXPERIMENTS.md for the impact.
+//
+// Deprecated: use RebuildContext instead; the context-free form wraps
+// it with context.Background().
 func (t *RSMI) Rebuild() {
 	pts := t.AllPoints()
 	*t = *New(pts, t.opts)

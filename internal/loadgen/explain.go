@@ -15,7 +15,7 @@ import (
 
 // stageOrder is the pipeline order for the EXPLAIN table columns; any
 // stage the server reports beyond these is appended alphabetically.
-var stageOrder = []string{"admission", "decode", "coalesce", "execute", "encode"}
+var stageOrder = []string{"admission", "decode", "plan", "coalesce", "execute", "encode"}
 
 // ExplainRow aggregates the EXPLAIN samples of one operation kind.
 type ExplainRow struct {
@@ -97,17 +97,16 @@ func ExplainSamples(cfg Config, n int) (ExplainReport, error) {
 	if n <= 0 {
 		return ExplainReport{}, nil
 	}
-	reads := Mix{Point: cfg.Mix.Point, Window: cfg.Mix.Window, KNN: cfg.Mix.KNN}
+	reads := Mix{Point: cfg.Mix.Point, Window: cfg.Mix.Window, KNN: cfg.Mix.KNN, SQL: cfg.Mix.SQL}
 	if reads.total() == 0 {
 		// A write-only mix still gets a useful sample: EXPLAIN exists
 		// for queries, so fall back to the default read weights.
 		reads = Mix{Point: DefaultMix.Point, Window: DefaultMix.Window, KNN: DefaultMix.KNN}
 	}
-	cl := server.NewClientOptions(cfg.Addrs[0], server.Options{
-		Proto:     cfg.Proto,
-		Transport: cfg.Transport,
-		Timeout:   cfg.Timeout,
-	})
+	cl := server.NewClient(cfg.Addrs[0],
+		server.WithProto(cfg.Proto),
+		server.WithTransport(cfg.Transport),
+		server.WithTimeout(cfg.Timeout))
 	defer cl.Close()
 
 	rng := rand.New(rand.NewSource(cfg.Seed + 104729))
@@ -126,14 +125,17 @@ func ExplainSamples(cfg Config, n int) (ExplainReport, error) {
 		switch r := rng.Intn(reads.total()); {
 		case r < reads.Point:
 			op = server.OpPoint
-			_, tj, er = cl.PointQueryExplain(ctx, p)
+			_, er = cl.PointQuery(ctx, p, server.WithExplain(&tj))
 		case r < reads.Point+reads.Window:
 			op = server.OpWindow
 			q := geom.RectAround(p, w, w)
-			_, tj, er = cl.WindowQueryExplain(ctx, q)
-		default:
+			_, er = cl.WindowQuery(ctx, q, server.WithExplain(&tj))
+		case r < reads.Point+reads.Window+reads.KNN:
 			op = server.OpKNN
-			_, tj, er = cl.KNNExplain(ctx, p, cfg.K)
+			_, er = cl.KNN(ctx, p, cfg.K, server.WithExplain(&tj))
+		default:
+			op = server.OpSQL
+			_, er = cl.SQL(ctx, randomSQL(cfg, rng, p, w), server.WithExplain(&tj))
 		}
 		if er != nil {
 			lastErr = er
@@ -161,7 +163,7 @@ func ExplainSamples(cfg Config, n int) (ExplainReport, error) {
 		return ExplainReport{}, fmt.Errorf("loadgen: no EXPLAIN sample succeeded: %v", lastErr)
 	}
 	var rep ExplainReport
-	for _, op := range []string{server.OpPoint, server.OpWindow, server.OpKNN} {
+	for _, op := range []string{server.OpPoint, server.OpWindow, server.OpKNN, server.OpSQL} {
 		row, present := agg[op]
 		if !present {
 			continue

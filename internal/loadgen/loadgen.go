@@ -22,6 +22,7 @@
 package loadgen
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -45,18 +46,22 @@ type Mix struct {
 	KNN    int
 	Insert int
 	Delete int
+	// SQL drives POST /v1/sql with generated spatial SQL (a rotation of
+	// window, ordered-window, and kNN statements). SQL is not batchable,
+	// so with BatchSize > 1 its weight folds into Window.
+	SQL int
 }
 
 // DefaultMix is a read-mostly serving mix.
 var DefaultMix = Mix{Point: 20, Window: 60, KNN: 10, Insert: 5, Delete: 5}
 
 // total returns the weight sum.
-func (m Mix) total() int { return m.Point + m.Window + m.KNN + m.Insert + m.Delete }
+func (m Mix) total() int { return m.Point + m.Window + m.KNN + m.Insert + m.Delete + m.SQL }
 
 // String renders the mix in the -mix flag syntax.
 func (m Mix) String() string {
-	return fmt.Sprintf("point=%d,window=%d,knn=%d,insert=%d,delete=%d",
-		m.Point, m.Window, m.KNN, m.Insert, m.Delete)
+	return fmt.Sprintf("point=%d,window=%d,knn=%d,insert=%d,delete=%d,sql=%d",
+		m.Point, m.Window, m.KNN, m.Insert, m.Delete, m.SQL)
 }
 
 // ParseMix parses "window=80,point=10,knn=10"-style mixes; omitted ops
@@ -87,6 +92,8 @@ func ParseMix(s string) (Mix, error) {
 			m.Insert = w
 		case "delete":
 			m.Delete = w
+		case "sql":
+			m.SQL = w
 		default:
 			return Mix{}, fmt.Errorf("loadgen: unknown op %q", name)
 		}
@@ -265,12 +272,13 @@ type clientStats struct {
 // both *server.Client (one target) and *server.HedgedClient (a replica
 // set with hedged reads).
 type apiClient interface {
-	PointQuery(p geom.Point) (bool, error)
-	WindowQuery(q geom.Rect) ([]geom.Point, error)
-	KNN(q geom.Point, k int) ([]geom.Point, error)
-	Insert(p geom.Point) error
-	Delete(p geom.Point) (bool, error)
-	Batch(ops []server.BatchOp) ([]server.BatchResult, error)
+	PointQuery(ctx context.Context, p geom.Point, opts ...server.QueryOpt) (bool, error)
+	WindowQuery(ctx context.Context, q geom.Rect, opts ...server.QueryOpt) ([]geom.Point, error)
+	KNN(ctx context.Context, q geom.Point, k int, opts ...server.QueryOpt) ([]geom.Point, error)
+	SQL(ctx context.Context, query string, opts ...server.QueryOpt) ([]geom.Point, error)
+	Insert(ctx context.Context, p geom.Point, opts ...server.QueryOpt) error
+	Delete(ctx context.Context, p geom.Point, opts ...server.QueryOpt) (bool, error)
+	Batch(ctx context.Context, ops []server.BatchOp, opts ...server.QueryOpt) ([]server.BatchResult, error)
 	Close()
 }
 
@@ -292,20 +300,18 @@ func Run(cfg Config) (Report, error) {
 	if len(cfg.Addrs) > 1 {
 		targets := make([]*server.Client, len(cfg.Addrs))
 		for i, a := range cfg.Addrs {
-			targets[i] = server.NewClientOptions(a, server.Options{
-				Proto:     cfg.Proto,
-				Transport: cfg.Transport,
-				Timeout:   cfg.Timeout,
-			})
+			targets[i] = server.NewClient(a,
+				server.WithProto(cfg.Proto),
+				server.WithTransport(cfg.Transport),
+				server.WithTimeout(cfg.Timeout))
 		}
 		hc = server.NewHedgedClient(targets, server.HedgedOptions{Delay: cfg.HedgeDelay})
 		cl = hc
 	} else {
-		cl = server.NewClientOptions(cfg.Addrs[0], server.Options{
-			Proto:     cfg.Proto,
-			Transport: cfg.Transport,
-			Timeout:   cfg.Timeout,
-		})
+		cl = server.NewClient(cfg.Addrs[0],
+			server.WithProto(cfg.Proto),
+			server.WithTransport(cfg.Transport),
+			server.WithTimeout(cfg.Timeout))
 	}
 	defer cl.Close()
 	stats := make([]clientStats, cfg.Clients)
@@ -372,16 +378,19 @@ func Run(cfg Config) (Report, error) {
 
 // issueOne sends one request (a whole batch when configured) and
 // returns how many operations it carried.
-func issueOne(cl apiClient, cfg Config, rng *rand.Rand, w float64) (int, error) {
+func issueOne(ctx context.Context, cl apiClient, cfg Config, rng *rand.Rand, w float64) (int, error) {
 	if cfg.BatchSize > 1 {
 		ops := make([]server.BatchOp, cfg.BatchSize)
 		for i := range ops {
-			ops[i] = randomOp(cfg, rng, w)
+			// SQL statements are single-request only (the server rejects
+			// them inside multi-op batches), so batch runs fold the SQL
+			// weight into windows.
+			ops[i] = randomOp(cfg, rng, w, false)
 		}
-		_, err := cl.Batch(ops)
+		_, err := cl.Batch(ctx, ops)
 		return len(ops), err
 	}
-	return 1, sendOne(cl, randomOp(cfg, rng, w))
+	return 1, sendOne(ctx, cl, randomOp(cfg, rng, w, true))
 }
 
 // record tallies one completed request; it reports whether the caller
@@ -405,10 +414,11 @@ func (st *clientStats) record(lat time.Duration, nOps int, err error) bool {
 
 // runClient is one closed-loop client.
 func runClient(cl apiClient, cfg Config, rng *rand.Rand, deadline time.Time, st *clientStats) {
+	ctx := context.Background()
 	w := math.Sqrt(cfg.WindowFrac)
 	for time.Now().Before(deadline) {
 		start := time.Now()
-		nOps, err := issueOne(cl, cfg, rng, w)
+		nOps, err := issueOne(ctx, cl, cfg, rng, w)
 		if st.record(time.Since(start), nOps, err) {
 			// Back off briefly so a dead server does not spin the CPU.
 			time.Sleep(10 * time.Millisecond)
@@ -423,6 +433,7 @@ func runClient(cl apiClient, cfg Config, rng *rand.Rand, deadline time.Time, st 
 // latency still counts from the scheduled time, so server queueing
 // (or worker starvation — raise Clients) is measured, not hidden.
 func runOpenClient(cl apiClient, cfg Config, rng *rand.Rand, worker int, start, deadline time.Time, st *clientStats) {
+	ctx := context.Background()
 	w := math.Sqrt(cfg.WindowFrac)
 	interval := time.Duration(float64(time.Second) / cfg.Rate)
 	for i := worker; ; i += cfg.Clients {
@@ -433,7 +444,7 @@ func runOpenClient(cl apiClient, cfg Config, rng *rand.Rand, worker int, start, 
 		if d := time.Until(sched); d > 0 {
 			time.Sleep(d)
 		}
-		nOps, err := issueOne(cl, cfg, rng, w)
+		nOps, err := issueOne(ctx, cl, cfg, rng, w)
 		if st.record(time.Since(sched), nOps, err) {
 			time.Sleep(10 * time.Millisecond)
 		}
@@ -441,42 +452,72 @@ func runOpenClient(cl apiClient, cfg Config, rng *rand.Rand, worker int, start, 
 }
 
 // randomOp draws one operation from the mix. Queries are uniform over the
-// unit data space.
-func randomOp(cfg Config, rng *rand.Rand, w float64) server.BatchOp {
+// unit data space. allowSQL=false (batch mode) folds the SQL weight into
+// windows, since SQL is not allowed inside multi-op batches.
+func randomOp(cfg Config, rng *rand.Rand, w float64, allowSQL bool) server.BatchOp {
 	p := geom.Pt(rng.Float64(), rng.Float64())
 	r := rng.Intn(cfg.Mix.total())
+	m := cfg.Mix
 	switch {
-	case r < cfg.Mix.Point:
+	case r < m.Point:
 		return server.BatchOp{Op: server.OpPoint, X: p.X, Y: p.Y}
-	case r < cfg.Mix.Point+cfg.Mix.Window:
+	case r < m.Point+m.Window:
 		q := geom.RectAround(p, w, w)
 		return server.BatchOp{Op: server.OpWindow, MinX: q.MinX, MinY: q.MinY, MaxX: q.MaxX, MaxY: q.MaxY}
-	case r < cfg.Mix.Point+cfg.Mix.Window+cfg.Mix.KNN:
+	case r < m.Point+m.Window+m.KNN:
 		return server.BatchOp{Op: server.OpKNN, X: p.X, Y: p.Y, K: cfg.K}
-	case r < cfg.Mix.Point+cfg.Mix.Window+cfg.Mix.KNN+cfg.Mix.Insert:
+	case r < m.Point+m.Window+m.KNN+m.Insert:
 		return server.BatchOp{Op: server.OpInsert, X: p.X, Y: p.Y}
-	default:
+	case r < m.Point+m.Window+m.KNN+m.Insert+m.Delete:
 		return server.BatchOp{Op: server.OpDelete, X: p.X, Y: p.Y}
+	default:
+		if !allowSQL {
+			q := geom.RectAround(p, w, w)
+			return server.BatchOp{Op: server.OpWindow, MinX: q.MinX, MinY: q.MinY, MaxX: q.MaxX, MaxY: q.MaxY}
+		}
+		return server.BatchOp{Op: server.OpSQL, SQL: randomSQL(cfg, rng, p, w)}
+	}
+}
+
+// randomSQL rotates through the dialect's three query shapes around a
+// uniform centre point.
+func randomSQL(cfg Config, rng *rand.Rand, p geom.Point, w float64) string {
+	switch rng.Intn(3) {
+	case 0:
+		q := geom.RectAround(p, w, w)
+		return fmt.Sprintf("SELECT * FROM points WHERE ST_Within(pt, BOX(%g, %g, %g, %g))",
+			q.MinX, q.MinY, q.MaxX, q.MaxY)
+	case 1:
+		q := geom.RectAround(p, w, w)
+		return fmt.Sprintf(
+			"SELECT * FROM points WHERE ST_Within(pt, BOX(%g, %g, %g, %g)) ORDER BY ST_Distance(pt, POINT(%g, %g)) LIMIT %d",
+			q.MinX, q.MinY, q.MaxX, q.MaxY, p.X, p.Y, cfg.K)
+	default:
+		return fmt.Sprintf("SELECT * FROM points ORDER BY ST_Distance(pt, POINT(%g, %g)) LIMIT %d",
+			p.X, p.Y, cfg.K)
 	}
 }
 
 // sendOne routes a single operation through its dedicated endpoint (so
 // unbatched runs measure the per-request path, coalescer included).
-func sendOne(cl apiClient, op server.BatchOp) error {
+func sendOne(ctx context.Context, cl apiClient, op server.BatchOp) error {
 	switch op.Op {
 	case server.OpPoint:
-		_, err := cl.PointQuery(geom.Pt(op.X, op.Y))
+		_, err := cl.PointQuery(ctx, geom.Pt(op.X, op.Y))
 		return err
 	case server.OpWindow:
-		_, err := cl.WindowQuery(geom.Rect{MinX: op.MinX, MinY: op.MinY, MaxX: op.MaxX, MaxY: op.MaxY})
+		_, err := cl.WindowQuery(ctx, geom.Rect{MinX: op.MinX, MinY: op.MinY, MaxX: op.MaxX, MaxY: op.MaxY})
 		return err
 	case server.OpKNN:
-		_, err := cl.KNN(geom.Pt(op.X, op.Y), op.K)
+		_, err := cl.KNN(ctx, geom.Pt(op.X, op.Y), op.K)
+		return err
+	case server.OpSQL:
+		_, err := cl.SQL(ctx, op.SQL)
 		return err
 	case server.OpInsert:
-		return cl.Insert(geom.Pt(op.X, op.Y))
+		return cl.Insert(ctx, geom.Pt(op.X, op.Y))
 	default:
-		_, err := cl.Delete(geom.Pt(op.X, op.Y))
+		_, err := cl.Delete(ctx, geom.Pt(op.X, op.Y))
 		return err
 	}
 }

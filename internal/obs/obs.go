@@ -40,6 +40,9 @@ const (
 	StageAdmission Stage = iota
 	// StageDecode spans wire decode and validation.
 	StageDecode
+	// StagePlan spans query planning: selectivity estimation and the
+	// cost-based backend choice (SQL and planner-served requests only).
+	StagePlan
 	// StageCoalesce spans the wait inside the request coalescer, from
 	// submission to the micro-batch starting to execute.
 	StageCoalesce
@@ -51,7 +54,7 @@ const (
 	NumStages
 )
 
-var stageNames = [NumStages]string{"admission", "decode", "coalesce", "execute", "encode"}
+var stageNames = [NumStages]string{"admission", "decode", "plan", "coalesce", "execute", "encode"}
 
 // String names the stage as it appears in logs, EXPLAIN output, and the
 // loadgen breakdown table.
@@ -83,6 +86,17 @@ type Trace struct {
 	shards    atomic.Int64
 	accesses  atomic.Int64
 	stages    [NumStages]atomic.Int64 // nanoseconds per stage
+	plan      atomic.Pointer[PlanInfo]
+}
+
+// PlanInfo records the cost-based planner's decision for one request:
+// the chosen backend and the estimated vs actual cost, so EXPLAIN makes
+// mispredictions observable per query.
+type PlanInfo struct {
+	Backend      string
+	EstCostUS    float64
+	ActualCostUS float64
+	EstRows      float64
 }
 
 var (
@@ -102,6 +116,7 @@ func StartTrace(op, transport string) *Trace {
 	t.batchSize.Store(0)
 	t.shards.Store(0)
 	t.accesses.Store(0)
+	t.plan.Store(nil)
 	for i := range t.stages {
 		t.stages[i].Store(0)
 	}
@@ -136,13 +151,18 @@ func (t *Trace) ObserveStage(s Stage, d time.Duration) {
 // MarkSince records now-since into the stage and returns now, so call
 // sites chain consecutive stage boundaries with one clock read each.
 // On a nil trace it returns the zero time without reading the clock —
-// the untraced path never pays for time.Now.
+// the untraced path never pays for time.Now. A zero since means the
+// boundary was never measured (a late trace created after the stage
+// ran, whose earlier marks hit a nil receiver): the stage is left
+// unrecorded rather than charged now-minus-epoch.
 func (t *Trace) MarkSince(since time.Time, s Stage) time.Time {
 	if t == nil {
 		return time.Time{}
 	}
 	now := time.Now()
-	t.stages[s].Add(now.Sub(since).Nanoseconds())
+	if !since.IsZero() {
+		t.stages[s].Add(now.Sub(since).Nanoseconds())
+	}
 	return now
 }
 
@@ -170,6 +190,23 @@ func (t *Trace) SetBatchSize(n int) {
 	if t != nil {
 		t.batchSize.Store(int64(n))
 	}
+}
+
+// SetPlan attaches the planner's decision to the trace (nil-safe; the
+// pointer store keeps concurrent readers race-free).
+func (t *Trace) SetPlan(p PlanInfo) {
+	if t != nil {
+		t.plan.Store(&p)
+	}
+}
+
+// Plan reads the attached planner decision, nil when the request was
+// not planned.
+func (t *Trace) Plan() *PlanInfo {
+	if t == nil {
+		return nil
+	}
+	return t.plan.Load()
 }
 
 // StageNS reads one stage's accumulated nanoseconds.

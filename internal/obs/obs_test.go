@@ -118,7 +118,7 @@ func TestTraceReuseResets(t *testing.T) {
 }
 
 func TestStageNames(t *testing.T) {
-	want := []string{"admission", "decode", "coalesce", "execute", "encode"}
+	want := []string{"admission", "decode", "plan", "coalesce", "execute", "encode"}
 	for s := Stage(0); s < NumStages; s++ {
 		if s.String() != want[s] {
 			t.Fatalf("Stage(%d) = %q, want %q", s, s.String(), want[s])
@@ -202,5 +202,26 @@ func TestTraceConcurrent(t *testing.T) {
 	}
 	if tr.StageNS(StageExecute) != 8000*1000 {
 		t.Fatalf("execute stage = %dns, want 8000000", tr.StageNS(StageExecute))
+	}
+}
+
+// A late trace (created after a stage already ran, e.g. the rsmibin
+// explain flag bit is only known post-decode) marks that stage with
+// the zero time returned by the earlier nil-receiver MarkSince. The
+// stage must stay unrecorded — not get charged now-minus-epoch.
+func TestMarkSinceZeroTimeUnrecorded(t *testing.T) {
+	var nilTrace *Trace
+	t1 := nilTrace.MarkSince(time.Now(), StageAdmission)
+	if !t1.IsZero() {
+		t.Fatalf("nil MarkSince returned non-zero time %v", t1)
+	}
+	tr := StartTrace("window", "stream")
+	defer tr.Release()
+	now := tr.MarkSince(t1, StageDecode)
+	if now.IsZero() {
+		t.Fatal("MarkSince on a live trace must return now for chaining")
+	}
+	if ns := tr.StageNS(StageDecode); ns != 0 {
+		t.Fatalf("zero-since mark recorded %dns (epoch charge leaked into the span)", ns)
 	}
 }

@@ -58,6 +58,16 @@ type TraceStageJSON struct {
 	Us    float64 `json:"us"`
 }
 
+// PlanJSON is the cost-based planner's decision inside an EXPLAIN
+// trace: the backend the query was routed to and its estimated vs
+// actual cost, so mispredictions are observable per query.
+type PlanJSON struct {
+	Backend      string  `json:"backend"`
+	EstCostUS    float64 `json:"est_cost_us"`
+	ActualCostUS float64 `json:"actual_cost_us"`
+	EstRows      float64 `json:"est_rows,omitempty"`
+}
+
 // TraceJSON is the per-query EXPLAIN record: requested with ?explain=1
 // (JSON/binary HTTP) or the rsmibin explain op-flag bit (HTTP and
 // stream), it rides inline with the response and surfaces the paper's
@@ -74,6 +84,7 @@ type TraceJSON struct {
 	BlockAccesses int64            `json:"block_accesses"`
 	CoalesceBatch int64            `json:"coalesce_batch,omitempty"`
 	Stages        []TraceStageJSON `json:"stages"`
+	Plan          *PlanJSON        `json:"plan,omitempty"`
 }
 
 // Batch operation kinds.
@@ -83,11 +94,16 @@ const (
 	OpKNN    = "knn"
 	OpInsert = "insert"
 	OpDelete = "delete"
+	// OpSQL is a spatial SQL query (POST /v1/sql and the single-op
+	// stream frame). It is rejected inside multi-op batches: a SQL
+	// statement is its own batch of work.
+	OpSQL = "sql"
 )
 
 // BatchOp is one operation inside a /v1/batch request. Op selects the
 // kind; the coordinate fields used depend on it (x/y for point, knn,
-// insert, delete — plus k for knn; min_x…max_y for window).
+// insert, delete — plus k for knn; min_x…max_y for window; sql for
+// sql).
 type BatchOp struct {
 	Op   string  `json:"op"`
 	X    float64 `json:"x,omitempty"`
@@ -97,6 +113,15 @@ type BatchOp struct {
 	MinY float64 `json:"min_y,omitempty"`
 	MaxX float64 `json:"max_x,omitempty"`
 	MaxY float64 `json:"max_y,omitempty"`
+	SQL  string  `json:"sql,omitempty"`
+}
+
+// SQLRequest is the POST /v1/sql body: one statement in the spatial SQL
+// dialect (see internal/sqlfe for the grammar). The answer is a
+// PointsResponse — every query shape returns rows (a point probe
+// answers with the probe point itself when present).
+type SQLRequest struct {
+	Query string `json:"query"`
 }
 
 // BatchRequest is the /v1/batch body.
@@ -179,6 +204,16 @@ type ReplicationStats struct {
 	Resyncs    int64   `json:"resyncs,omitempty"`
 }
 
+// PlannerStatsJSON reports the cost-based planner's routing behaviour
+// in /v1/stats (planner-served engines only): how many queries were
+// planned, how they were distributed across backends, and how many cost
+// estimates landed outside [est/2, 2·est].
+type PlannerStatsJSON struct {
+	Planned     int64            `json:"planned"`
+	Mispredicts int64            `json:"mispredicts"`
+	Routed      map[string]int64 `json:"routed"`
+}
+
 // StatsResponse answers /v1/stats.
 type StatsResponse struct {
 	// Engine is the backend's display name ("Sharded", "RR*", "Grid", …),
@@ -195,4 +230,5 @@ type StatsResponse struct {
 	Ops            map[string]OpStats `json:"ops"`
 	Coalesce       CoalesceStats      `json:"coalesce"`
 	Replication    *ReplicationStats  `json:"replication,omitempty"`
+	Planner        *PlannerStatsJSON  `json:"planner,omitempty"`
 }

@@ -28,6 +28,7 @@ package server
 //	  point|insert|delete  x f64, y f64
 //	  window               minX f64, minY f64, maxX f64, maxY f64
 //	  knn                  x f64, y f64, uvarint k
+//	  sql                  uvarint len, query bytes
 //	response (per-op)    header, result [, trace]
 //	response (/v1/batch) header, uvarint n, n × result [, trace]
 //	result               tag byte, payload
@@ -79,6 +80,7 @@ const (
 	binOpKNN
 	binOpInsert
 	binOpDelete
+	binOpSQL
 )
 
 // binOpExplain is the op-byte flag bit requesting an inline EXPLAIN
@@ -110,6 +112,8 @@ func opByte(op string) (byte, bool) {
 		return binOpInsert, true
 	case OpDelete:
 		return binOpDelete, true
+	case OpSQL:
+		return binOpSQL, true
 	}
 	return 0, false
 }
@@ -127,6 +131,8 @@ func opName(b byte) (string, bool) {
 		return OpInsert, true
 	case binOpDelete:
 		return OpDelete, true
+	case binOpSQL:
+		return OpSQL, true
 	}
 	return "", false
 }
@@ -172,6 +178,9 @@ func appendOp(b []byte, op BatchOp) ([]byte, error) {
 	}
 	b = append(b, k)
 	switch k {
+	case binOpSQL:
+		b = appendUvarint(b, uint64(len(op.SQL)))
+		b = append(b, op.SQL...)
 	case binOpWindow:
 		b = appendF64(b, op.MinX)
 		b = appendF64(b, op.MinY)
@@ -222,7 +231,9 @@ func markBinExplain(b []byte, single bool) []byte {
 //	trace  tag byte (binResTrace), uvarint id,
 //	       uvarint len, backend bytes,
 //	       uvarint shards, uvarint accesses, uvarint coalesce batch,
-//	       uvarint n, n × (uvarint len, stage-name bytes, us f64)
+//	       uvarint n, n × (uvarint len, stage-name bytes, us f64),
+//	       uvarint plan-backend len (0 = no plan)
+//	       [, plan-backend bytes, est µs f64, actual µs f64, est rows f64]
 func appendBinTrace(b []byte, tj *TraceJSON) []byte {
 	if tj == nil {
 		return b
@@ -240,6 +251,14 @@ func appendBinTrace(b []byte, tj *TraceJSON) []byte {
 		b = append(b, st.Stage...)
 		b = appendF64(b, st.Us)
 	}
+	if tj.Plan == nil {
+		return appendUvarint(b, 0)
+	}
+	b = appendUvarint(b, uint64(len(tj.Plan.Backend)))
+	b = append(b, tj.Plan.Backend...)
+	b = appendF64(b, tj.Plan.EstCostUS)
+	b = appendF64(b, tj.Plan.ActualCostUS)
+	b = appendF64(b, tj.Plan.EstRows)
 	return b
 }
 
@@ -279,7 +298,7 @@ func appendBatchAnswers(b []byte, answers []batchAnswer) []byte {
 	b = appendUvarint(b, uint64(len(answers)))
 	for _, a := range answers {
 		switch a.op {
-		case OpWindow, OpKNN:
+		case OpWindow, OpKNN, OpSQL:
 			b = appendPointsResult(b, a.pts)
 		default:
 			b = appendBoolResult(b, a.flag)
@@ -430,6 +449,13 @@ func (r *binReader) entry() BatchOp {
 	}
 	op := BatchOp{Op: name}
 	switch kind {
+	case binOpSQL:
+		n := r.uvarint()
+		if r.err == nil && n > uint64(len(r.data)) {
+			r.fail(errBinTruncated)
+			return BatchOp{}
+		}
+		op.SQL = string(r.take(int(n)))
 	case binOpWindow:
 		op.MinX, op.MinY = r.f64(), r.f64()
 		op.MaxX, op.MaxY = r.f64(), r.f64()
@@ -447,9 +473,11 @@ func (r *binReader) entry() BatchOp {
 	return op
 }
 
-// binMinEntryBytes is the smallest possible entry (op byte + one point),
-// used to reject counts a frame cannot possibly hold before allocating.
-const binMinEntryBytes = 17
+// binMinEntryBytes is the smallest possible entry (an op byte plus a
+// zero-length SQL query's length uvarint — coordinate entries are 17+
+// bytes), used to reject counts a frame cannot possibly hold before
+// allocating.
+const binMinEntryBytes = 2
 
 // decodeBinaryOps parses a request frame: exactly one entry for the
 // per-op endpoints (single), a counted list for /v1/batch. The second
@@ -557,6 +585,17 @@ func (r *binReader) trace() *TraceJSON {
 		}
 		name := string(r.take(int(sl)))
 		tj.Stages = append(tj.Stages, TraceStageJSON{Stage: name, Us: r.f64()})
+	}
+	if pl := r.uvarint(); r.err == nil && pl > 0 {
+		if pl > uint64(len(r.data)) {
+			r.fail(errBinTruncated)
+			return nil
+		}
+		p := &PlanJSON{Backend: string(r.take(int(pl)))}
+		p.EstCostUS = r.f64()
+		p.ActualCostUS = r.f64()
+		p.EstRows = r.f64()
+		tj.Plan = p
 	}
 	if r.err != nil {
 		return nil

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"math/rand"
@@ -253,12 +254,12 @@ func FuzzDecodeBinaryResults(f *testing.F) {
 func TestProtocolEquivalence(t *testing.T) {
 	eng, pts := testEngine(t)
 	_, jsonCl := startTestServer(t, Config{Engine: eng, MaxBatch: 8})
-	binCl := NewClientProto(jsonCl.base, ProtoBinary)
+	binCl := NewClient(jsonCl.base, WithProto(ProtoBinary))
 
 	// Point queries: hits and misses.
 	for _, p := range []geom.Point{pts[0], pts[99], geom.Pt(-3, -3)} {
-		jf, jerr := jsonCl.PointQuery(p)
-		bf, berr := binCl.PointQuery(p)
+		jf, jerr := jsonCl.PointQuery(context.Background(), p)
+		bf, berr := binCl.PointQuery(context.Background(), p)
 		if jerr != nil || berr != nil || jf != bf {
 			t.Fatalf("PointQuery(%v): json (%v,%v) vs binary (%v,%v)", p, jf, jerr, bf, berr)
 		}
@@ -266,8 +267,8 @@ func TestProtocolEquivalence(t *testing.T) {
 
 	// Windows: exact same point lists, order included.
 	for _, q := range workload.Windows(pts, 10, 0.01, 1, 63) {
-		jp, jerr := jsonCl.WindowQuery(q)
-		bp, berr := binCl.WindowQuery(q)
+		jp, jerr := jsonCl.WindowQuery(context.Background(), q)
+		bp, berr := binCl.WindowQuery(context.Background(), q)
 		if jerr != nil || berr != nil {
 			t.Fatalf("WindowQuery: %v / %v", jerr, berr)
 		}
@@ -283,8 +284,8 @@ func TestProtocolEquivalence(t *testing.T) {
 
 	// kNN, including the k<=0 edge both protocols must answer empty.
 	for _, k := range []int{-1, 0, 1, 7} {
-		jp, jerr := jsonCl.KNN(pts[5], k)
-		bp, berr := binCl.KNN(pts[5], k)
+		jp, jerr := jsonCl.KNN(context.Background(), pts[5], k)
+		bp, berr := binCl.KNN(context.Background(), pts[5], k)
 		if jerr != nil || berr != nil || len(jp) != len(bp) {
 			t.Fatalf("KNN k=%d: json %d (%v), binary %d (%v)", k, len(jp), jerr, len(bp), berr)
 		}
@@ -297,16 +298,16 @@ func TestProtocolEquivalence(t *testing.T) {
 
 	// Writes over binary are visible to JSON and vice versa.
 	pb := geom.Pt(0.31337, 0.70001)
-	if err := binCl.Insert(pb); err != nil {
+	if err := binCl.Insert(context.Background(), pb); err != nil {
 		t.Fatalf("binary Insert: %v", err)
 	}
-	if found, _ := jsonCl.PointQuery(pb); !found {
+	if found, _ := jsonCl.PointQuery(context.Background(), pb); !found {
 		t.Fatal("binary insert not visible over JSON")
 	}
-	if deleted, _ := jsonCl.Delete(pb); !deleted {
+	if deleted, _ := jsonCl.Delete(context.Background(), pb); !deleted {
 		t.Fatal("JSON delete of binary insert failed")
 	}
-	if found, _ := binCl.PointQuery(pb); found {
+	if found, _ := binCl.PointQuery(context.Background(), pb); found {
 		t.Fatal("JSON delete not visible over binary")
 	}
 
@@ -318,8 +319,8 @@ func TestProtocolEquivalence(t *testing.T) {
 		{Op: OpKNN, X: pts[1].X, Y: pts[1].Y, K: 3},
 		{Op: OpDelete, X: -9, Y: -9},
 	}
-	jr, jerr := jsonCl.Batch(ops)
-	br, berr := binCl.Batch(ops)
+	jr, jerr := jsonCl.Batch(context.Background(), ops)
+	br, berr := binCl.Batch(context.Background(), ops)
 	if jerr != nil || berr != nil || len(jr) != len(br) {
 		t.Fatalf("Batch: json %d (%v), binary %d (%v)", len(jr), jerr, len(br), berr)
 	}
@@ -337,7 +338,7 @@ func TestProtocolEquivalence(t *testing.T) {
 	}
 
 	// Binary requests that are semantically invalid still 400 (as JSON).
-	if _, err := binCl.WindowQuery(geom.Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0}); err == nil {
+	if _, err := binCl.WindowQuery(context.Background(), geom.Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0}); err == nil {
 		t.Fatal("inverted window accepted over binary")
 	} else if se, ok := err.(*StatusError); !ok || se.Code != 400 {
 		t.Fatalf("inverted window over binary: %v", err)

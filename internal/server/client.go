@@ -93,25 +93,62 @@ type Client struct {
 	stream *streamClient
 }
 
-// NewClient returns a JSON client for the server at addr ("host:port" or
-// a full http:// URL).
-func NewClient(addr string) *Client {
-	return NewClientProto(addr, ProtoJSON)
+// Option configures a Client at construction; pass any combination to
+// NewClient. The zero configuration — no options — is a JSON client
+// over HTTP with the default timeout.
+type Option func(*Options)
+
+// WithProto selects the HTTP data-plane encoding (ProtoJSON or
+// ProtoBinary). Ignored by the TCP transport, which is always rsmibin.
+func WithProto(p Proto) Option { return func(o *Options) { o.Proto = p } }
+
+// WithTransport selects HTTP or the persistent TCP stream; with
+// TransportTCP the address handed to NewClient is the server's
+// rsmistream listener.
+func WithTransport(t Transport) Option { return func(o *Options) { o.Transport = t } }
+
+// WithTimeout bounds one request round-trip (default DefaultTimeout).
+func WithTimeout(d time.Duration) Option { return func(o *Options) { o.Timeout = d } }
+
+// WithStreamConns sizes the TCP transport's connection pool (default 4).
+func WithStreamConns(n int) Option { return func(o *Options) { o.StreamConns = n } }
+
+// NewClient returns a client for the server at addr ("host:port" or a
+// full http:// URL), configured by the options:
+//
+//	cl := server.NewClient(addr)                                  // JSON over HTTP
+//	cl := server.NewClient(addr, server.WithProto(server.ProtoBinary))
+//	cl := server.NewClient(addr, server.WithTransport(server.TransportTCP))
+func NewClient(addr string, opts ...Option) *Client {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return newClientOptions(addr, o)
 }
 
 // NewClientProto returns an HTTP client speaking the given wire protocol.
-// Anything other than ProtoBinary (including the zero value) normalises
-// to ProtoJSON, so Proto() always reports what the client actually
-// speaks.
+//
+// Deprecated: use NewClient(addr, WithProto(proto)).
 func NewClientProto(addr string, proto Proto) *Client {
-	return NewClientOptions(addr, Options{Proto: proto})
+	return NewClient(addr, WithProto(proto))
 }
 
-// NewClientOptions returns a client for the server at addr. With
-// Options.Transport == TransportTCP, addr is the server's rsmistream
-// listener ("host:port") and data-plane calls ride the persistent
-// connection pool; otherwise addr is the HTTP address.
+// NewClientOptions returns a client for the server at addr configured
+// by an Options struct.
+//
+// Deprecated: use NewClient with With* options.
 func NewClientOptions(addr string, o Options) *Client {
+	return newClientOptions(addr, o)
+}
+
+// newClientOptions builds the client. With Options.Transport ==
+// TransportTCP, addr is the server's rsmistream listener ("host:port")
+// and data-plane calls ride the persistent connection pool; otherwise
+// addr is the HTTP address. Anything other than ProtoBinary (including
+// the zero value) normalises to ProtoJSON, so Proto() always reports
+// what the client actually speaks.
+func newClientOptions(addr string, o Options) *Client {
 	if o.Timeout <= 0 {
 		o.Timeout = DefaultTimeout
 	}
@@ -332,106 +369,227 @@ func (c *Client) singleResult(ctx context.Context, path string, op BatchOp, expl
 	return c.binSingle(ctx, path, op, explain)
 }
 
-// PointQuery reports whether a point with exactly p's coordinates is
-// indexed.
-func (c *Client) PointQuery(p geom.Point) (bool, error) {
-	return c.PointQueryContext(context.Background(), p)
+// QueryOpt customises one query call; every data-plane verb accepts a
+// variadic tail of them.
+type QueryOpt func(*queryOpts)
+
+type queryOpts struct {
+	// explain, when non-nil, is where the inline EXPLAIN trace lands.
+	explain **TraceJSON
 }
 
-// PointQueryContext is PointQuery bounded by ctx.
-func (c *Client) PointQueryContext(ctx context.Context, p geom.Point) (bool, error) {
+// WithExplain requests an inline EXPLAIN trace and stores it into *dst
+// when the call returns successfully: the stage breakdown, shards
+// visited, block accesses, and — on planned queries — the chosen
+// backend with estimated vs actual cost. Works on every proto/transport
+// combination (?explain=1 for JSON, the rsmibin explain flag bit for
+// binary HTTP and the stream):
+//
+//	var tj *server.TraceJSON
+//	pts, err := cl.WindowQuery(ctx, q, server.WithExplain(&tj))
+func WithExplain(dst **TraceJSON) QueryOpt {
+	return func(o *queryOpts) { o.explain = dst }
+}
+
+func applyQueryOpts(opts []QueryOpt) queryOpts {
+	var o queryOpts
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// finishExplain delivers a returned trace to the caller's WithExplain
+// destination (nil on the non-explain path).
+func (o *queryOpts) finishExplain(tj *TraceJSON) {
+	if o.explain != nil {
+		*o.explain = tj
+	}
+}
+
+// PointQuery reports whether a point with exactly p's coordinates is
+// indexed.
+func (c *Client) PointQuery(ctx context.Context, p geom.Point, opts ...QueryOpt) (bool, error) {
+	o := applyQueryOpts(opts)
+	op := BatchOp{Op: OpPoint, X: p.X, Y: p.Y}
 	if c.proto == ProtoBinary {
-		return c.binBool(ctx, "/v1/point", BatchOp{Op: OpPoint, X: p.X, Y: p.Y})
+		if o.explain == nil {
+			return c.binBool(ctx, "/v1/point", op)
+		}
+		res, tj, err := c.singleResult(ctx, "/v1/point", op, true)
+		if err != nil {
+			return false, err
+		}
+		if res.tag != binResBool {
+			return false, errBinResultKind
+		}
+		o.finishExplain(tj)
+		return res.flag, nil
 	}
 	var resp FoundResponse
-	err := c.post(ctx, "/v1/point", PointJSON{X: p.X, Y: p.Y}, &resp)
+	err := c.post(ctx, jsonPath("/v1/point", o), PointJSON{X: p.X, Y: p.Y}, &resp)
+	if err == nil {
+		o.finishExplain(resp.Trace)
+	}
 	return resp.Found, err
 }
 
 // WindowQuery returns the indexed points inside the window.
-func (c *Client) WindowQuery(q geom.Rect) ([]geom.Point, error) {
-	return c.WindowQueryContext(context.Background(), q)
-}
-
-// WindowQueryContext is WindowQuery bounded by ctx.
-func (c *Client) WindowQueryContext(ctx context.Context, q geom.Rect) ([]geom.Point, error) {
+func (c *Client) WindowQuery(ctx context.Context, q geom.Rect, opts ...QueryOpt) ([]geom.Point, error) {
+	o := applyQueryOpts(opts)
+	op := BatchOp{Op: OpWindow, MinX: q.MinX, MinY: q.MinY, MaxX: q.MaxX, MaxY: q.MaxY}
 	if c.proto == ProtoBinary {
-		return c.binPoints(ctx, "/v1/window", BatchOp{Op: OpWindow, MinX: q.MinX, MinY: q.MinY, MaxX: q.MaxX, MaxY: q.MaxY})
+		return c.binPointsOpt(ctx, "/v1/window", op, &o)
 	}
 	var resp PointsResponse
-	err := c.post(ctx, "/v1/window", RectJSON{MinX: q.MinX, MinY: q.MinY, MaxX: q.MaxX, MaxY: q.MaxY}, &resp)
-	return fromPoints(resp.Points), err
+	err := c.post(ctx, jsonPath("/v1/window", o), RectJSON{MinX: q.MinX, MinY: q.MinY, MaxX: q.MaxX, MaxY: q.MaxY}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	o.finishExplain(resp.Trace)
+	return fromPoints(resp.Points), nil
 }
 
 // KNN returns up to k nearest neighbours of q, closest first.
-func (c *Client) KNN(q geom.Point, k int) ([]geom.Point, error) {
-	return c.KNNContext(context.Background(), q, k)
-}
-
-// KNNContext is KNN bounded by ctx.
-func (c *Client) KNNContext(ctx context.Context, q geom.Point, k int) ([]geom.Point, error) {
+func (c *Client) KNN(ctx context.Context, q geom.Point, k int, opts ...QueryOpt) ([]geom.Point, error) {
+	o := applyQueryOpts(opts)
+	op := BatchOp{Op: OpKNN, X: q.X, Y: q.Y, K: k}
 	if c.proto == ProtoBinary {
-		return c.binPoints(ctx, "/v1/knn", BatchOp{Op: OpKNN, X: q.X, Y: q.Y, K: k})
+		return c.binPointsOpt(ctx, "/v1/knn", op, &o)
 	}
 	var resp PointsResponse
-	err := c.post(ctx, "/v1/knn", KNNJSON{X: q.X, Y: q.Y, K: k}, &resp)
-	return fromPoints(resp.Points), err
+	err := c.post(ctx, jsonPath("/v1/knn", o), KNNJSON{X: q.X, Y: q.Y, K: k}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	o.finishExplain(resp.Trace)
+	return fromPoints(resp.Points), nil
+}
+
+// SQL executes one statement in the spatial SQL dialect (POST /v1/sql;
+// internal/sqlfe documents the grammar) and returns the result rows.
+// With WithExplain the trace carries the planner's decision: chosen
+// backend, estimated vs actual cost.
+func (c *Client) SQL(ctx context.Context, query string, opts ...QueryOpt) ([]geom.Point, error) {
+	o := applyQueryOpts(opts)
+	if c.proto == ProtoBinary {
+		return c.binPointsOpt(ctx, "/v1/sql", BatchOp{Op: OpSQL, SQL: query}, &o)
+	}
+	var resp PointsResponse
+	err := c.post(ctx, jsonPath("/v1/sql", o), SQLRequest{Query: query}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	o.finishExplain(resp.Trace)
+	return fromPoints(resp.Points), nil
 }
 
 // Insert adds a point.
-func (c *Client) Insert(p geom.Point) error {
-	return c.InsertContext(context.Background(), p)
-}
-
-// InsertContext is Insert bounded by ctx.
-func (c *Client) InsertContext(ctx context.Context, p geom.Point) error {
+func (c *Client) Insert(ctx context.Context, p geom.Point, opts ...QueryOpt) error {
+	o := applyQueryOpts(opts)
+	op := BatchOp{Op: OpInsert, X: p.X, Y: p.Y}
 	if c.proto == ProtoBinary {
-		_, err := c.binBool(ctx, "/v1/insert", BatchOp{Op: OpInsert, X: p.X, Y: p.Y})
-		return err
+		if o.explain == nil {
+			_, err := c.binBool(ctx, "/v1/insert", op)
+			return err
+		}
+		res, tj, err := c.singleResult(ctx, "/v1/insert", op, true)
+		if err != nil {
+			return err
+		}
+		if res.tag != binResBool {
+			return errBinResultKind
+		}
+		o.finishExplain(tj)
+		return nil
 	}
-	return c.post(ctx, "/v1/insert", PointJSON{X: p.X, Y: p.Y}, nil)
+	var resp OKResponse
+	err := c.post(ctx, jsonPath("/v1/insert", o), PointJSON{X: p.X, Y: p.Y}, &resp)
+	if err == nil {
+		o.finishExplain(resp.Trace)
+	}
+	return err
 }
 
 // Delete removes the point with exactly p's coordinates, reporting
 // whether it existed.
-func (c *Client) Delete(p geom.Point) (bool, error) {
-	return c.DeleteContext(context.Background(), p)
-}
-
-// DeleteContext is Delete bounded by ctx.
-func (c *Client) DeleteContext(ctx context.Context, p geom.Point) (bool, error) {
+func (c *Client) Delete(ctx context.Context, p geom.Point, opts ...QueryOpt) (bool, error) {
+	o := applyQueryOpts(opts)
+	op := BatchOp{Op: OpDelete, X: p.X, Y: p.Y}
 	if c.proto == ProtoBinary {
-		return c.binBool(ctx, "/v1/delete", BatchOp{Op: OpDelete, X: p.X, Y: p.Y})
+		if o.explain == nil {
+			return c.binBool(ctx, "/v1/delete", op)
+		}
+		res, tj, err := c.singleResult(ctx, "/v1/delete", op, true)
+		if err != nil {
+			return false, err
+		}
+		if res.tag != binResBool {
+			return false, errBinResultKind
+		}
+		o.finishExplain(tj)
+		return res.flag, nil
 	}
 	var resp DeletedResponse
-	err := c.post(ctx, "/v1/delete", PointJSON{X: p.X, Y: p.Y}, &resp)
+	err := c.post(ctx, jsonPath("/v1/delete", o), PointJSON{X: p.X, Y: p.Y}, &resp)
+	if err == nil {
+		o.finishExplain(resp.Trace)
+	}
 	return resp.Deleted, err
 }
 
 // Batch executes a heterogeneous operation list in one round-trip and
-// returns the per-op results in request order.
-func (c *Client) Batch(ops []BatchOp) ([]BatchResult, error) {
-	return c.BatchContext(context.Background(), ops)
-}
-
-// BatchContext is Batch bounded by ctx.
-func (c *Client) BatchContext(ctx context.Context, ops []BatchOp) ([]BatchResult, error) {
+// returns the per-op results in request order. A WithExplain trace
+// covers the whole batch.
+func (c *Client) Batch(ctx context.Context, ops []BatchOp, opts ...QueryOpt) ([]BatchResult, error) {
+	o := applyQueryOpts(opts)
 	if c.proto == ProtoBinary {
-		return c.binBatch(ctx, ops)
+		return c.binBatch(ctx, ops, &o)
 	}
 	var resp BatchResponse
-	err := c.post(ctx, "/v1/batch", BatchRequest{Ops: ops}, &resp)
+	err := c.post(ctx, jsonPath("/v1/batch", o), BatchRequest{Ops: ops}, &resp)
+	if err == nil {
+		o.finishExplain(resp.Trace)
+	}
 	return resp.Results, err
+}
+
+// jsonPath appends ?explain=1 to a JSON endpoint path when the call
+// asked for a trace.
+func jsonPath(path string, o queryOpts) string {
+	if o.explain != nil {
+		return path + "?explain=1"
+	}
+	return path
+}
+
+// binPointsOpt executes a points-valued op over rsmibin, honouring the
+// call's explain option.
+func (c *Client) binPointsOpt(ctx context.Context, path string, op BatchOp, o *queryOpts) ([]geom.Point, error) {
+	if o.explain == nil {
+		return c.binPoints(ctx, path, op)
+	}
+	res, tj, err := c.singleResult(ctx, path, op, true)
+	if err != nil {
+		return nil, err
+	}
+	if res.tag != binResPoints {
+		return nil, errBinResultKind
+	}
+	o.finishExplain(tj)
+	return res.pts, nil
 }
 
 // binBatch executes a batch over rsmibin — a stream frame or an HTTP
 // /v1/batch request — mapping results back to the JSON result shape so
 // every protocol/transport shares one client API.
-func (c *Client) binBatch(ctx context.Context, ops []BatchOp) ([]BatchResult, error) {
+func (c *Client) binBatch(ctx context.Context, ops []BatchOp, o *queryOpts) ([]BatchResult, error) {
+	explain := o.explain != nil
 	var rs []binResult
+	var tj *TraceJSON
 	var err error
 	if c.stream != nil {
-		rs, _, err = c.stream.streamDo(ctx, ops, false)
+		rs, tj, err = c.stream.streamDo(ctx, ops, explain)
 	} else {
 		b := appendBinHeader(make([]byte, 0, 16+24*len(ops)))
 		b = appendUvarint(b, uint64(len(ops)))
@@ -440,11 +598,15 @@ func (c *Client) binBatch(ctx context.Context, ops []BatchOp) ([]BatchResult, er
 				return nil, err
 			}
 		}
-		rs, _, err = c.postBinary(ctx, "/v1/batch", b, false)
+		if explain {
+			b = markBinExplain(b, false)
+		}
+		rs, tj, err = c.postBinary(ctx, "/v1/batch", b, false)
 	}
 	if err != nil {
 		return nil, err
 	}
+	o.finishExplain(tj)
 	if len(rs) != len(ops) {
 		return nil, fmt.Errorf("client: batch returned %d results for %d ops", len(rs), len(ops))
 	}
@@ -479,60 +641,77 @@ func batchResultsFromBin(ops []BatchOp, rs []binResult) ([]BatchResult, error) {
 	return out, nil
 }
 
-// PointQueryExplain is PointQueryContext with an inline EXPLAIN trace:
-// the server reports the query's stage breakdown, shards visited, and
-// block accesses alongside the answer. Works on every proto/transport
-// combination (?explain=1 for JSON, the rsmibin explain flag bit for
-// binary HTTP and the stream).
+// Pre-v2 method names, kept as thin wrappers so existing embedders keep
+// compiling. The verbs themselves are now ctx-first with variadic
+// QueryOpts (PointQuery, WindowQuery, KNN, Insert, Delete, Batch, SQL).
+
+// PointQueryContext reports whether p is indexed.
+//
+// Deprecated: use PointQuery — the verbs are ctx-first now.
+func (c *Client) PointQueryContext(ctx context.Context, p geom.Point) (bool, error) {
+	return c.PointQuery(ctx, p)
+}
+
+// WindowQueryContext returns the indexed points inside the window.
+//
+// Deprecated: use WindowQuery — the verbs are ctx-first now.
+func (c *Client) WindowQueryContext(ctx context.Context, q geom.Rect) ([]geom.Point, error) {
+	return c.WindowQuery(ctx, q)
+}
+
+// KNNContext returns up to k nearest neighbours of q.
+//
+// Deprecated: use KNN — the verbs are ctx-first now.
+func (c *Client) KNNContext(ctx context.Context, q geom.Point, k int) ([]geom.Point, error) {
+	return c.KNN(ctx, q, k)
+}
+
+// InsertContext adds a point.
+//
+// Deprecated: use Insert — the verbs are ctx-first now.
+func (c *Client) InsertContext(ctx context.Context, p geom.Point) error {
+	return c.Insert(ctx, p)
+}
+
+// DeleteContext removes the point with exactly p's coordinates.
+//
+// Deprecated: use Delete — the verbs are ctx-first now.
+func (c *Client) DeleteContext(ctx context.Context, p geom.Point) (bool, error) {
+	return c.Delete(ctx, p)
+}
+
+// BatchContext executes a heterogeneous operation list.
+//
+// Deprecated: use Batch — the verbs are ctx-first now.
+func (c *Client) BatchContext(ctx context.Context, ops []BatchOp) ([]BatchResult, error) {
+	return c.Batch(ctx, ops)
+}
+
+// PointQueryExplain is PointQuery with an inline EXPLAIN trace.
+//
+// Deprecated: use PointQuery with WithExplain.
 func (c *Client) PointQueryExplain(ctx context.Context, p geom.Point) (bool, *TraceJSON, error) {
-	if c.proto == ProtoBinary {
-		res, tj, err := c.singleResult(ctx, "/v1/point", BatchOp{Op: OpPoint, X: p.X, Y: p.Y}, true)
-		if err != nil {
-			return false, nil, err
-		}
-		if res.tag != binResBool {
-			return false, nil, errBinResultKind
-		}
-		return res.flag, tj, nil
-	}
-	var resp FoundResponse
-	err := c.post(ctx, "/v1/point?explain=1", PointJSON{X: p.X, Y: p.Y}, &resp)
-	return resp.Found, resp.Trace, err
+	var tj *TraceJSON
+	found, err := c.PointQuery(ctx, p, WithExplain(&tj))
+	return found, tj, err
 }
 
-// WindowQueryExplain is WindowQueryContext with an inline EXPLAIN trace.
+// WindowQueryExplain is WindowQuery with an inline EXPLAIN trace.
+//
+// Deprecated: use WindowQuery with WithExplain.
 func (c *Client) WindowQueryExplain(ctx context.Context, q geom.Rect) ([]geom.Point, *TraceJSON, error) {
-	if c.proto == ProtoBinary {
-		res, tj, err := c.singleResult(ctx, "/v1/window",
-			BatchOp{Op: OpWindow, MinX: q.MinX, MinY: q.MinY, MaxX: q.MaxX, MaxY: q.MaxY}, true)
-		if err != nil {
-			return nil, nil, err
-		}
-		if res.tag != binResPoints {
-			return nil, nil, errBinResultKind
-		}
-		return res.pts, tj, nil
-	}
-	var resp PointsResponse
-	err := c.post(ctx, "/v1/window?explain=1", RectJSON{MinX: q.MinX, MinY: q.MinY, MaxX: q.MaxX, MaxY: q.MaxY}, &resp)
-	return fromPoints(resp.Points), resp.Trace, err
+	var tj *TraceJSON
+	pts, err := c.WindowQuery(ctx, q, WithExplain(&tj))
+	return pts, tj, err
 }
 
-// KNNExplain is KNNContext with an inline EXPLAIN trace.
+// KNNExplain is KNN with an inline EXPLAIN trace.
+//
+// Deprecated: use KNN with WithExplain.
 func (c *Client) KNNExplain(ctx context.Context, q geom.Point, k int) ([]geom.Point, *TraceJSON, error) {
-	if c.proto == ProtoBinary {
-		res, tj, err := c.singleResult(ctx, "/v1/knn", BatchOp{Op: OpKNN, X: q.X, Y: q.Y, K: k}, true)
-		if err != nil {
-			return nil, nil, err
-		}
-		if res.tag != binResPoints {
-			return nil, nil, errBinResultKind
-		}
-		return res.pts, tj, nil
-	}
-	var resp PointsResponse
-	err := c.post(ctx, "/v1/knn?explain=1", KNNJSON{X: q.X, Y: q.Y, K: k}, &resp)
-	return fromPoints(resp.Points), resp.Trace, err
+	var tj *TraceJSON
+	pts, err := c.KNN(ctx, q, k, WithExplain(&tj))
+	return pts, tj, err
 }
 
 // Rebuild triggers a rolling rebuild; it returns a *StatusError with code

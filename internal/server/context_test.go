@@ -331,17 +331,17 @@ func TestStreamRequestTimeout(t *testing.T) {
 		MaxBatch:             1,
 		StreamRequestTimeout: 50 * time.Millisecond,
 	})
-	cl := NewClientOptions(streamAddr, Options{Transport: TransportTCP})
+	cl := NewClient(streamAddr, WithTransport(TransportTCP))
 	defer cl.Close()
 
-	_, err := cl.PointQuery(pts[0])
+	_, err := cl.PointQuery(context.Background(), pts[0])
 	se, ok := err.(*StatusError)
 	if !ok || se.Code != http.StatusGatewayTimeout {
 		t.Fatalf("deadline-exceeded stream request: got %v, want StatusError 504", err)
 	}
 	// The connection survives the 504 and later requests still work.
 	close(blocking.gate)
-	if found, err := cl.PointQuery(pts[0]); err != nil || !found {
+	if found, err := cl.PointQuery(context.Background(), pts[0]); err != nil || !found {
 		t.Fatalf("stream unusable after per-request timeout: %v, %v", found, err)
 	}
 }
@@ -364,8 +364,8 @@ func TestProtocolEquivalenceAcrossEngines(t *testing.T) {
 			_, httpURL, streamAddr := startStreamServer(t, Config{Engine: tc.build(), MaxBatch: 8})
 			clients := map[string]*Client{
 				"http-json":   NewClient(httpURL),
-				"http-binary": NewClientProto(httpURL, ProtoBinary),
-				"tcp-stream":  NewClientOptions(streamAddr, Options{Transport: TransportTCP}),
+				"http-binary": NewClient(httpURL, WithProto(ProtoBinary)),
+				"tcp-stream":  NewClient(streamAddr, WithTransport(TransportTCP)),
 			}
 			t.Cleanup(func() {
 				for _, cl := range clients {
@@ -374,23 +374,23 @@ func TestProtocolEquivalenceAcrossEngines(t *testing.T) {
 			})
 
 			for _, p := range []geom.Point{pts[0], pts[77], geom.Pt(-2, -2)} {
-				want, err := clients["http-json"].PointQuery(p)
+				want, err := clients["http-json"].PointQuery(context.Background(), p)
 				if err != nil {
 					t.Fatalf("json PointQuery: %v", err)
 				}
 				for name, cl := range clients {
-					if got, err := cl.PointQuery(p); err != nil || got != want {
+					if got, err := cl.PointQuery(context.Background(), p); err != nil || got != want {
 						t.Fatalf("%s PointQuery(%v) = %v, %v; want %v", name, p, got, err, want)
 					}
 				}
 			}
 			for _, q := range workload.Windows(pts, 6, 0.01, 1, 72) {
-				want, err := clients["http-json"].WindowQuery(q)
+				want, err := clients["http-json"].WindowQuery(context.Background(), q)
 				if err != nil {
 					t.Fatalf("json WindowQuery: %v", err)
 				}
 				for name, cl := range clients {
-					got, err := cl.WindowQuery(q)
+					got, err := cl.WindowQuery(context.Background(), q)
 					if err != nil || len(got) != len(want) {
 						t.Fatalf("%s WindowQuery: %d points, %v; want %d", name, len(got), err, len(want))
 					}
@@ -402,12 +402,12 @@ func TestProtocolEquivalenceAcrossEngines(t *testing.T) {
 				}
 			}
 			for _, k := range []int{0, 1, 9} {
-				want, err := clients["http-json"].KNN(pts[3], k)
+				want, err := clients["http-json"].KNN(context.Background(), pts[3], k)
 				if err != nil {
 					t.Fatalf("json KNN: %v", err)
 				}
 				for name, cl := range clients {
-					got, err := cl.KNN(pts[3], k)
+					got, err := cl.KNN(context.Background(), pts[3], k)
 					if err != nil || len(got) != len(want) {
 						t.Fatalf("%s KNN k=%d: %d points, %v; want %d", name, k, len(got), err, len(want))
 					}
@@ -426,12 +426,12 @@ func TestProtocolEquivalenceAcrossEngines(t *testing.T) {
 				{Op: OpKNN, X: pts[1].X, Y: pts[1].Y, K: 3},
 				{Op: OpDelete, X: -9, Y: -9},
 			}
-			want, err := clients["http-json"].Batch(ops)
+			want, err := clients["http-json"].Batch(context.Background(), ops)
 			if err != nil {
 				t.Fatalf("json Batch: %v", err)
 			}
 			for name, cl := range clients {
-				got, err := cl.Batch(ops)
+				got, err := cl.Batch(context.Background(), ops)
 				if err != nil || len(got) != len(want) {
 					t.Fatalf("%s Batch: %d results, %v", name, len(got), err)
 				}
@@ -444,13 +444,13 @@ func TestProtocolEquivalenceAcrossEngines(t *testing.T) {
 			}
 			// Writes round-trip across transports.
 			ins := geom.Pt(0.515151, 0.626262)
-			if err := clients["tcp-stream"].Insert(ins); err != nil {
+			if err := clients["tcp-stream"].Insert(context.Background(), ins); err != nil {
 				t.Fatalf("stream Insert: %v", err)
 			}
-			if found, _ := clients["http-binary"].PointQuery(ins); !found {
+			if found, _ := clients["http-binary"].PointQuery(context.Background(), ins); !found {
 				t.Fatal("stream insert not visible over HTTP binary")
 			}
-			if deleted, _ := clients["http-json"].Delete(ins); !deleted {
+			if deleted, _ := clients["http-json"].Delete(context.Background(), ins); !deleted {
 				t.Fatal("JSON delete of stream insert failed")
 			}
 			// The stats endpoint names the backend.

@@ -35,9 +35,9 @@ func TestExplainEquivalenceAcrossTransports(t *testing.T) {
 	_, httpURL, streamAddr := startStreamServer(t, Config{Engine: eng, MaxBatch: 8})
 
 	clients := map[string]*Client{
-		"http-json":   NewClientOptions(httpURL, Options{Proto: ProtoJSON}),
-		"http-binary": NewClientOptions(httpURL, Options{Proto: ProtoBinary}),
-		"stream":      NewClientOptions(streamAddr, Options{Transport: TransportTCP}),
+		"http-json":   NewClient(httpURL, WithProto(ProtoJSON)),
+		"http-binary": NewClient(httpURL, WithProto(ProtoBinary)),
+		"stream":      NewClient(streamAddr, WithTransport(TransportTCP)),
 	}
 	for _, cl := range clients {
 		defer cl.Close()
@@ -132,11 +132,11 @@ func TestExplainOnlyWhenAsked(t *testing.T) {
 		Observer: obs.NewObserver(1, nil),
 	})
 	for name, cl := range map[string]*Client{
-		"http-json":   NewClientOptions(httpURL, Options{Proto: ProtoJSON}),
-		"http-binary": NewClientOptions(httpURL, Options{Proto: ProtoBinary}),
-		"stream":      NewClientOptions(streamAddr, Options{Transport: TransportTCP}),
+		"http-json":   NewClient(httpURL, WithProto(ProtoJSON)),
+		"http-binary": NewClient(httpURL, WithProto(ProtoBinary)),
+		"stream":      NewClient(streamAddr, WithTransport(TransportTCP)),
 	} {
-		found, err := cl.PointQuery(pts[0])
+		found, err := cl.PointQuery(context.Background(), pts[0])
 		if err != nil || !found {
 			t.Fatalf("%s: PointQuery = %v, %v", name, found, err)
 		}
@@ -232,10 +232,10 @@ func TestSlowQueryLogEndToEnd(t *testing.T) {
 	defer cl.Close()
 
 	q := workload.Windows(pts, 1, 0.05, 1, 3)[0]
-	if _, err := cl.WindowQuery(q); err != nil {
+	if _, err := cl.WindowQuery(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.PointQuery(pts[0]); err != nil {
+	if _, err := cl.PointQuery(context.Background(), pts[0]); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")

@@ -12,7 +12,9 @@ import (
 
 	"rsmi/internal/geom"
 	"rsmi/internal/obs"
+	"rsmi/internal/plan"
 	"rsmi/internal/shard"
+	"rsmi/internal/sqlfe"
 )
 
 // maxBodyBytes bounds single-op request bodies; batch bodies get
@@ -111,6 +113,14 @@ func traceJSON(tr *obs.Trace) *TraceJSON {
 			tj.Stages = append(tj.Stages, TraceStageJSON{Stage: st.String(), Us: float64(ns) / 1e3})
 		}
 	}
+	if p := tr.Plan(); p != nil {
+		tj.Plan = &PlanJSON{
+			Backend:      p.Backend,
+			EstCostUS:    p.EstCostUS,
+			ActualCostUS: p.ActualCostUS,
+			EstRows:      p.EstRows,
+		}
+	}
 	return tj
 }
 
@@ -175,6 +185,12 @@ func decodeOps(w http.ResponseWriter, r *http.Request, wantOp string, limit int6
 				return nil, false, false
 			}
 			op.X, op.Y, op.K = req.X, req.Y, req.K
+		case OpSQL:
+			var req SQLRequest
+			if !decodeBody(w, r, &req, limit) {
+				return nil, false, false
+			}
+			op.SQL = req.Query
 		default:
 			var req PointJSON
 			if !decodeBody(w, r, &req, limit) {
@@ -220,14 +236,18 @@ const statusClientClosedRequest = 499
 
 // engineErrorCode maps an engine execution error to an HTTP status:
 // a forwarded write that failed on the primary keeps the primary's
-// status (*StatusError, replica role), deadline-exceeded means the
-// server ran out of time (504), cancellation means the client went
-// away (499), anything else is a server fault.
+// status (*StatusError, replica role), a SQL parse error is the
+// client's fault (400), deadline-exceeded means the server ran out of
+// time (504), cancellation means the client went away (499), anything
+// else is a server fault.
 func engineErrorCode(err error) int {
 	var se *StatusError
+	var pe *sqlfe.ParseError
 	switch {
 	case errors.As(err, &se):
 		return se.Code
+	case errors.As(err, &pe):
+		return http.StatusBadRequest
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -606,6 +626,14 @@ func validateOps(ops []BatchOp) error {
 			err = finite(op.X, op.Y)
 		case OpWindow:
 			_, err = toRect(RectJSON{MinX: op.MinX, MinY: op.MinY, MaxX: op.MaxX, MaxY: op.MaxY})
+		case OpSQL:
+			// A SQL statement is its own batch of work: it rides /v1/sql
+			// or a single-op stream frame, never a multi-op batch.
+			if len(ops) > 1 {
+				err = errors.New("sql is not allowed inside a multi-op batch")
+			} else {
+				_, err = sqlfe.Parse(op.SQL)
+			}
 		default:
 			err = fmt.Errorf("unknown op %q", op.Op)
 		}
@@ -670,6 +698,11 @@ func (s *Server) executeBatch(ctx context.Context, ops []BatchOp, t transportIdx
 				return nil, err
 			}
 			answers[i].flag = deleted
+		case OpSQL:
+			// validateOps keeps SQL out of multi-op batches; a single-op
+			// SQL frame goes through executeSingle, so the only way here
+			// is a one-op /v1/batch request — point it at /v1/sql.
+			return nil, &StatusError{Code: http.StatusBadRequest, Msg: "sql is not served by /v1/batch; use /v1/sql"}
 		}
 	}
 	if len(points) > 0 {
@@ -770,6 +803,143 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, tr *obs.Trac
 	return tr
 }
 
+// plannerEngine is the planning surface the SQL endpoint prefers,
+// implemented by plan.MultiEngine (rsmi-serve -planner): the query is
+// planned first — so EXPLAIN can time the plan stage on its own — then
+// executed on the backend the cost models chose. Fixed-backend servers
+// execute SQL directly on their engine instead.
+type plannerEngine interface {
+	PlanQuery(q plan.Query) plan.Plan
+	ExecPlanned(ctx context.Context, pl plan.Plan, q plan.Query) (plan.Result, error)
+	PlannerStats() plan.Counters
+}
+
+// executeSQL runs one parsed SQL query and records the plan decision —
+// chosen backend, estimated vs actual cost — on the trace for EXPLAIN.
+// It observes the plan and execute stages itself (the two are disjoint,
+// like executeBatch's execute span); both the HTTP and stream SQL paths
+// execute through here.
+func (s *Server) executeSQL(ctx context.Context, q plan.Query, tr *obs.Trace) (plan.Result, error) {
+	if pe, ok := s.eng.(plannerEngine); ok {
+		pstart := time.Now()
+		pl := pe.PlanQuery(q)
+		tr.MarkSince(pstart, obs.StagePlan)
+		var before int64
+		if tr != nil {
+			ctx = obs.With(ctx, tr)
+			before = s.eng.Accesses()
+		}
+		res, err := pe.ExecPlanned(ctx, pl, q)
+		if err != nil {
+			return plan.Result{}, err
+		}
+		if tr != nil {
+			tr.AddAccesses(s.eng.Accesses() - before)
+			tr.ObserveStage(obs.StageExecute, time.Duration(res.ActualUS*1e3))
+			tr.SetPlan(obs.PlanInfo{
+				Backend:      res.Plan.Backend,
+				EstCostUS:    res.Plan.EstCostUS,
+				ActualCostUS: res.ActualUS,
+				EstRows:      res.Plan.EstRows,
+			})
+		}
+		return res, nil
+	}
+	// Fixed backend: a degenerate plan — everything routes to the one
+	// engine, with no cost estimate. Queries ride the same
+	// coalescer-backed helpers as the per-op endpoints, so concurrent
+	// SQL still micro-batches.
+	start := time.Now()
+	var res plan.Result
+	switch q.Kind {
+	case plan.KindPoint:
+		found, err := s.queryPoint(ctx, q.Point, tr)
+		if err != nil {
+			return plan.Result{}, err
+		}
+		res.Found = found
+		if found {
+			res.Points = []geom.Point{q.Point}
+		}
+	case plan.KindWindow:
+		pts, err := s.queryWindow(ctx, q.Window, tr)
+		if err != nil {
+			return plan.Result{}, err
+		}
+		res.Points = plan.FinishWindow(q, pts)
+		res.Found = len(res.Points) > 0
+	case plan.KindKNN:
+		pts, err := s.queryKNN(ctx, shard.KNNQuery{Q: q.Point, K: q.K}, tr)
+		if err != nil {
+			return plan.Result{}, err
+		}
+		res.Points = pts
+		res.Found = len(pts) > 0
+	}
+	res.ActualUS = usSince(start)
+	res.Plan = plan.Plan{Backend: s.eng.Name(), Batch: 1}
+	tr.ObserveStage(obs.StageExecute, time.Since(start))
+	tr.SetPlan(obs.PlanInfo{Backend: res.Plan.Backend, ActualCostUS: res.ActualUS})
+	return res, nil
+}
+
+// usSince reports microseconds elapsed since t.
+func usSince(t time.Time) float64 {
+	return float64(time.Since(t).Nanoseconds()) / 1e3
+}
+
+// handleSQL answers POST /v1/sql: one statement in the spatial SQL
+// dialect (internal/sqlfe documents the grammar), answered as a
+// PointsResponse in the negotiated encoding. ?explain=1 (or the rsmibin
+// explain bit) returns the trace inline, plan decision included.
+func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
+	tr, explain := s.startHTTPTrace(r, OpSQL)
+	s.cfg.Observer.Finish(s.serveSQL(w, r, tr, explain))
+}
+
+func (s *Server) serveSQL(w http.ResponseWriter, r *http.Request, tr *obs.Trace, explain bool) *obs.Trace {
+	release, ok := s.admit(w)
+	if !ok {
+		return tr
+	}
+	defer release()
+	t1 := tr.MarkSince(tr.StartTime(), obs.StageAdmission)
+	ops, binExplain, ok := decodeOps(w, r, OpSQL, maxBodyBytes)
+	if !ok {
+		return tr
+	}
+	if binExplain && !explain {
+		tr, explain = s.upgradeExplain(tr, OpSQL), true
+	}
+	q, err := sqlfe.Parse(ops[0].SQL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return tr
+	}
+	tr.MarkSince(t1, obs.StageDecode)
+	start := time.Now()
+	res, err := s.executeSQL(r.Context(), q, tr)
+	if err != nil {
+		writeEngineError(w, err)
+		return tr
+	}
+	s.observeOp(opIdxSQL, transportHTTP, time.Since(start))
+	var enc time.Time
+	if tr != nil {
+		enc = time.Now()
+	}
+	var tj *TraceJSON
+	if explain {
+		tr.MarkSince(enc, obs.StageEncode)
+		tj = traceJSON(tr)
+	}
+	respondPoints(w, r, res.Points, tj)
+	if !explain {
+		tr.MarkSince(enc, obs.StageEncode)
+	}
+	return tr
+}
+
 func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
@@ -805,7 +975,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			OpInsert: s.opStats(opIdxInsert),
 			OpDelete: s.opStats(opIdxDelete),
 			"batch":  s.opStats(opIdxBatch),
+			OpSQL:    s.opStats(opIdxSQL),
 		},
+	}
+	if pe, ok := s.eng.(plannerEngine); ok {
+		c := pe.PlannerStats()
+		resp.Planner = &PlannerStatsJSON{Planned: c.Planned, Mispredicts: c.Mispredicts, Routed: c.Routed}
 	}
 	if sc, ok := s.eng.(shardCounter); ok {
 		resp.Shards = sc.NumShards()

@@ -176,75 +176,110 @@ func failover[T any](ctx context.Context, h *HedgedClient, do func(ctx context.C
 	return do(ctx, alt)
 }
 
-// PointQuery reports whether the point is indexed (hedged).
-func (h *HedgedClient) PointQuery(p geom.Point) (bool, error) {
-	return h.PointQueryContext(context.Background(), p)
+// withLegTrace is one leg's answer plus the trace that leg captured.
+type withLegTrace[T any] struct {
+	v  T
+	tj *TraceJSON
 }
 
-// PointQueryContext is PointQuery bounded by ctx.
-func (h *HedgedClient) PointQueryContext(ctx context.Context, p geom.Point) (bool, error) {
-	return hedged(ctx, h, func(ctx context.Context, c *Client) (bool, error) {
-		return c.PointQueryContext(ctx, p)
+// hedgedOpt wraps hedged for the QueryOpt verbs: each leg captures its
+// own EXPLAIN trace and only the winner's reaches the caller's
+// WithExplain destination — two legs racing one destination would be a
+// data race.
+func hedgedOpt[T any](ctx context.Context, h *HedgedClient, o *queryOpts, do func(ctx context.Context, c *Client, opts ...QueryOpt) (T, error)) (T, error) {
+	if o.explain == nil {
+		return hedged(ctx, h, func(ctx context.Context, c *Client) (T, error) {
+			return do(ctx, c)
+		})
+	}
+	r, err := hedged(ctx, h, func(ctx context.Context, c *Client) (withLegTrace[T], error) {
+		var tj *TraceJSON
+		v, err := do(ctx, c, WithExplain(&tj))
+		return withLegTrace[T]{v: v, tj: tj}, err
+	})
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	*o.explain = r.tj
+	return r.v, nil
+}
+
+// failoverOpt is hedgedOpt's write-side twin: per-attempt trace
+// capture, the succeeding attempt's trace wins.
+func failoverOpt[T any](ctx context.Context, h *HedgedClient, o *queryOpts, do func(ctx context.Context, c *Client, opts ...QueryOpt) (T, error)) (T, error) {
+	if o.explain == nil {
+		return failover(ctx, h, func(ctx context.Context, c *Client) (T, error) {
+			return do(ctx, c)
+		})
+	}
+	r, err := failover(ctx, h, func(ctx context.Context, c *Client) (withLegTrace[T], error) {
+		var tj *TraceJSON
+		v, err := do(ctx, c, WithExplain(&tj))
+		return withLegTrace[T]{v: v, tj: tj}, err
+	})
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	*o.explain = r.tj
+	return r.v, nil
+}
+
+// PointQuery reports whether the point is indexed (hedged).
+func (h *HedgedClient) PointQuery(ctx context.Context, p geom.Point, opts ...QueryOpt) (bool, error) {
+	o := applyQueryOpts(opts)
+	return hedgedOpt(ctx, h, &o, func(ctx context.Context, c *Client, qo ...QueryOpt) (bool, error) {
+		return c.PointQuery(ctx, p, qo...)
 	})
 }
 
 // WindowQuery returns the indexed points inside the window (hedged).
-func (h *HedgedClient) WindowQuery(q geom.Rect) ([]geom.Point, error) {
-	return h.WindowQueryContext(context.Background(), q)
-}
-
-// WindowQueryContext is WindowQuery bounded by ctx.
-func (h *HedgedClient) WindowQueryContext(ctx context.Context, q geom.Rect) ([]geom.Point, error) {
-	return hedged(ctx, h, func(ctx context.Context, c *Client) ([]geom.Point, error) {
-		return c.WindowQueryContext(ctx, q)
+func (h *HedgedClient) WindowQuery(ctx context.Context, q geom.Rect, opts ...QueryOpt) ([]geom.Point, error) {
+	o := applyQueryOpts(opts)
+	return hedgedOpt(ctx, h, &o, func(ctx context.Context, c *Client, qo ...QueryOpt) ([]geom.Point, error) {
+		return c.WindowQuery(ctx, q, qo...)
 	})
 }
 
 // KNN returns up to k nearest neighbours of q (hedged).
-func (h *HedgedClient) KNN(q geom.Point, k int) ([]geom.Point, error) {
-	return h.KNNContext(context.Background(), q, k)
+func (h *HedgedClient) KNN(ctx context.Context, q geom.Point, k int, opts ...QueryOpt) ([]geom.Point, error) {
+	o := applyQueryOpts(opts)
+	return hedgedOpt(ctx, h, &o, func(ctx context.Context, c *Client, qo ...QueryOpt) ([]geom.Point, error) {
+		return c.KNN(ctx, q, k, qo...)
+	})
 }
 
-// KNNContext is KNN bounded by ctx.
-func (h *HedgedClient) KNNContext(ctx context.Context, q geom.Point, k int) ([]geom.Point, error) {
-	return hedged(ctx, h, func(ctx context.Context, c *Client) ([]geom.Point, error) {
-		return c.KNNContext(ctx, q, k)
+// SQL executes one spatial SQL statement (hedged — SQL is read-only in
+// this dialect).
+func (h *HedgedClient) SQL(ctx context.Context, query string, opts ...QueryOpt) ([]geom.Point, error) {
+	o := applyQueryOpts(opts)
+	return hedgedOpt(ctx, h, &o, func(ctx context.Context, c *Client, qo ...QueryOpt) ([]geom.Point, error) {
+		return c.SQL(ctx, query, qo...)
 	})
 }
 
 // Insert adds a point (unhedged; fails over on transport errors).
-func (h *HedgedClient) Insert(p geom.Point) error {
-	return h.InsertContext(context.Background(), p)
-}
-
-// InsertContext is Insert bounded by ctx.
-func (h *HedgedClient) InsertContext(ctx context.Context, p geom.Point) error {
-	_, err := failover(ctx, h, func(ctx context.Context, c *Client) (struct{}, error) {
-		return struct{}{}, c.InsertContext(ctx, p)
+func (h *HedgedClient) Insert(ctx context.Context, p geom.Point, opts ...QueryOpt) error {
+	o := applyQueryOpts(opts)
+	_, err := failoverOpt(ctx, h, &o, func(ctx context.Context, c *Client, qo ...QueryOpt) (struct{}, error) {
+		return struct{}{}, c.Insert(ctx, p, qo...)
 	})
 	return err
 }
 
 // Delete removes a point (unhedged; fails over on transport errors).
-func (h *HedgedClient) Delete(p geom.Point) (bool, error) {
-	return h.DeleteContext(context.Background(), p)
-}
-
-// DeleteContext is Delete bounded by ctx.
-func (h *HedgedClient) DeleteContext(ctx context.Context, p geom.Point) (bool, error) {
-	return failover(ctx, h, func(ctx context.Context, c *Client) (bool, error) {
-		return c.DeleteContext(ctx, p)
+func (h *HedgedClient) Delete(ctx context.Context, p geom.Point, opts ...QueryOpt) (bool, error) {
+	o := applyQueryOpts(opts)
+	return failoverOpt(ctx, h, &o, func(ctx context.Context, c *Client, qo ...QueryOpt) (bool, error) {
+		return c.Delete(ctx, p, qo...)
 	})
 }
 
 // Batch executes an op list: hedged when every op is a read, failover
 // otherwise (a batch with writes must not run twice concurrently).
-func (h *HedgedClient) Batch(ops []BatchOp) ([]BatchResult, error) {
-	return h.BatchContext(context.Background(), ops)
-}
-
-// BatchContext is Batch bounded by ctx.
-func (h *HedgedClient) BatchContext(ctx context.Context, ops []BatchOp) ([]BatchResult, error) {
+func (h *HedgedClient) Batch(ctx context.Context, ops []BatchOp, opts ...QueryOpt) ([]BatchResult, error) {
+	o := applyQueryOpts(opts)
 	readOnly := true
 	for _, op := range ops {
 		if op.Op == OpInsert || op.Op == OpDelete {
@@ -252,11 +287,55 @@ func (h *HedgedClient) BatchContext(ctx context.Context, ops []BatchOp) ([]Batch
 			break
 		}
 	}
-	do := func(ctx context.Context, c *Client) ([]BatchResult, error) {
-		return c.BatchContext(ctx, ops)
+	do := func(ctx context.Context, c *Client, qo ...QueryOpt) ([]BatchResult, error) {
+		return c.Batch(ctx, ops, qo...)
 	}
 	if readOnly {
-		return hedged(ctx, h, do)
+		return hedgedOpt(ctx, h, &o, do)
 	}
-	return failover(ctx, h, do)
+	return failoverOpt(ctx, h, &o, do)
+}
+
+// Pre-v2 method names, kept as thin wrappers in lockstep with Client's.
+
+// PointQueryContext reports whether p is indexed.
+//
+// Deprecated: use PointQuery — the verbs are ctx-first now.
+func (h *HedgedClient) PointQueryContext(ctx context.Context, p geom.Point) (bool, error) {
+	return h.PointQuery(ctx, p)
+}
+
+// WindowQueryContext returns the indexed points inside the window.
+//
+// Deprecated: use WindowQuery — the verbs are ctx-first now.
+func (h *HedgedClient) WindowQueryContext(ctx context.Context, q geom.Rect) ([]geom.Point, error) {
+	return h.WindowQuery(ctx, q)
+}
+
+// KNNContext returns up to k nearest neighbours of q.
+//
+// Deprecated: use KNN — the verbs are ctx-first now.
+func (h *HedgedClient) KNNContext(ctx context.Context, q geom.Point, k int) ([]geom.Point, error) {
+	return h.KNN(ctx, q, k)
+}
+
+// InsertContext adds a point.
+//
+// Deprecated: use Insert — the verbs are ctx-first now.
+func (h *HedgedClient) InsertContext(ctx context.Context, p geom.Point) error {
+	return h.Insert(ctx, p)
+}
+
+// DeleteContext removes the point with exactly p's coordinates.
+//
+// Deprecated: use Delete — the verbs are ctx-first now.
+func (h *HedgedClient) DeleteContext(ctx context.Context, p geom.Point) (bool, error) {
+	return h.Delete(ctx, p)
+}
+
+// BatchContext executes a heterogeneous operation list.
+//
+// Deprecated: use Batch — the verbs are ctx-first now.
+func (h *HedgedClient) BatchContext(ctx context.Context, ops []BatchOp) ([]BatchResult, error) {
+	return h.Batch(ctx, ops)
 }

@@ -69,7 +69,7 @@ func startHTTPTargetProto(t *testing.T, eng Engine, proto Proto) *Client {
 			t.Errorf("Shutdown: %v", err)
 		}
 	})
-	return NewClientProto(hs.URL, proto)
+	return NewClient(hs.URL, WithProto(proto))
 }
 
 // deadTarget returns a client pointed at a port nothing listens on.
@@ -100,7 +100,7 @@ func TestHedgedReadHedgeWins(t *testing.T) {
 	h := NewHedgedClient([]*Client{fast, slow}, HedgedOptions{Delay: 2 * time.Millisecond})
 	t.Cleanup(h.Close)
 
-	found, err := h.PointQuery(pts[0])
+	found, err := h.PointQuery(context.Background(), pts[0])
 	if err != nil || !found {
 		t.Fatalf("hedged PointQuery = %v, %v; want true", found, err)
 	}
@@ -131,7 +131,7 @@ func TestHedgedReadFirstWins(t *testing.T) {
 	h := NewHedgedClient([]*Client{slow, fast}, HedgedOptions{Delay: time.Hour})
 	t.Cleanup(h.Close)
 
-	found, err := h.PointQuery(pts[0])
+	found, err := h.PointQuery(context.Background(), pts[0])
 	if err != nil || !found {
 		t.Fatalf("PointQuery = %v, %v; want true", found, err)
 	}
@@ -151,7 +151,7 @@ func TestHedgedReadFailover(t *testing.T) {
 	t.Cleanup(h.Close)
 
 	start := time.Now()
-	got, err := h.WindowQuery(geom.RectAround(pts[0], 0.05, 0.05))
+	got, err := h.WindowQuery(context.Background(), geom.RectAround(pts[0], 0.05, 0.05))
 	if err != nil {
 		t.Fatalf("hedged WindowQuery with one dead target: %v", err)
 	}
@@ -167,10 +167,10 @@ func TestHedgedReadFailover(t *testing.T) {
 
 	// A write fails over too.
 	ins := geom.Pt(0.606060, 0.505050)
-	if err := h.Insert(ins); err != nil {
+	if err := h.Insert(context.Background(), ins); err != nil {
 		t.Fatalf("failover Insert: %v", err)
 	}
-	if found, err := good.PointQuery(ins); err != nil || !found {
+	if found, err := good.PointQuery(context.Background(), ins); err != nil || !found {
 		t.Fatalf("failover insert not applied: %v, %v", found, err)
 	}
 }
@@ -179,7 +179,7 @@ func TestHedgedReadFailover(t *testing.T) {
 func TestHedgedBothFail(t *testing.T) {
 	h := NewHedgedClient([]*Client{deadTarget(t), deadTarget(t)}, HedgedOptions{Delay: time.Millisecond})
 	t.Cleanup(h.Close)
-	if _, err := h.PointQuery(geom.Pt(0.5, 0.5)); err == nil {
+	if _, err := h.PointQuery(context.Background(), geom.Pt(0.5, 0.5)); err == nil {
 		t.Fatal("both targets dead, yet no error")
 	}
 }
@@ -234,7 +234,7 @@ func TestHedgedConcurrentConsistent(t *testing.T) {
 				case 0:
 					p := pts[rng.Intn(len(pts))]
 					want, _ := eng.PointQueryContext(ctx, p)
-					got, err := h.PointQuery(p)
+					got, err := h.PointQuery(context.Background(), p)
 					if err != nil || got != want {
 						t.Errorf("worker %d: PointQuery(%v) = %v, %v; want %v", w, p, got, err, want)
 						return
@@ -242,7 +242,7 @@ func TestHedgedConcurrentConsistent(t *testing.T) {
 				case 1:
 					q := windows[rng.Intn(len(windows))]
 					want, _ := eng.WindowQueryContext(ctx, q)
-					got, err := h.WindowQuery(q)
+					got, err := h.WindowQuery(context.Background(), q)
 					if err != nil || len(got) != len(want) {
 						t.Errorf("worker %d: WindowQuery = %d pts, %v; want %d", w, len(got), err, len(want))
 						return
@@ -256,7 +256,7 @@ func TestHedgedConcurrentConsistent(t *testing.T) {
 				default:
 					p := pts[rng.Intn(len(pts))]
 					want, _ := eng.KNNContext(ctx, p, 5)
-					got, err := h.KNN(p, 5)
+					got, err := h.KNN(context.Background(), p, 5)
 					if err != nil || len(got) != len(want) {
 						t.Errorf("worker %d: KNN = %d pts, %v; want %d", w, len(got), err, len(want))
 						return
@@ -276,7 +276,7 @@ func TestHedgedConcurrentConsistent(t *testing.T) {
 	// Read-only batches hedge; batches carrying writes take the failover
 	// path instead (exactly-once against a single healthy target).
 	preHedges := h.Hedges()
-	res, err := h.Batch([]BatchOp{
+	res, err := h.Batch(context.Background(), []BatchOp{
 		{Op: OpPoint, X: pts[0].X, Y: pts[0].Y},
 		{Op: OpInsert, X: 0.515, Y: 0.525},
 	})
@@ -299,7 +299,7 @@ func TestHedgedStatusErrorRead(t *testing.T) {
 	t.Cleanup(h.Close)
 
 	inverted := geom.Rect{MinX: 0.9, MinY: 0.9, MaxX: 0.1, MaxY: 0.1}
-	if _, err := h.WindowQuery(inverted); !isStatusError(err) {
+	if _, err := h.WindowQuery(context.Background(), inverted); !isStatusError(err) {
 		t.Fatalf("inverted window returned %v, want *StatusError", err)
 	}
 }

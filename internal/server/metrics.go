@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sort"
 	"strings"
 	"time"
 )
@@ -255,6 +256,32 @@ func (s *Server) writeMetrics(b *bytes.Buffer) {
 	promInt(b, "rsmi_oplog_capacity", "", oplogCap)
 	promHead(b, "rsmi_oplog_headroom", "gauge", "Oplog slots before the oldest retained record is overwritten; a replica lagging by more than this must resync.")
 	promInt(b, "rsmi_oplog_headroom", "", oplogHeadroom)
+
+	// Cost-based planner routing, when the serving engine plans. The
+	// aggregate series report 0 on fixed backends so the set is
+	// scrape-stable; the per-backend routed series exist only on a
+	// planner (their label set is the planner's backend list).
+	var planned, mispredicts int64
+	var routed map[string]int64
+	if pe, ok := s.eng.(plannerEngine); ok {
+		c := pe.PlannerStats()
+		planned, mispredicts, routed = c.Planned, c.Mispredicts, c.Routed
+	}
+	promHead(b, "rsmi_plan_queries_total", "counter", "Queries routed by the cost-based planner (0 on fixed backends).")
+	promInt(b, "rsmi_plan_queries_total", "", planned)
+	promHead(b, "rsmi_plan_mispredicts_total", "counter", "Planned queries whose actual cost fell outside [est/2, 2*est].")
+	promInt(b, "rsmi_plan_mispredicts_total", "", mispredicts)
+	if len(routed) > 0 {
+		promHead(b, "rsmi_plan_routed_total", "counter", "Planned queries by chosen backend.")
+		names := make([]string, 0, len(routed))
+		for name := range routed {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			promInt(b, "rsmi_plan_routed_total", `backend="`+promEscape(name)+`"`, routed[name])
+		}
+	}
 
 	// Client-side hedging, when the embedder wired a source.
 	var hedges, hedgeWins int64

@@ -289,15 +289,15 @@ func TestMetricsExposition(t *testing.T) {
 	cl := NewClient(hs.URL)
 	defer cl.Close()
 
-	if _, err := cl.PointQuery(pts[0]); err != nil {
+	if _, err := cl.PointQuery(context.Background(), pts[0]); err != nil {
 		t.Fatal(err)
 	}
 	for _, q := range workload.Windows(pts, 4, 0.01, 1, 7) {
-		if _, err := cl.WindowQuery(q); err != nil {
+		if _, err := cl.WindowQuery(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := cl.Insert(geom.Pt(0.123, 0.456)); err != nil {
+	if err := cl.Insert(context.Background(), geom.Pt(0.123, 0.456)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -388,11 +388,11 @@ func TestMetricsScrapeUnderLoad(t *testing.T) {
 				}
 				switch i % 3 {
 				case 0:
-					cl.PointQuery(pts[(i*7+w)%len(pts)])
+					cl.PointQuery(context.Background(), pts[(i*7+w)%len(pts)])
 				case 1:
-					cl.WindowQuery(windows[i%len(windows)])
+					cl.WindowQuery(context.Background(), windows[i%len(windows)])
 				case 2:
-					cl.Insert(geom.Pt(float64(w)+float64(i)/1e6, 0.5))
+					cl.Insert(context.Background(), geom.Pt(float64(w)+float64(i)/1e6, 0.5))
 				}
 			}
 		}(w)

@@ -134,7 +134,7 @@ func NewReplica(addr string, o ReplicaOptions) *Replica {
 	return &Replica{
 		primary: addr,
 		opts:    o,
-		fwd:     NewClientOptions(addr, Options{Proto: ProtoBinary, Timeout: o.Timeout}),
+		fwd:     NewClient(addr, WithProto(ProtoBinary), WithTimeout(o.Timeout)),
 		hc:      &http.Client{Timeout: o.Timeout},
 		stop:    make(chan struct{}),
 	}
@@ -576,11 +576,11 @@ func (e replicaEngine) BatchKNNContext(ctx context.Context, qs []shard.KNNQuery)
 }
 
 func (e replicaEngine) InsertContext(ctx context.Context, p geom.Point) error {
-	return e.r.fwd.InsertContext(ctx, p)
+	return e.r.fwd.Insert(ctx, p)
 }
 
 func (e replicaEngine) DeleteContext(ctx context.Context, p geom.Point) (bool, error) {
-	return e.r.fwd.DeleteContext(ctx, p)
+	return e.r.fwd.Delete(ctx, p)
 }
 
 func (e replicaEngine) RebuildContext(ctx context.Context) error {

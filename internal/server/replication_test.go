@@ -436,11 +436,11 @@ func TestReplicaProtocolEquivalence(t *testing.T) {
 	_, repURL, repStream := startStreamServer(t, Config{Engine: rep.Engine(), Replica: rep, MaxBatch: 8})
 	clients := map[string]*Client{
 		"primary/http-json":   NewClient(p.url),
-		"primary/http-binary": NewClientProto(p.url, ProtoBinary),
-		"primary/tcp-stream":  NewClientOptions(p.streamAddr, Options{Transport: TransportTCP}),
+		"primary/http-binary": NewClient(p.url, WithProto(ProtoBinary)),
+		"primary/tcp-stream":  NewClient(p.streamAddr, WithTransport(TransportTCP)),
 		"replica/http-json":   NewClient(repURL),
-		"replica/http-binary": NewClientProto(repURL, ProtoBinary),
-		"replica/tcp-stream":  NewClientOptions(repStream, Options{Transport: TransportTCP}),
+		"replica/http-binary": NewClient(repURL, WithProto(ProtoBinary)),
+		"replica/tcp-stream":  NewClient(repStream, WithTransport(TransportTCP)),
 	}
 	t.Cleanup(func() {
 		for _, cl := range clients {
@@ -449,12 +449,12 @@ func TestReplicaProtocolEquivalence(t *testing.T) {
 	})
 
 	for _, q := range workload.Windows(pts, 6, 0.01, 1, 72) {
-		want, err := clients["primary/http-json"].WindowQuery(q)
+		want, err := clients["primary/http-json"].WindowQuery(context.Background(), q)
 		if err != nil {
 			t.Fatalf("primary WindowQuery: %v", err)
 		}
 		for name, cl := range clients {
-			got, err := cl.WindowQuery(q)
+			got, err := cl.WindowQuery(context.Background(), q)
 			if err != nil || len(got) != len(want) {
 				t.Fatalf("%s WindowQuery: %d points, %v; want %d", name, len(got), err, len(want))
 			}
@@ -466,12 +466,12 @@ func TestReplicaProtocolEquivalence(t *testing.T) {
 		}
 	}
 	for _, k := range []int{1, 9} {
-		want, err := clients["primary/http-json"].KNN(pts[5], k)
+		want, err := clients["primary/http-json"].KNN(context.Background(), pts[5], k)
 		if err != nil {
 			t.Fatalf("primary KNN: %v", err)
 		}
 		for name, cl := range clients {
-			got, err := cl.KNN(pts[5], k)
+			got, err := cl.KNN(context.Background(), pts[5], k)
 			if err != nil || len(got) != len(want) {
 				t.Fatalf("%s KNN k=%d: %d points, %v; want %d", name, k, len(got), err, len(want))
 			}
@@ -488,12 +488,12 @@ func TestReplicaProtocolEquivalence(t *testing.T) {
 		{Op: OpWindow, MinX: win.MinX, MinY: win.MinY, MaxX: win.MaxX, MaxY: win.MaxY},
 		{Op: OpKNN, X: pts[1].X, Y: pts[1].Y, K: 3},
 	}
-	want, err := clients["primary/http-json"].Batch(ops)
+	want, err := clients["primary/http-json"].Batch(context.Background(), ops)
 	if err != nil {
 		t.Fatalf("primary Batch: %v", err)
 	}
 	for name, cl := range clients {
-		got, err := cl.Batch(ops)
+		got, err := cl.Batch(context.Background(), ops)
 		if err != nil || len(got) != len(want) {
 			t.Fatalf("%s Batch: %d results, %v", name, len(got), err)
 		}
@@ -508,15 +508,15 @@ func TestReplicaProtocolEquivalence(t *testing.T) {
 	// A write sent to the replica forwards to the primary, then streams
 	// back; every client on both servers ends up seeing it.
 	ins := geom.Pt(0.717171, 0.828282)
-	if err := clients["replica/tcp-stream"].Insert(ins); err != nil {
+	if err := clients["replica/tcp-stream"].Insert(context.Background(), ins); err != nil {
 		t.Fatalf("replica stream Insert: %v", err)
 	}
-	if found, err := clients["primary/http-binary"].PointQuery(ins); err != nil || !found {
+	if found, err := clients["primary/http-binary"].PointQuery(context.Background(), ins); err != nil || !found {
 		t.Fatalf("forwarded insert not on primary: %v, %v", found, err)
 	}
 	target = p.repl.LastSeq()
 	waitRepl(t, rep, "applied forwarded write", func() bool { return rep.AppliedSeq() >= target })
-	if found, err := clients["replica/http-json"].PointQuery(ins); err != nil || !found {
+	if found, err := clients["replica/http-json"].PointQuery(context.Background(), ins); err != nil || !found {
 		t.Fatalf("forwarded insert not back on replica: %v, %v", found, err)
 	}
 

@@ -22,6 +22,7 @@
 //	POST /v1/insert   {"x","y"}                → {"ok"}
 //	POST /v1/delete   {"x","y"}                → {"deleted"}
 //	POST /v1/batch    {"ops":[…]}              → {"results":[…]}
+//	POST /v1/sql      {"query":"SELECT …"}     → {"count","points"}
 //	POST /v1/rebuild                           → 202 (409 if running)
 //	GET  /v1/stats                             → serving + index counters
 //	GET  /healthz                              → 200 "ok"
@@ -168,12 +169,13 @@ const (
 	opIdxInsert
 	opIdxDelete
 	opIdxBatch
+	opIdxSQL
 	numOps
 )
 
 // opIdxName maps an opIdx to its wire label (shared by /v1/stats keys
 // and the /metrics "op" label).
-var opIdxName = [numOps]string{OpPoint, OpWindow, OpKNN, OpInsert, OpDelete, "batch"}
+var opIdxName = [numOps]string{OpPoint, OpWindow, OpKNN, OpInsert, OpDelete, "batch", OpSQL}
 
 // transportIdx indexes the per-transport histogram tables: HTTP (JSON
 // and rsmibin share the socket semantics) vs the persistent TCP stream.
@@ -262,6 +264,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/insert", s.handleInsert)
 	s.mux.HandleFunc("/v1/delete", s.handleDelete)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/sql", s.handleSQL)
 	s.mux.HandleFunc("/v1/rebuild", s.handleRebuild)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)

@@ -61,18 +61,18 @@ func TestEndToEnd(t *testing.T) {
 	}
 
 	// Point queries: hit and miss.
-	found, err := cl.PointQuery(pts[42])
+	found, err := cl.PointQuery(context.Background(), pts[42])
 	if err != nil || !found {
 		t.Fatalf("PointQuery(indexed) = %v, %v", found, err)
 	}
-	found, err = cl.PointQuery(geom.Pt(-5, -5))
+	found, err = cl.PointQuery(context.Background(), geom.Pt(-5, -5))
 	if err != nil || found {
 		t.Fatalf("PointQuery(absent) = %v, %v", found, err)
 	}
 
 	// Window: must equal the engine's answer exactly (order included).
 	for _, q := range workload.Windows(pts, 10, 0.01, 1, 62) {
-		got, err := cl.WindowQuery(q)
+		got, err := cl.WindowQuery(context.Background(), q)
 		if err != nil {
 			t.Fatalf("WindowQuery: %v", err)
 		}
@@ -90,7 +90,7 @@ func TestEndToEnd(t *testing.T) {
 	// kNN: k results, sorted (the engine call itself is covered by the
 	// shard tests; here we check the transport preserves them).
 	q := pts[7]
-	knn, err := cl.KNN(q, 5)
+	knn, err := cl.KNN(context.Background(), q, 5)
 	if err != nil || len(knn) != 5 {
 		t.Fatalf("KNN = %d points, %v", len(knn), err)
 	}
@@ -99,22 +99,22 @@ func TestEndToEnd(t *testing.T) {
 			t.Fatalf("KNN results not sorted")
 		}
 	}
-	if got, _ := cl.KNN(q, 0); len(got) != 0 {
+	if got, _ := cl.KNN(context.Background(), q, 0); len(got) != 0 {
 		t.Fatalf("KNN k=0 returned %d points", len(got))
 	}
 
 	// Insert, query, delete round-trip over the wire.
 	p := geom.Pt(0.123456, 0.654321)
-	if err := cl.Insert(p); err != nil {
+	if err := cl.Insert(context.Background(), p); err != nil {
 		t.Fatalf("Insert: %v", err)
 	}
-	if found, _ := cl.PointQuery(p); !found {
+	if found, _ := cl.PointQuery(context.Background(), p); !found {
 		t.Fatal("inserted point not found")
 	}
-	if deleted, _ := cl.Delete(p); !deleted {
+	if deleted, _ := cl.Delete(context.Background(), p); !deleted {
 		t.Fatal("delete of inserted point failed")
 	}
-	if deleted, _ := cl.Delete(p); deleted {
+	if deleted, _ := cl.Delete(context.Background(), p); deleted {
 		t.Fatal("second delete succeeded")
 	}
 
@@ -149,7 +149,7 @@ func TestBatchEndpoint(t *testing.T) {
 		{Op: OpDelete, X: -9, Y: -9},
 		{Op: OpPoint, X: -9, Y: -9},
 	}
-	res, err := cl.Batch(ops)
+	res, err := cl.Batch(context.Background(), ops)
 	if err != nil {
 		t.Fatalf("Batch: %v", err)
 	}
@@ -176,7 +176,7 @@ func TestBatchEndpoint(t *testing.T) {
 		t.Fatal("batch point query found absent point")
 	}
 	// The batch's insert is visible afterwards.
-	if found, _ := cl.PointQuery(ins); !found {
+	if found, _ := cl.PointQuery(context.Background(), ins); !found {
 		t.Fatal("batch insert not visible")
 	}
 }
@@ -263,7 +263,7 @@ func TestAdmissionControl(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := cl.PointQuery(pts[0]); err != nil {
+			if _, err := cl.PointQuery(context.Background(), pts[0]); err != nil {
 				t.Errorf("held query failed: %v", err)
 			}
 		}()
@@ -284,7 +284,7 @@ func TestAdmissionControl(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 
-	_, err := cl.PointQuery(pts[1])
+	_, err := cl.PointQuery(context.Background(), pts[1])
 	se, ok := err.(*StatusError)
 	if !ok || se.Code != http.StatusTooManyRequests {
 		t.Fatalf("overflow request: got %v, want 429", err)
@@ -296,7 +296,7 @@ func TestAdmissionControl(t *testing.T) {
 	if st.Shed == 0 {
 		t.Fatalf("shed counter did not advance: %+v", st)
 	}
-	if _, err := cl.PointQuery(pts[2]); err != nil {
+	if _, err := cl.PointQuery(context.Background(), pts[2]); err != nil {
 		t.Fatalf("request after release failed: %v", err)
 	}
 }

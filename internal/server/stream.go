@@ -59,6 +59,7 @@ import (
 	"rsmi/internal/geom"
 	"rsmi/internal/obs"
 	"rsmi/internal/shard"
+	"rsmi/internal/sqlfe"
 )
 
 const (
@@ -435,6 +436,21 @@ func (s *Server) executeSingle(ctx context.Context, op BatchOp, tr *obs.Trace) (
 		if tr != nil {
 			tr.AddAccesses(s.eng.Accesses() - before)
 		}
+	case OpSQL:
+		// The op was validated, so this parse cannot fail; executeSQL
+		// observes the plan and execute stages itself — return directly
+		// rather than falling through to the shared execute mark.
+		q, perr := sqlfe.Parse(op.SQL)
+		if perr != nil {
+			return nil, perr
+		}
+		res, serr := s.executeSQL(ctx, q, tr)
+		if serr != nil {
+			return nil, serr
+		}
+		a.pts = res.Points
+		s.observeOp(opIdxSQL, transportStream, time.Since(start))
+		return []batchAnswer{a}, nil
 	}
 	if err != nil {
 		return nil, err

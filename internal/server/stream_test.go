@@ -48,8 +48,8 @@ func TestStreamProtocolEquivalence(t *testing.T) {
 	_, httpURL, streamAddr := startStreamServer(t, Config{Engine: eng, MaxBatch: 8})
 	clients := map[string]*Client{
 		"http-json":   NewClient(httpURL),
-		"http-binary": NewClientProto(httpURL, ProtoBinary),
-		"tcp-stream":  NewClientOptions(streamAddr, Options{Transport: TransportTCP}),
+		"http-binary": NewClient(httpURL, WithProto(ProtoBinary)),
+		"tcp-stream":  NewClient(streamAddr, WithTransport(TransportTCP)),
 	}
 	t.Cleanup(func() {
 		for _, cl := range clients {
@@ -62,12 +62,12 @@ func TestStreamProtocolEquivalence(t *testing.T) {
 
 	// Point queries: hits and misses.
 	for _, p := range []geom.Point{pts[0], pts[99], geom.Pt(-3, -3)} {
-		want, err := clients["http-json"].PointQuery(p)
+		want, err := clients["http-json"].PointQuery(context.Background(), p)
 		if err != nil {
 			t.Fatalf("json PointQuery: %v", err)
 		}
 		for name, cl := range clients {
-			got, err := cl.PointQuery(p)
+			got, err := cl.PointQuery(context.Background(), p)
 			if err != nil || got != want {
 				t.Fatalf("%s PointQuery(%v) = %v, %v; want %v", name, p, got, err, want)
 			}
@@ -76,12 +76,12 @@ func TestStreamProtocolEquivalence(t *testing.T) {
 
 	// Windows: exact same point lists, order included.
 	for _, q := range workload.Windows(pts, 10, 0.01, 1, 64) {
-		want, err := clients["http-json"].WindowQuery(q)
+		want, err := clients["http-json"].WindowQuery(context.Background(), q)
 		if err != nil {
 			t.Fatalf("json WindowQuery: %v", err)
 		}
 		for name, cl := range clients {
-			got, err := cl.WindowQuery(q)
+			got, err := cl.WindowQuery(context.Background(), q)
 			if err != nil || len(got) != len(want) {
 				t.Fatalf("%s WindowQuery: %d points, %v; want %d", name, len(got), err, len(want))
 			}
@@ -95,12 +95,12 @@ func TestStreamProtocolEquivalence(t *testing.T) {
 
 	// kNN, including the k<=0 edge every transport must answer empty.
 	for _, k := range []int{-1, 0, 1, 7} {
-		want, err := clients["http-json"].KNN(pts[5], k)
+		want, err := clients["http-json"].KNN(context.Background(), pts[5], k)
 		if err != nil {
 			t.Fatalf("json KNN: %v", err)
 		}
 		for name, cl := range clients {
-			got, err := cl.KNN(pts[5], k)
+			got, err := cl.KNN(context.Background(), pts[5], k)
 			if err != nil || len(got) != len(want) {
 				t.Fatalf("%s KNN k=%d: %d points, %v; want %d", name, k, len(got), err, len(want))
 			}
@@ -114,16 +114,16 @@ func TestStreamProtocolEquivalence(t *testing.T) {
 
 	// Writes over the stream are visible over HTTP and vice versa.
 	ps := geom.Pt(0.41421, 0.73205)
-	if err := clients["tcp-stream"].Insert(ps); err != nil {
+	if err := clients["tcp-stream"].Insert(context.Background(), ps); err != nil {
 		t.Fatalf("stream Insert: %v", err)
 	}
-	if found, _ := clients["http-json"].PointQuery(ps); !found {
+	if found, _ := clients["http-json"].PointQuery(context.Background(), ps); !found {
 		t.Fatal("stream insert not visible over HTTP JSON")
 	}
-	if deleted, _ := clients["http-binary"].Delete(ps); !deleted {
+	if deleted, _ := clients["http-binary"].Delete(context.Background(), ps); !deleted {
 		t.Fatal("HTTP delete of stream insert failed")
 	}
-	if found, _ := clients["tcp-stream"].PointQuery(ps); found {
+	if found, _ := clients["tcp-stream"].PointQuery(context.Background(), ps); found {
 		t.Fatal("HTTP delete not visible over the stream")
 	}
 
@@ -135,12 +135,12 @@ func TestStreamProtocolEquivalence(t *testing.T) {
 		{Op: OpKNN, X: pts[1].X, Y: pts[1].Y, K: 3},
 		{Op: OpDelete, X: -9, Y: -9},
 	}
-	want, err := clients["http-json"].Batch(ops)
+	want, err := clients["http-json"].Batch(context.Background(), ops)
 	if err != nil {
 		t.Fatalf("json Batch: %v", err)
 	}
 	for name, cl := range clients {
-		got, err := cl.Batch(ops)
+		got, err := cl.Batch(context.Background(), ops)
 		if err != nil || len(got) != len(want) {
 			t.Fatalf("%s Batch: %d results, %v", name, len(got), err)
 		}
@@ -160,12 +160,12 @@ func TestStreamProtocolEquivalence(t *testing.T) {
 
 	// Semantically invalid requests surface as *StatusError with HTTP
 	// codes over the stream too, and the connection stays usable.
-	if _, err := clients["tcp-stream"].WindowQuery(geom.Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0}); err == nil {
+	if _, err := clients["tcp-stream"].WindowQuery(context.Background(), geom.Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0}); err == nil {
 		t.Fatal("inverted window accepted over the stream")
 	} else if se, ok := err.(*StatusError); !ok || se.Code != 400 {
 		t.Fatalf("inverted window over the stream: %v", err)
 	}
-	if found, err := clients["tcp-stream"].PointQuery(pts[0]); err != nil || !found {
+	if found, err := clients["tcp-stream"].PointQuery(context.Background(), pts[0]); err != nil || !found {
 		t.Fatalf("stream connection unusable after a 400: %v, %v", found, err)
 	}
 
@@ -191,7 +191,7 @@ func TestStreamProtocolEquivalence(t *testing.T) {
 func TestStreamPipelinedConcurrent(t *testing.T) {
 	eng, pts := testEngine(t)
 	_, _, streamAddr := startStreamServer(t, Config{Engine: eng, MaxBatch: 16})
-	cl := NewClientOptions(streamAddr, Options{Transport: TransportTCP, StreamConns: 2})
+	cl := NewClient(streamAddr, WithTransport(TransportTCP), WithStreamConns(2))
 	defer cl.Close()
 
 	const goroutines = 16
@@ -206,7 +206,7 @@ func TestStreamPipelinedConcurrent(t *testing.T) {
 				if g%2 == 0 {
 					// Indexed point: must be found.
 					p := pts[(g*perG+i)%len(pts)]
-					found, err := cl.PointQuery(p)
+					found, err := cl.PointQuery(context.Background(), p)
 					if err != nil || !found {
 						errs <- fmt.Errorf("g%d i%d: PointQuery(indexed) = %v, %v", g, i, found, err)
 						return
@@ -214,7 +214,7 @@ func TestStreamPipelinedConcurrent(t *testing.T) {
 				} else {
 					// Absent point: must not be found.
 					p := geom.Pt(-1-float64(g), -1-float64(i))
-					found, err := cl.PointQuery(p)
+					found, err := cl.PointQuery(context.Background(), p)
 					if err != nil || found {
 						errs <- fmt.Errorf("g%d i%d: PointQuery(absent) = %v, %v", g, i, found, err)
 						return
@@ -313,9 +313,9 @@ func TestStreamMalformedFrames(t *testing.T) {
 	}
 
 	// The server still serves fresh connections afterwards.
-	cl := NewClientOptions(streamAddr, Options{Transport: TransportTCP})
+	cl := NewClient(streamAddr, WithTransport(TransportTCP))
 	defer cl.Close()
-	if found, err := cl.PointQuery(pts[0]); err != nil || !found {
+	if found, err := cl.PointQuery(context.Background(), pts[0]); err != nil || !found {
 		t.Fatalf("server unusable after malformed connections: %v, %v", found, err)
 	}
 }
@@ -343,9 +343,9 @@ func TestStreamMidRequestDisconnect(t *testing.T) {
 	c.Close()
 
 	// Another client is unaffected.
-	cl := NewClientOptions(streamAddr, Options{Transport: TransportTCP})
+	cl := NewClient(streamAddr, WithTransport(TransportTCP))
 	defer cl.Close()
-	if found, err := cl.PointQuery(pts[0]); err != nil || !found {
+	if found, err := cl.PointQuery(context.Background(), pts[0]); err != nil || !found {
 		t.Fatalf("server unusable after mid-request disconnect: %v, %v", found, err)
 	}
 }
@@ -364,7 +364,7 @@ func TestStreamShutdownDrains(t *testing.T) {
 	}
 	go s.ServeStream(l)
 
-	cl := NewClientOptions(l.Addr().String(), Options{Transport: TransportTCP})
+	cl := NewClient(l.Addr().String(), WithTransport(TransportTCP))
 	defer cl.Close()
 	type answer struct {
 		found bool
@@ -372,7 +372,7 @@ func TestStreamShutdownDrains(t *testing.T) {
 	}
 	res := make(chan answer, 1)
 	go func() {
-		found, err := cl.PointQuery(pts[0])
+		found, err := cl.PointQuery(context.Background(), pts[0])
 		res <- answer{found, err}
 	}()
 	// Wait until the request is admitted and blocked in the engine.
@@ -402,9 +402,9 @@ func TestStreamShutdownDrains(t *testing.T) {
 		t.Fatalf("Shutdown: %v", err)
 	}
 	// New connections are refused after shutdown.
-	cl2 := NewClientOptions(l.Addr().String(), Options{Transport: TransportTCP, Timeout: time.Second})
+	cl2 := NewClient(l.Addr().String(), WithTransport(TransportTCP), WithTimeout(time.Second))
 	defer cl2.Close()
-	if _, err := cl2.PointQuery(pts[0]); err == nil {
+	if _, err := cl2.PointQuery(context.Background(), pts[0]); err == nil {
 		t.Fatal("request succeeded after stream shutdown")
 	}
 }
@@ -416,10 +416,10 @@ func TestStreamClientTimeout(t *testing.T) {
 	eng, pts := testEngine(t)
 	blocking := &blockingEngine{Engine: eng, gate: make(chan struct{})}
 	_, _, streamAddr := startStreamServer(t, Config{Engine: blocking, MaxBatch: 1})
-	cl := NewClientOptions(streamAddr, Options{Transport: TransportTCP, Timeout: 100 * time.Millisecond})
+	cl := NewClient(streamAddr, WithTransport(TransportTCP), WithTimeout(100*time.Millisecond))
 	defer cl.Close()
 	start := time.Now()
-	_, err := cl.PointQuery(pts[0])
+	_, err := cl.PointQuery(context.Background(), pts[0])
 	if err == nil {
 		t.Fatal("blocked request did not time out")
 	}

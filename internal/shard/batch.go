@@ -39,6 +39,9 @@ type batchRef struct {
 // BatchPointQuery answers one point query per element of qs, grouping the
 // probes per shard so each shard's lock is taken once per batch. Answers
 // are exact and identical to calling PointQuery per element.
+//
+// Deprecated: use BatchPointQueryContext instead; the context-free form wraps
+// it with context.Background().
 func (s *Sharded) BatchPointQuery(qs []geom.Point) []bool {
 	out, _ := s.batchPointQuery(context.Background(), qs)
 	return out
@@ -92,6 +95,9 @@ func (s *Sharded) batchPointQuery(ctx context.Context, qs []geom.Point) ([]bool,
 // batch. Every answer equals the one WindowQuery would return (same
 // approximate no-false-positive semantics, same deterministic shard-order
 // concatenation).
+//
+// Deprecated: use BatchWindowQueryContext instead; the context-free form wraps
+// it with context.Background().
 func (s *Sharded) BatchWindowQuery(qs []geom.Rect) [][]geom.Point {
 	out, _ := s.batchWindowQuery(context.Background(), qs)
 	return out
@@ -149,6 +155,9 @@ func (s *Sharded) batchWindowQuery(ctx context.Context, qs []geom.Rect) ([][]geo
 // merely opportunistic — but answers carry the same approximation
 // guarantees as KNN: real indexed points, closest first, at most
 // min(k, Len) of them (k <= 0 yields nil).
+//
+// Deprecated: use BatchKNNContext instead; the context-free form wraps
+// it with context.Background().
 func (s *Sharded) BatchKNN(qs []KNNQuery) [][]geom.Point {
 	out, _ := s.batchKNN(context.Background(), qs)
 	return out

@@ -296,6 +296,9 @@ func (s *Sharded) pointCandidates(p geom.Point) []*state {
 // PointQuery reports whether a point with q's exact coordinates is indexed.
 // Exact: every indexed point lies inside its shard's region, so the
 // candidate set always includes the owning shard.
+//
+// Deprecated: use PointQueryContext instead; the context-free form wraps
+// it with context.Background().
 func (s *Sharded) PointQuery(q geom.Point) bool {
 	for _, sh := range s.pointCandidates(q) {
 		sh.mu.RLock()
@@ -313,6 +316,9 @@ func (s *Sharded) PointQuery(q geom.Point) bool {
 // Under space partitioning the owner is the shard whose region needs the
 // least enlargement to cover p (ties to the smaller region, then the lower
 // shard id), and the chosen region is extended.
+//
+// Deprecated: use InsertContext instead; the context-free form wraps
+// it with context.Background().
 func (s *Sharded) Insert(p geom.Point) {
 	var sh *state
 	if s.opts.Partitioning == Hash {
@@ -355,6 +361,9 @@ func (s *Sharded) routeSpace(p geom.Point) *state {
 
 // Delete removes the point with p's exact coordinates from whichever shard
 // holds it.
+//
+// Deprecated: use DeleteContext instead; the context-free form wraps
+// it with context.Background().
 func (s *Sharded) Delete(p geom.Point) bool {
 	for _, sh := range s.pointCandidates(p) {
 		sh.mu.Lock()
@@ -430,6 +439,9 @@ func (s *Sharded) fanOut(ctx context.Context, cands []*state, fn func(i int, sh 
 // shard order (deterministic for a given shard layout). Like the
 // single-index RSMI, the answer has no false positives and may miss points
 // (§4.2 semantics); ExactWindow is the exact variant.
+//
+// Deprecated: use WindowQueryContext instead; the context-free form wraps
+// it with context.Background().
 func (s *Sharded) WindowQuery(q geom.Rect) []geom.Point {
 	out, _ := s.gatherWindow(context.Background(), nil, q,
 		func(sh *state) []geom.Point { return sh.idx.WindowQuery(q) })
@@ -438,6 +450,9 @@ func (s *Sharded) WindowQuery(q geom.Rect) []geom.Point {
 
 // ExactWindow returns the exact window answer (per-shard RSMIa traversal;
 // the union over a partition is exact).
+//
+// Deprecated: use ExactWindowContext instead; the context-free form wraps
+// it with context.Background().
 func (s *Sharded) ExactWindow(q geom.Rect) []geom.Point {
 	out, _ := s.gatherWindow(context.Background(), nil, q,
 		func(sh *state) []geom.Point { return sh.idx.ExactWindow(q) })
@@ -498,6 +513,9 @@ func (s *Sharded) shardsByDist(q geom.Point) ([]*state, []float64) {
 // shards — prunes shards whose region cannot improve the answer. Results
 // carry the same approximation guarantees as the single-index RSMI (§4.3);
 // ExactKNN is the exact variant.
+//
+// Deprecated: use KNNContext instead; the context-free form wraps
+// it with context.Background().
 func (s *Sharded) KNN(q geom.Point, k int) []geom.Point {
 	out, _ := s.knnFanOut(context.Background(), q, k,
 		func(sh *state, k int) []geom.Point { return sh.idx.KNN(q, k) })
@@ -508,6 +526,9 @@ func (s *Sharded) KNN(q geom.Point, k int) []geom.Point {
 // answers exactly, shards are pruned only when their region provably cannot
 // hold a closer point, and the merged top-k over a partition of the data is
 // therefore exact.
+//
+// Deprecated: use ExactKNNContext instead; the context-free form wraps
+// it with context.Background().
 func (s *Sharded) ExactKNN(q geom.Point, k int) []geom.Point {
 	out, _ := s.knnFanOut(context.Background(), q, k,
 		func(sh *state, k int) []geom.Point { return sh.idx.ExactKNN(q, k) })
@@ -631,6 +652,9 @@ func (b *sharedBound) sorted() []geom.Point {
 // rebuilds under sustained updates). Each shard keeps its current points
 // (the partition assignment does not change) and its region is recomputed,
 // tightening routing after deletions.
+//
+// Deprecated: use RebuildContext instead; the context-free form wraps
+// it with context.Background().
 func (s *Sharded) Rebuild() {
 	_ = s.rebuild(context.Background())
 }

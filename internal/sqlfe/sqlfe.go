@@ -1,0 +1,421 @@
+// Package sqlfe is the spatial SQL front-end: a hand-written lexer and
+// recursive-descent parser for a minimal dialect over point tables,
+// compiled into plan.Query values the cost-based planner executes.
+//
+// Grammar (keywords case-insensitive; `pt` is any identifier naming the
+// point column):
+//
+//	query    = "SELECT" "*" "FROM" ident
+//	           [ "WHERE" predicate ]
+//	           [ "ORDER" "BY" "ST_Distance" "(" ident "," point ")" [ "ASC" ] ]
+//	           [ "LIMIT" int ] ;
+//	predicate = "ST_Within" "(" ident "," box ")"
+//	          | "ST_Equals" "(" ident "," point ")" ;
+//	box      = "BOX" "(" num "," num "," num "," num ")" ;   // minx miny maxx maxy
+//	point    = "POINT" "(" num "," num ")" ;
+//
+// Query shapes:
+//
+//	WHERE ST_Equals(pt, POINT(x, y))                    → point probe
+//	WHERE ST_Within(pt, BOX(…))                         → window query
+//	WHERE ST_Within(pt, BOX(…)) ORDER BY … LIMIT k      → window, distance-ordered, top-k
+//	WHERE ST_Within(pt, BOX(…)) LIMIT k                 → window, truncated
+//	ORDER BY ST_Distance(pt, POINT(x, y)) LIMIT k       → kNN (no WHERE)
+package sqlfe
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rsmi/internal/geom"
+	"rsmi/internal/plan"
+)
+
+// ParseError is a syntax or shape error in a SQL query. The serving
+// layer maps it to HTTP 400.
+type ParseError struct {
+	// Pos is the byte offset in the query where the error was detected.
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql: %s (at offset %d)", e.Msg, e.Pos)
+}
+
+// Parse compiles one SQL query into a plan.Query. Errors are always
+// *ParseError.
+func Parse(query string) (plan.Query, error) {
+	p := &parser{lex: lexer{src: query}}
+	q, err := p.parse()
+	if err != nil {
+		return plan.Query{}, err
+	}
+	return q, nil
+}
+
+// Token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokStar
+)
+
+type token struct {
+	kind tokKind
+	pos  int
+	text string
+	num  float64
+}
+
+// lexer produces tokens on demand; it never allocates beyond the token
+// text (a substring of the source).
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) *ParseError {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) next() (token, *ParseError) {
+	for l.pos < len(l.src) {
+		switch c := l.src[l.pos]; {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '(':
+			l.pos++
+			return token{kind: tokLParen, pos: l.pos - 1, text: "("}, nil
+		case c == ')':
+			l.pos++
+			return token{kind: tokRParen, pos: l.pos - 1, text: ")"}, nil
+		case c == ',':
+			l.pos++
+			return token{kind: tokComma, pos: l.pos - 1, text: ","}, nil
+		case c == '*':
+			l.pos++
+			return token{kind: tokStar, pos: l.pos - 1, text: "*"}, nil
+		case c == ';':
+			// A trailing semicolon terminates the statement.
+			l.pos = len(l.src)
+			return token{kind: tokEOF, pos: l.pos}, nil
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+				l.pos++
+			}
+			return token{kind: tokIdent, pos: start, text: l.src[start:l.pos]}, nil
+		case isNumberStart(c, l.peekByte(1)):
+			start := l.pos
+			l.pos++ // sign or first digit/dot
+			for l.pos < len(l.src) && isNumberChar(l.src[l.pos]) {
+				l.pos++
+			}
+			text := l.src[start:l.pos]
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return token{}, l.errf(start, "bad number %q", text)
+			}
+			return token{kind: tokNumber, pos: start, text: text, num: v}, nil
+		default:
+			return token{}, l.errf(l.pos, "unexpected character %q", string(c))
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos}, nil
+}
+
+func (l *lexer) peekByte(off int) byte {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isNumberStart(c, next byte) bool {
+	if c >= '0' && c <= '9' {
+		return true
+	}
+	if c == '.' {
+		return next >= '0' && next <= '9'
+	}
+	if c == '-' || c == '+' {
+		return (next >= '0' && next <= '9') || next == '.'
+	}
+	return false
+}
+
+func isNumberChar(c byte) bool {
+	return (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+'
+}
+
+// parser is one-token-lookahead recursive descent over the lexer.
+type parser struct {
+	lex lexer
+	tok token
+}
+
+func (p *parser) advance() *ParseError {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// keyword reports whether the current token is the given keyword
+// (case-insensitive identifier match).
+func (p *parser) keyword(kw string) bool {
+	return p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+// expectKeyword consumes a required keyword.
+func (p *parser) expectKeyword(kw string) *ParseError {
+	if !p.keyword(kw) {
+		return p.errf("expected %s, got %s", strings.ToUpper(kw), p.got())
+	}
+	return p.advance()
+}
+
+// expect consumes a required punctuation token.
+func (p *parser) expect(kind tokKind, what string) *ParseError {
+	if p.tok.kind != kind {
+		return p.errf("expected %s, got %s", what, p.got())
+	}
+	return p.advance()
+}
+
+// expectIdent consumes any identifier (the point-column name — the
+// dialect has a single implicit geometry column, so any name is
+// accepted).
+func (p *parser) expectIdent(what string) *ParseError {
+	if p.tok.kind != tokIdent {
+		return p.errf("expected %s, got %s", what, p.got())
+	}
+	return p.advance()
+}
+
+func (p *parser) got() string {
+	if p.tok.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", p.tok.text)
+}
+
+func (p *parser) errf(format string, args ...any) *ParseError {
+	return &ParseError{Pos: p.tok.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) number() (float64, *ParseError) {
+	if p.tok.kind != tokNumber {
+		return 0, p.errf("expected number, got %s", p.got())
+	}
+	v := p.tok.num
+	if err := p.advance(); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// point parses POINT(x, y).
+func (p *parser) point() (geom.Point, *ParseError) {
+	if err := p.expectKeyword("point"); err != nil {
+		return geom.Point{}, err
+	}
+	if err := p.expect(tokLParen, `"("`); err != nil {
+		return geom.Point{}, err
+	}
+	x, err := p.number()
+	if err != nil {
+		return geom.Point{}, err
+	}
+	if err := p.expect(tokComma, `","`); err != nil {
+		return geom.Point{}, err
+	}
+	y, err := p.number()
+	if err != nil {
+		return geom.Point{}, err
+	}
+	if err := p.expect(tokRParen, `")"`); err != nil {
+		return geom.Point{}, err
+	}
+	return geom.Pt(x, y), nil
+}
+
+// box parses BOX(minx, miny, maxx, maxy); corners may come in any
+// order (NewRect normalises).
+func (p *parser) box() (geom.Rect, *ParseError) {
+	if err := p.expectKeyword("box"); err != nil {
+		return geom.Rect{}, err
+	}
+	if err := p.expect(tokLParen, `"("`); err != nil {
+		return geom.Rect{}, err
+	}
+	var coords [4]float64
+	for i := range coords {
+		if i > 0 {
+			if err := p.expect(tokComma, `","`); err != nil {
+				return geom.Rect{}, err
+			}
+		}
+		v, err := p.number()
+		if err != nil {
+			return geom.Rect{}, err
+		}
+		coords[i] = v
+	}
+	if err := p.expect(tokRParen, `")"`); err != nil {
+		return geom.Rect{}, err
+	}
+	return geom.NewRect(geom.Pt(coords[0], coords[1]), geom.Pt(coords[2], coords[3])), nil
+}
+
+// geoCall parses FUNC(pt, <arg>) where parseArg parses the second
+// argument.
+func geoCall[T any](p *parser, fn string, parseArg func() (T, *ParseError)) (T, *ParseError) {
+	var zero T
+	if err := p.expectKeyword(fn); err != nil {
+		return zero, err
+	}
+	if err := p.expect(tokLParen, `"("`); err != nil {
+		return zero, err
+	}
+	if err := p.expectIdent("point column"); err != nil {
+		return zero, err
+	}
+	if err := p.expect(tokComma, `","`); err != nil {
+		return zero, err
+	}
+	v, err := parseArg()
+	if err != nil {
+		return zero, err
+	}
+	if err := p.expect(tokRParen, `")"`); err != nil {
+		return zero, err
+	}
+	return v, nil
+}
+
+func (p *parser) parse() (plan.Query, *ParseError) {
+	var q plan.Query
+	if err := p.advance(); err != nil {
+		return q, err
+	}
+	if err := p.expectKeyword("select"); err != nil {
+		return q, err
+	}
+	if err := p.expect(tokStar, `"*"`); err != nil {
+		return q, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return q, err
+	}
+	if err := p.expectIdent("table name"); err != nil {
+		return q, err
+	}
+
+	var (
+		hasWhere, hasOrder bool
+		isEquals           bool
+		orderCentre        geom.Point
+	)
+	if p.keyword("where") {
+		if err := p.advance(); err != nil {
+			return q, err
+		}
+		hasWhere = true
+		switch {
+		case p.keyword("st_within"):
+			r, err := geoCall(p, "st_within", p.box)
+			if err != nil {
+				return q, err
+			}
+			q.Kind = plan.KindWindow
+			q.Window = r
+		case p.keyword("st_equals"):
+			pt, err := geoCall(p, "st_equals", p.point)
+			if err != nil {
+				return q, err
+			}
+			q.Kind = plan.KindPoint
+			q.Point = pt
+			isEquals = true
+		default:
+			return q, p.errf("expected ST_Within or ST_Equals, got %s", p.got())
+		}
+	}
+	if p.keyword("order") {
+		if err := p.advance(); err != nil {
+			return q, err
+		}
+		if err := p.expectKeyword("by"); err != nil {
+			return q, err
+		}
+		c, err := geoCall(p, "st_distance", p.point)
+		if err != nil {
+			return q, err
+		}
+		if p.keyword("asc") {
+			if err := p.advance(); err != nil {
+				return q, err
+			}
+		}
+		hasOrder = true
+		orderCentre = c
+	}
+	limit := 0
+	if p.keyword("limit") {
+		if err := p.advance(); err != nil {
+			return q, err
+		}
+		v, err := p.number()
+		if err != nil {
+			return q, err
+		}
+		if v != float64(int(v)) || v < 1 {
+			return q, p.errf("LIMIT must be a positive integer")
+		}
+		limit = int(v)
+	}
+	if p.tok.kind != tokEOF {
+		return q, p.errf("unexpected trailing input %s", p.got())
+	}
+
+	// Assemble the query shape.
+	switch {
+	case isEquals:
+		if hasOrder {
+			return q, p.errf("ORDER BY is meaningless with ST_Equals")
+		}
+	case hasWhere: // ST_Within window
+		q.OrderByDistance = hasOrder
+		q.Point = orderCentre
+		q.Limit = limit
+	case hasOrder: // pure kNN: ORDER BY distance + LIMIT, no WHERE
+		if limit == 0 {
+			return q, p.errf("ORDER BY ST_Distance without WHERE requires LIMIT k")
+		}
+		q.Kind = plan.KindKNN
+		q.Point = orderCentre
+		q.K = limit
+	default:
+		return q, p.errf("full-table scans are not supported: add WHERE or ORDER BY … LIMIT")
+	}
+	return q, nil
+}

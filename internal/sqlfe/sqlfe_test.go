@@ -1,0 +1,128 @@
+package sqlfe
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rsmi/internal/geom"
+	"rsmi/internal/plan"
+)
+
+func TestParseShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		sql  string
+		want plan.Query
+	}{
+		{
+			"point probe",
+			"SELECT * FROM points WHERE ST_Equals(pt, POINT(0.5, 0.25))",
+			plan.Query{Kind: plan.KindPoint, Point: geom.Pt(0.5, 0.25)},
+		},
+		{
+			"window",
+			"SELECT * FROM points WHERE ST_Within(pt, BOX(0.1, 0.2, 0.3, 0.4))",
+			plan.Query{Kind: plan.KindWindow, Window: geom.Rect{MinX: 0.1, MinY: 0.2, MaxX: 0.3, MaxY: 0.4}},
+		},
+		{
+			"window truncated",
+			"SELECT * FROM points WHERE ST_Within(pt, BOX(0, 0, 1, 1)) LIMIT 7",
+			plan.Query{Kind: plan.KindWindow, Window: geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, Limit: 7},
+		},
+		{
+			"ordered window",
+			"SELECT * FROM points WHERE ST_Within(pt, BOX(0, 0, 1, 1)) ORDER BY ST_Distance(pt, POINT(0.5, 0.5)) LIMIT 3",
+			plan.Query{
+				Kind: plan.KindWindow, Window: geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
+				Point: geom.Pt(0.5, 0.5), OrderByDistance: true, Limit: 3,
+			},
+		},
+		{
+			"knn",
+			"SELECT * FROM points ORDER BY ST_Distance(pt, POINT(0.9, 0.1)) LIMIT 10",
+			plan.Query{Kind: plan.KindKNN, Point: geom.Pt(0.9, 0.1), K: 10},
+		},
+		{
+			"case-insensitive keywords, trailing semicolon",
+			"select * from t where st_within(location, box(-1, -2, 3, 4)) order by st_distance(location, point(0, 0)) asc limit 2;",
+			plan.Query{
+				Kind: plan.KindWindow, Window: geom.Rect{MinX: -1, MinY: -2, MaxX: 3, MaxY: 4},
+				Point: geom.Pt(0, 0), OrderByDistance: true, Limit: 2,
+			},
+		},
+		{
+			"scientific notation",
+			"SELECT * FROM points WHERE ST_Equals(pt, POINT(5e-1, 2.5E-1))",
+			plan.Query{Kind: plan.KindPoint, Point: geom.Pt(0.5, 0.25)},
+		},
+		{
+			"box corners normalise",
+			"SELECT * FROM points WHERE ST_Within(pt, BOX(0.3, 0.4, 0.1, 0.2))",
+			plan.Query{Kind: plan.KindWindow, Window: geom.Rect{MinX: 0.1, MinY: 0.2, MaxX: 0.3, MaxY: 0.4}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Parse(tc.sql)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tc.sql, err)
+			}
+			if got != tc.want {
+				t.Fatalf("Parse(%q) = %+v, want %+v", tc.sql, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		sql  string
+		msg  string // substring required in the error
+	}{
+		{"empty", "", "SELECT"},
+		{"not select", "DELETE FROM points", "SELECT"},
+		{"missing star", "SELECT pt FROM points", "*"},
+		{"missing from", "SELECT * points", "FROM"},
+		{"bare select", "SELECT * FROM points", ""},
+		{"unknown predicate", "SELECT * FROM points WHERE ST_Overlaps(pt, BOX(0,0,1,1))", ""},
+		{"box arity", "SELECT * FROM points WHERE ST_Within(pt, BOX(0, 0, 1))", ""},
+		{"order by on point probe", "SELECT * FROM points WHERE ST_Equals(pt, POINT(0,0)) ORDER BY ST_Distance(pt, POINT(0,0)) LIMIT 1", "ST_Equals"},
+		{"knn without limit", "SELECT * FROM points ORDER BY ST_Distance(pt, POINT(0, 0))", "LIMIT"},
+		{"zero limit", "SELECT * FROM points ORDER BY ST_Distance(pt, POINT(0,0)) LIMIT 0", ""},
+		{"trailing garbage", "SELECT * FROM points WHERE ST_Equals(pt, POINT(0,0)) GROUP BY pt", ""},
+		{"bad number", "SELECT * FROM points WHERE ST_Equals(pt, POINT(zero, 0))", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.sql)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error", tc.sql)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse(%q) error is %T, want *ParseError", tc.sql, err)
+			}
+			if pe.Pos < 0 || pe.Pos > len(tc.sql) {
+				t.Fatalf("Parse(%q): error position %d outside the query", tc.sql, pe.Pos)
+			}
+			if tc.msg != "" && !strings.Contains(pe.Msg, tc.msg) {
+				t.Fatalf("Parse(%q) error %q, want mention of %q", tc.sql, pe.Msg, tc.msg)
+			}
+		})
+	}
+}
+
+// Error positions must point at the offending token, not the start.
+func TestParseErrorPosition(t *testing.T) {
+	sql := "SELECT * FROM points WHERE ST_Overlaps(pt, BOX(0,0,1,1))"
+	_, err := Parse(sql)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T, want *ParseError", err)
+	}
+	if want := strings.Index(sql, "ST_Overlaps"); pe.Pos != want {
+		t.Fatalf("error position %d, want %d (start of ST_Overlaps)", pe.Pos, want)
+	}
+}
