@@ -1,0 +1,57 @@
+// Command rsmi-vet machine-checks this repository's serving-tier
+// invariants: the cancellation, pooling, atomicity, nil-receiver,
+// deprecation, and zero-allocation rules that the compiler cannot see
+// and that each earned their analyzer by breaking once. Run it over
+// the whole module:
+//
+//	go run ./cmd/rsmi-vet ./...
+//
+// It prints one line per finding (file:line:col: [analyzer] message)
+// and exits non-zero if anything survives suppression. Deliberate
+// violations are annotated in place with
+// `//rsmi:allow <analyzer> -- reason`; see CONTRIBUTING.md for the
+// rules, the suppression etiquette, and how to add an analyzer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rsmi/internal/analysis"
+)
+
+func main() {
+	dir := flag.String("C", ".", "module root to analyze")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rsmi-vet [-C dir] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Checks rsmi's serving-tier invariants. With no packages, checks ./...\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Suite() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.RunRepo(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsmi-vet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rsmi-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

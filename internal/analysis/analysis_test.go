@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+// TestFixtures runs every analyzer against its flagged and clean
+// fixture packages under testdata/src: the flagged fixture must
+// produce exactly its want-annotated findings, the clean fixture none.
+func TestFixtures(t *testing.T) {
+	loader := NewLoader(".")
+	for _, a := range Suite() {
+		for _, variant := range []string{"flagged", "clean"} {
+			a, variant := a, variant
+			t.Run(a.Name+"/"+variant, func(t *testing.T) {
+				RunFixture(t, loader, filepath.Join("testdata", "src", a.Name, variant), a)
+			})
+		}
+	}
+}
+
+// TestRepoClean is the in-tree form of the CI gate: the full suite
+// over the whole module must report nothing. Every deliberate
+// violation is expected to carry its //rsmi:allow annotation; a
+// failure here means either a real regression or a new detachment
+// point that needs its reason written down.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the full module")
+	}
+	diags, err := RunRepo("../..", "./...")
+	if err != nil {
+		t.Fatalf("RunRepo: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func parseDecl(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+// TestIsDeprecatedDoc pins the godoc convention: only a doc line that
+// begins with "Deprecated:" deprecates; mentioning the word
+// mid-sentence does not.
+func TestIsDeprecatedDoc(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"package p\n\n// F does things.\n//\n// Deprecated: use G.\nfunc F() {}\n", true},
+		{"package p\n\n// Deprecated: use G.\nfunc F() {}\n", true},
+		{"package p\n\n// F bans use of Deprecated: functions.\nfunc F() {}\n", false},
+		{"package p\n\nfunc F() {}\n", false},
+	}
+	for _, c := range cases {
+		file := parseDecl(t, c.src)
+		fn := file.Decls[0].(*ast.FuncDecl)
+		if got := isDeprecatedDoc(fn.Doc); got != c.want {
+			t.Errorf("isDeprecatedDoc(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+// TestAllowsAnalyzer pins the suppression grammar: the directive must
+// name the analyzer exactly, with the reason after " -- ".
+func TestAllowsAnalyzer(t *testing.T) {
+	cases := []struct {
+		comment, name string
+		want          bool
+	}{
+		{"//rsmi:allow ctxflow -- lifecycle root", "ctxflow", true},
+		{"//rsmi:allow ctxflow", "ctxflow", true},
+		{"//rsmi:allow ctxflow -- reason", "poolpair", false},
+		{"//rsmi:allow ctxflower -- reason", "ctxflow", false},
+		{"// rsmi:allow ctxflow", "ctxflow", false},
+	}
+	for _, c := range cases {
+		if got := allowsAnalyzer(c.comment, c.name); got != c.want {
+			t.Errorf("allowsAnalyzer(%q, %q) = %v, want %v", c.comment, c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package analysis
+
+// atomicmix guards the atomic-vs-plain field discipline whose
+// violation produced the torn-histogram p50 bug (PR 4): once any site
+// accesses a struct field through sync/atomic (atomic.AddInt64(&s.f,
+// ...)), every other access must go through sync/atomic too — a plain
+// load can observe a torn or stale value, and a plain store can be
+// lost entirely. The modern fix is the atomic.Int64 family, which
+// makes plain access unrepresentable; this analyzer polices the
+// legacy pattern that remains expressible.
+//
+// The check is package-local and field-precise: it collects every
+// field whose address is passed to a sync/atomic function, then flags
+// every other use of that field that is not itself such an argument.
+// Non-test files only — fixtures and hammer tests may stage torn
+// reads deliberately.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerAtomicmix is the atomicmix analyzer.
+var AnalyzerAtomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "flags struct fields accessed via sync/atomic at one site and by " +
+		"plain load/store at another (torn-read bug class)",
+	Run: runAtomicmix,
+}
+
+func runAtomicmix(pass *Pass) error {
+	// First sweep: fields used atomically, and the selector
+	// expressions that constitute those atomic uses.
+	atomicFields := map[*types.Var]bool{}
+	atomicUses := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || unary.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if field := fieldOf(pass, sel); field != nil {
+					atomicFields[field] = true
+					atomicUses[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Second sweep: any other use of those fields is a plain access.
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicUses[sel] {
+				return true
+			}
+			field := fieldOf(pass, sel)
+			if field != nil && atomicFields[field] {
+				pass.Reportf(sel.Pos(), "plain access to field %s, elsewhere accessed via sync/atomic (torn read/lost write)", field.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldOf resolves a selector to the struct field it selects, or nil
+// for methods, package selectors, and qualified identifiers.
+func fieldOf(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.Pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// isSyncAtomicCall reports whether call invokes a sync/atomic
+// package-level function.
+func isSyncAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := typeutilCallee(pass, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" &&
+		fn.Type().(*types.Signature).Recv() == nil
+}

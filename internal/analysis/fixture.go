@@ -1,0 +1,105 @@
+package analysis
+
+// The fixture runner: the in-repo analogue of
+// golang.org/x/tools/go/analysis/analysistest. A fixture is a
+// directory of compilable Go files under testdata/src/<analyzer>/
+// annotated with want comments:
+//
+//	ctx := context.Background() // want "request path mints"
+//
+// RunFixture loads the directory as one package, applies the
+// analyzer (ignoring its driver scope — fixtures target analyzers
+// directly), and diffs findings against expectations: every want
+// regexp must match a diagnostic on its line, and every diagnostic
+// must be wanted.
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the quoted regexps of a `// want "re" "re"` comment.
+var wantRe = regexp.MustCompile(`// want ((?:"(?:[^"\\]|\\.)*"\s*)+)$`)
+
+var quotedRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// RunFixture applies a to the fixture package in dir and fails t on
+// any mismatch between findings and want comments.
+func RunFixture(t *testing.T, loader *Loader, dir string, a *Analyzer) {
+	t.Helper()
+	target, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	deprecated := map[string]bool{}
+	CollectDeprecated(target.List.ImportPath, target.Files, deprecated)
+
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:   a,
+		Fset:       loader.Fset,
+		Files:      target.Files,
+		XFiles:     target.XFiles,
+		Pkg:        target.Pkg,
+		Deprecated: deprecated,
+		diags:      &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	sortDiagnostics(diags)
+
+	type want struct {
+		file string
+		line int
+		re   *regexp.Regexp
+	}
+	var wants []want
+	for _, f := range append(append([]*ast.File{}, target.Files...), target.XFiles...) {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := loader.Fset.Position(c.Pos())
+				for _, qm := range quotedRe.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(qm[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, qm[1], err)
+					}
+					wants = append(wants, want{pos.Filename, pos.Line, re})
+				}
+			}
+		}
+	}
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		found := false
+		for i, w := range wants {
+			if !matched[i] && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", relPath(w.file), w.line, w.re)
+		}
+	}
+}
+
+func relPath(p string) string {
+	if i := strings.LastIndex(p, "testdata/"); i >= 0 {
+		return p[i:]
+	}
+	return p
+}

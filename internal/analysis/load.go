@@ -1,0 +1,328 @@
+package analysis
+
+// The package loader. golang.org/x/tools/go/packages is not a
+// dependency this module is allowed (the module is stdlib-only), so
+// loading is built from the pieces the standard library provides:
+// `go list -deps -test -json` enumerates the full dependency closure
+// in topological order with build constraints already applied, and
+// go/parser + go/types compile it from source. Dependencies are
+// typechecked once (compiled files only) and cached; target packages
+// are typechecked with their in-package test files and full type
+// information, which is what analyzers receive.
+//
+// CGO_ENABLED=0 is forced for both listing and parsing so every
+// package — net included — resolves to its pure-Go file set, which
+// go/types can check without a C toolchain.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// TypesPkg bundles a typechecked package with its type information.
+type TypesPkg struct {
+	Path  string
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	Dir          string
+	ImportPath   string
+	Name         string
+	ForTest      string
+	Standard     bool
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+	ImportMap    map[string]string
+	Error        *struct{ Err string }
+}
+
+// A Target is one package selected for analysis: its go list record,
+// its typechecked form (compiled + in-package test files), and its
+// parsed external-test files.
+type Target struct {
+	List   *listPkg
+	Files  []*ast.File
+	XFiles []*ast.File
+	Pkg    *TypesPkg
+}
+
+// A Loader loads and typechecks packages on demand, caching the
+// dependency universe across calls. One Loader serves a whole
+// rsmi-vet run, fixtures included.
+type Loader struct {
+	// Dir is the module root `go list` runs in.
+	Dir  string
+	Fset *token.FileSet
+
+	deps   map[string]*types.Package // typechecked dependency universe
+	lists  map[string]*listPkg
+	parsed map[string][]*ast.File // module deps keep syntax for prescans
+}
+
+// NewLoader returns a loader rooted at the module directory.
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:    dir,
+		Fset:   token.NewFileSet(),
+		deps:   map[string]*types.Package{},
+		lists:  map[string]*listPkg{},
+		parsed: map[string][]*ast.File{},
+	}
+}
+
+// goList runs `go list` with the given arguments and decodes the
+// JSON package stream.
+func (l *Loader) goList(args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// ensureDeps loads and typechecks the full dependency closure of the
+// given patterns into the dependency universe. `-deps -test` lists
+// real packages in topological order (dependencies first) along with
+// synthetic per-test packages, which are skipped: only their
+// dependency edges matter, and those pull the real test-only imports
+// into the closure.
+func (l *Loader) ensureDeps(patterns ...string) error {
+	args := append([]string{"-deps", "-test", "-e", "-json=Dir,ImportPath,Name,ForTest,Standard,GoFiles,Imports,ImportMap,Error"}, patterns...)
+	pkgs, err := l.goList(args...)
+	if err != nil {
+		return err
+	}
+	for _, lp := range pkgs {
+		if lp.ForTest != "" || strings.HasSuffix(lp.ImportPath, ".test") {
+			continue // synthetic test package variants
+		}
+		if _, done := l.deps[lp.ImportPath]; done {
+			continue
+		}
+		if lp.Error != nil {
+			return fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if err := l.typecheckDep(lp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// typecheckDep compiles one dependency (compiled files only, no type
+// info retained) into the universe.
+func (l *Loader) typecheckDep(lp *listPkg) error {
+	if lp.ImportPath == "unsafe" {
+		l.deps["unsafe"] = types.Unsafe
+		return nil
+	}
+	files, err := l.parseFiles(lp.Dir, lp.GoFiles)
+	if err != nil {
+		return fmt.Errorf("parse %s: %v", lp.ImportPath, err)
+	}
+	pkg, err := l.check(lp, files, nil)
+	if err != nil {
+		return fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
+	}
+	l.deps[lp.ImportPath] = pkg
+	l.lists[lp.ImportPath] = lp
+	if !lp.Standard {
+		l.parsed[lp.ImportPath] = files
+	}
+	return nil
+}
+
+// parseFiles parses the named files in dir with comments retained.
+func (l *Loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check typechecks files as the package lp describes, resolving
+// imports from the dependency universe through lp's ImportMap (the
+// std vendor directory renames golang.org/x/... imports).
+func (l *Loader) check(lp *listPkg, files []*ast.File, info *types.Info) (*types.Package, error) {
+	cfg := types.Config{
+		Importer: mapImporter{loader: l, importMap: lp.ImportMap},
+		Sizes:    types.SizesFor("gc", envOr("GOARCH", "amd64")),
+	}
+	return cfg.Check(lp.ImportPath, l.Fset, files, info)
+}
+
+func envOr(key, fallback string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return fallback
+}
+
+// mapImporter resolves one package's imports from the loader's
+// dependency universe.
+type mapImporter struct {
+	loader    *Loader
+	importMap map[string]string
+}
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if pkg, ok := m.loader.deps[path]; ok {
+		return pkg, nil
+	}
+	// A fixture (or a freshly added import) can reference a package
+	// outside the preloaded closure; pull its subtree in on demand.
+	if err := m.loader.ensureDeps(path); err != nil {
+		return nil, err
+	}
+	if pkg, ok := m.loader.deps[path]; ok {
+		return pkg, nil
+	}
+	return nil, fmt.Errorf("import %q not in dependency universe", path)
+}
+
+var _ types.Importer = mapImporter{}
+
+// newInfo allocates the full type information analyzers consume.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// LoadTargets loads the packages matched by patterns for analysis:
+// each comes back typechecked with its in-package test files and full
+// type information, external-test files parsed alongside.
+func (l *Loader) LoadTargets(patterns ...string) ([]*Target, error) {
+	if err := l.ensureDeps(patterns...); err != nil {
+		return nil, err
+	}
+	args := append([]string{"-json=Dir,ImportPath,Name,Standard,GoFiles,TestGoFiles,XTestGoFiles,Imports,TestImports,XTestImports,ImportMap"}, patterns...)
+	lists, err := l.goList(args...)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*Target
+	for _, lp := range lists {
+		files, err := l.parseFiles(lp.Dir, append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...))
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", lp.ImportPath, err)
+		}
+		xfiles, err := l.parseFiles(lp.Dir, lp.XTestGoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s external tests: %v", lp.ImportPath, err)
+		}
+		info := newInfo()
+		pkg, err := l.check(lp, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s (with tests): %v", lp.ImportPath, err)
+		}
+		targets = append(targets, &Target{
+			List:   lp,
+			Files:  files,
+			XFiles: xfiles,
+			Pkg:    &TypesPkg{Path: lp.ImportPath, Types: pkg, Info: info},
+		})
+	}
+	return targets, nil
+}
+
+// LoadDir loads a single directory of Go files as one synthetic
+// package — the fixture path, where testdata directories are
+// invisible to `go list`. Files named *_test.go that declare the same
+// package are typechecked in-package; a trailing _test package is
+// parsed only, mirroring LoadTargets.
+func (l *Loader) LoadDir(dir string) (*Target, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	all, err := l.parseFiles(dir, names)
+	if err != nil {
+		return nil, err
+	}
+	// Split the external-test package (package foo_test) out from the
+	// main package's files by package name.
+	base := all[0].Name.Name
+	for _, f := range all {
+		if !strings.HasSuffix(f.Name.Name, "_test") {
+			base = f.Name.Name
+			break
+		}
+	}
+	var files, xfiles []*ast.File
+	for _, f := range all {
+		if f.Name.Name == base {
+			files = append(files, f)
+		} else {
+			xfiles = append(xfiles, f)
+		}
+	}
+	importPath := "fixture/" + filepath.Base(filepath.Dir(dir)) + "/" + filepath.Base(dir)
+	lp := &listPkg{Dir: dir, ImportPath: importPath, Name: base}
+	info := newInfo()
+	pkg, err := l.check(lp, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck fixture %s: %v", dir, err)
+	}
+	return &Target{
+		List:   lp,
+		Files:  files,
+		XFiles: xfiles,
+		Pkg:    &TypesPkg{Path: importPath, Types: pkg, Info: info},
+	}, nil
+}

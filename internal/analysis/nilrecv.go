@@ -1,0 +1,171 @@
+package analysis
+
+// nilrecv guards the branch-only untraced path (PR 7): obs.Trace and
+// its kin are documented as "every method no-ops on a nil receiver",
+// which is what lets the hot path call FromContext(ctx).AddShards(n)
+// unconditionally and pay one nil check when tracing is off. The
+// contract is structural — a single method that touches a field
+// before checking the receiver turns every untraced request into a
+// panic — so it is annotated on the type and machine-checked here:
+//
+//	//rsmi:nilsafe
+//	type Trace struct { ... }
+//
+// Every pointer-receiver method on an annotated type must guard the
+// receiver (r == nil / r != nil) before its first receiver field
+// access. Methods that never touch fields (pure delegation) pass
+// without a guard.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerNilrecv is the nilrecv analyzer.
+var AnalyzerNilrecv = &Analyzer{
+	Name: "nilrecv",
+	Doc: "methods on //rsmi:nilsafe types must nil-check the receiver before " +
+		"any field access (preserves the branch-only untraced path)",
+	Run: runNilrecv,
+}
+
+func runNilrecv(pass *Pass) error {
+	nilsafe := nilsafeTypes(pass)
+	if len(nilsafe) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			recv := fn.Recv.List[0]
+			named := receiverNamed(pass, recv.Type)
+			if named == nil || !nilsafe[named.Obj()] {
+				continue
+			}
+			if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+				continue // receiver unused, nothing to guard
+			}
+			checkNilGuard(pass, fn, recv.Names[0])
+		}
+	}
+	return nil
+}
+
+// nilsafeTypes collects the type objects annotated //rsmi:nilsafe in
+// this package.
+func nilsafeTypes(pass *Pass) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				// The directive may sit on the type spec or, for the
+				// common single-spec declaration, on the GenDecl.
+				if !hasDirective(ts.Doc, "//rsmi:nilsafe") && !hasDirective(gd.Doc, "//rsmi:nilsafe") {
+					continue
+				}
+				if obj := pass.Pkg.Info.Defs[ts.Name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverNamed resolves a method receiver type expression (T or *T)
+// to its named type, nil for anything else.
+func receiverNamed(pass *Pass, expr ast.Expr) *types.Named {
+	tv, ok := pass.Pkg.Info.Types[expr]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	} else {
+		return nil // value receivers cannot be nil-guarded
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// checkNilGuard flags receiver field accesses not preceded (in source
+// order — a fair proxy for dominance in the guard idioms this repo
+// uses) by a nil comparison of the receiver.
+func checkNilGuard(pass *Pass, fn *ast.FuncDecl, recvName *ast.Ident) {
+	recvObj := pass.Pkg.Info.Defs[recvName]
+	if recvObj == nil {
+		return
+	}
+	guardPos := token.Pos(-1)
+	var firstAccess ast.Expr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if isNilCompare(pass, n, recvObj) && (guardPos == token.Pos(-1) || n.Pos() < guardPos) {
+				guardPos = n.Pos()
+			}
+		case *ast.SelectorExpr:
+			id, ok := ast.Unparen(n.X).(*ast.Ident)
+			if !ok || pass.Pkg.Info.Uses[id] != recvObj {
+				return true
+			}
+			if fieldOf(pass, n) == nil {
+				return true // method call on the receiver — nil-safe by the same rule
+			}
+			if firstAccess == nil || n.Pos() < firstAccess.Pos() {
+				firstAccess = n
+			}
+		}
+		return true
+	})
+	if firstAccess == nil {
+		return
+	}
+	if guardPos == token.Pos(-1) {
+		pass.Reportf(firstAccess.Pos(), "method on //rsmi:nilsafe type %s accesses receiver field without a nil guard", methodHome(fn))
+	} else if firstAccess.Pos() < guardPos {
+		pass.Reportf(firstAccess.Pos(), "receiver field access precedes the nil guard in //rsmi:nilsafe method %s", methodHome(fn))
+	}
+}
+
+// isNilCompare reports whether expr compares obj against nil with ==
+// or !=.
+func isNilCompare(pass *Pass, expr *ast.BinaryExpr, obj types.Object) bool {
+	if expr.Op != token.EQL && expr.Op != token.NEQ {
+		return false
+	}
+	matches := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.Pkg.Info.Uses[id] == obj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (matches(expr.X) && isNil(expr.Y)) || (matches(expr.Y) && isNil(expr.X))
+}
+
+// methodHome names a method for diagnostics: Type.Method.
+func methodHome(fn *ast.FuncDecl) string {
+	recv := fn.Recv.List[0].Type
+	if star, ok := recv.(*ast.StarExpr); ok {
+		recv = star.X
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		return id.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}

@@ -1,0 +1,88 @@
+package analysis
+
+// noalloc keeps the zero-allocation claims test-backed. The serving
+// tier's hot paths (streaming JSON/binary encoders, trace primitives,
+// histogram observe) earn their keep by allocating nothing, and every
+// one of those claims is pinned by a testing.AllocsPerRun assertion —
+// but nothing used to connect the function to its pin, so a refactor
+// could strand the pin on dead code while the real path quietly grew
+// allocations. The contract is now written at the function:
+//
+//	//rsmi:noalloc
+//	func appendPointsJSON(b []byte, pts []geom.Point) []byte { ... }
+//
+// and this analyzer demands a testing.AllocsPerRun call somewhere in
+// the same package's tests (in-package or external) whose measured
+// closure mentions the marked function by name. Marking a function is
+// a promise; the pin is the proof.
+
+import (
+	"go/ast"
+)
+
+// AnalyzerNoalloc is the noalloc analyzer.
+var AnalyzerNoalloc = &Analyzer{
+	Name: "noalloc",
+	Doc: "functions marked //rsmi:noalloc must be exercised by a " +
+		"testing.AllocsPerRun pin in the package's tests",
+	Run: runNoalloc,
+}
+
+func runNoalloc(pass *Pass) error {
+	// Collect the names mentioned inside AllocsPerRun closures across
+	// all test files, in-package and external.
+	pinned := map[string]bool{}
+	scan := func(files []*ast.File, testOnly bool) {
+		for _, file := range files {
+			if testOnly && !pass.IsTestFile(file) {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAllocsPerRun(call) || len(call.Args) < 2 {
+					return true
+				}
+				ast.Inspect(call.Args[1], func(m ast.Node) bool {
+					switch m := m.(type) {
+					case *ast.Ident:
+						pinned[m.Name] = true
+					case *ast.SelectorExpr:
+						pinned[m.Sel.Name] = true
+					}
+					return true
+				})
+				return true
+			})
+		}
+	}
+	scan(pass.Files, true)
+	scan(pass.XFiles, false)
+
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasDirective(fn.Doc, "//rsmi:noalloc") {
+				continue
+			}
+			if !pinned[fn.Name.Name] {
+				pass.Reportf(fn.Pos(), "//rsmi:noalloc function %s has no testing.AllocsPerRun pin in this package's tests", fn.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// isAllocsPerRun matches testing.AllocsPerRun syntactically — pins in
+// external-test files are not typechecked, and the selector shape is
+// unambiguous enough.
+func isAllocsPerRun(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "AllocsPerRun" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && id.Name == "testing"
+}

@@ -1,0 +1,215 @@
+package analysis
+
+// poolpair guards the pooled-buffer discipline of the zero-alloc hot
+// paths (PRs 3/6/7): a sync.Pool Get must be paired with a Put before
+// the function returns. The leak class this catches is the early
+// return added between Get and Put during a later edit — the buffer
+// quietly stops recycling and the 0-alloc claim rots into steady-state
+// garbage, which no unit test notices.
+//
+// Two pairings are legitimate and recognised:
+//
+//   - Ownership transfer: the pooled value (or a value bound to it) is
+//     returned to the caller, which then owns the Put (obs.StartTrace
+//     hands the trace out; Release puts it back).
+//   - Conditional Put: a Put behind a size check (oversized buffers
+//     are deliberately dropped for the GC) still counts — the rule is
+//     about return paths that skip the Put logic entirely, not about
+//     the pool declining an item.
+//
+// The check is syntactic per function: a Get with no Put at all in the
+// same function (and no transfer) is flagged, as is any return
+// statement lying between the Get and the first Put — a deferred Put
+// covers every return path and satisfies the rule by construction.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerPoolpair is the poolpair analyzer.
+var AnalyzerPoolpair = &Analyzer{
+	Name: "poolpair",
+	Doc: "flags sync.Pool Get calls whose pooled value can leave the function " +
+		"without a Put on every return path",
+	Run: runPoolpair,
+}
+
+func runPoolpair(pass *Pass) error {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkPoolBody(pass, fn.Body)
+			// Function literals manage their own pooled values.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkPoolBody(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// poolUse records the Get/Put structure of one function body.
+type poolUse struct {
+	gets      []*ast.CallExpr
+	getIdents map[string]bool // variables bound to pooled values
+	puts      []token.Pos
+	deferred  bool // a Put inside a defer covers all paths
+	returns   []*ast.ReturnStmt
+}
+
+// checkPoolBody analyses one function body in isolation (nested
+// function literals are skipped here and analysed on their own).
+func checkPoolBody(pass *Pass, body *ast.BlockStmt) {
+	use := poolUse{getIdents: map[string]bool{}}
+	collectPoolUse(pass, body, false, &use)
+	if len(use.gets) == 0 {
+		return
+	}
+	if transfersOwnership(&use) {
+		return
+	}
+	if len(use.puts) == 0 {
+		pass.Reportf(use.gets[0].Pos(), "sync.Pool Get without a matching Put in this function (pooled value leaks)")
+		return
+	}
+	if use.deferred {
+		return // defer pool.Put(...) covers every return path
+	}
+	firstPut := use.puts[0]
+	for _, put := range use.puts {
+		if put < firstPut {
+			firstPut = put
+		}
+	}
+	for _, ret := range use.returns {
+		if ret.Pos() > use.gets[0].Pos() && ret.Pos() < firstPut && !returnsPooled(&use, ret) {
+			pass.Reportf(ret.Pos(), "return path between sync.Pool Get and Put leaks the pooled value")
+		}
+	}
+}
+
+// collectPoolUse walks stmts gathering Gets, Puts, returns, and the
+// identifiers bound to pooled values, without descending into nested
+// function literals (inDefer tracks whether the walk is inside a
+// defer's call tree).
+func collectPoolUse(pass *Pass, body ast.Node, inDefer bool, use *poolUse) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if inDefer {
+				// defer func() { ... pool.Put(x) ... }() still covers
+				// every return path.
+				collectPoolUse(pass, n.Body, true, use)
+			}
+			return false
+		case *ast.DeferStmt:
+			collectPoolUse(pass, n.Call, true, use)
+			return false
+		case *ast.ReturnStmt:
+			use.returns = append(use.returns, n)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if callInExpr(pass, rhs, isPoolGet) && i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						use.getIdents[id.Name] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isPoolGet(pass, n) {
+				use.gets = append(use.gets, n)
+			}
+			if isPoolPut(pass, n) {
+				use.puts = append(use.puts, n.Pos())
+				if inDefer {
+					use.deferred = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// callInExpr reports whether expr contains a call matching pred
+// (unwrapping type assertions like pool.Get().(*T)).
+func callInExpr(pass *Pass, expr ast.Expr, pred func(*Pass, *ast.CallExpr) bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && pred(pass, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// transfersOwnership reports whether any return statement hands a
+// pooled value (one of the Get-bound identifiers) to the caller.
+func transfersOwnership(use *poolUse) bool {
+	for _, ret := range use.returns {
+		if returnsPooled(use, ret) {
+			return true
+		}
+	}
+	return false
+}
+
+// returnsPooled reports whether ret's results mention a Get-bound
+// identifier.
+func returnsPooled(use *poolUse, ret *ast.ReturnStmt) bool {
+	for _, res := range ret.Results {
+		mentioned := false
+		ast.Inspect(res, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && use.getIdents[id.Name] {
+				mentioned = true
+			}
+			return !mentioned
+		})
+		if mentioned {
+			return true
+		}
+	}
+	return false
+}
+
+// isPoolGet reports whether call is (*sync.Pool).Get.
+func isPoolGet(pass *Pass, call *ast.CallExpr) bool { return isPoolMethod(pass, call, "Get") }
+
+// isPoolPut reports whether call is (*sync.Pool).Put.
+func isPoolPut(pass *Pass, call *ast.CallExpr) bool { return isPoolMethod(pass, call, "Put") }
+
+func isPoolMethod(pass *Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	tv, ok := pass.Pkg.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return isSyncPool(tv.Type)
+}
+
+// isSyncPool reports whether t is sync.Pool or *sync.Pool.
+func isSyncPool(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}

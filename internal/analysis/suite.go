@@ -1,0 +1,60 @@
+package analysis
+
+// The driver: Suite enumerates the analyzers, RunRepo loads packages
+// and applies each analyzer inside its scope. cmd/rsmi-vet is a thin
+// main over RunRepo; the fixture runner in fixture.go applies
+// analyzers without scoping.
+
+// Suite returns rsmi-vet's analyzers in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerCtxflow,
+		AnalyzerPoolpair,
+		AnalyzerAtomicmix,
+		AnalyzerNilrecv,
+		AnalyzerNodeprecated,
+		AnalyzerNoalloc,
+	}
+}
+
+// RunRepo runs the whole suite over the packages matched by patterns
+// (relative to the module root dir), returning the surviving findings
+// sorted by position. The deprecated prescan covers every module
+// package in the dependency universe — not just the targets — so a
+// narrowed pattern still sees cross-package deprecations.
+func RunRepo(dir string, patterns ...string) ([]Diagnostic, error) {
+	loader := NewLoader(dir)
+	targets, err := loader.LoadTargets(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	deprecated := map[string]bool{}
+	for path, files := range loader.parsed {
+		CollectDeprecated(path, files, deprecated)
+	}
+	for _, t := range targets {
+		CollectDeprecated(t.List.ImportPath, t.Files, deprecated)
+	}
+	var diags []Diagnostic
+	for _, t := range targets {
+		for _, a := range Suite() {
+			if a.PkgScope != nil && !a.PkgScope(t.List.ImportPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       loader.Fset,
+				Files:      t.Files,
+				XFiles:     t.XFiles,
+				Pkg:        t.Pkg,
+				Deprecated: deprecated,
+				diags:      &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}

@@ -1,0 +1,20 @@
+// Package clean exercises atomicmix's sanctioned shapes: the
+// atomic.Int64 family (plain access unrepresentable) and fields that
+// are consistently plain.
+package clean
+
+import "sync/atomic"
+
+type counter struct {
+	n atomic.Int64
+	m int64
+}
+
+func (c *counter) inc() { c.n.Add(1) }
+
+func (c *counter) read() int64 { return c.n.Load() }
+
+func (c *counter) plain() int64 {
+	c.m++
+	return c.m
+}

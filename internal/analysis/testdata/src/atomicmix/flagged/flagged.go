@@ -1,0 +1,19 @@
+// Package flagged exercises atomicmix: the field n is atomic at one
+// site, so its plain read elsewhere is the torn-read bug class.
+package flagged
+
+import "sync/atomic"
+
+type counter struct {
+	n int64
+	m int64
+}
+
+func (c *counter) inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) read() int64 {
+	return c.n // want "plain access to field n, elsewhere accessed via sync/atomic"
+}
+
+// readM is fine: m is never accessed atomically.
+func (c *counter) readM() int64 { return c.m }

@@ -1,0 +1,39 @@
+// Package clean exercises ctxflow's sanctioned shapes: threading the
+// caller's ctx, the XContext→X pair delegation seam, and an annotated
+// lifecycle root.
+package clean
+
+import "context"
+
+type engine struct{}
+
+func (engine) Get(k string) string { return k }
+
+func (engine) GetContext(ctx context.Context, k string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	return k, nil
+}
+
+type wrap struct{ e engine }
+
+// GetContext is the pair delegation seam: the context-aware form
+// entry-checks ctx and delegates to the context-free implementation.
+func (w wrap) GetContext(ctx context.Context, k string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	return w.e.Get(k), nil
+}
+
+// lifecycle owns its lifetime; the detachment is annotated in place.
+func lifecycle() context.Context {
+	//rsmi:allow ctxflow -- lifecycle root for the fixture, cancelled by its owner
+	return context.Background()
+}
+
+// threaded passes the caller's ctx end to end.
+func threaded(ctx context.Context, e engine) (string, error) {
+	return e.GetContext(ctx, "k")
+}

@@ -1,0 +1,28 @@
+// Package flagged exercises ctxflow's two finding shapes: minting a
+// fresh context mid-path, and dropping an in-scope ctx by calling the
+// context-free twin of a context-aware method.
+package flagged
+
+import "context"
+
+type engine struct{}
+
+func (engine) Get(k string) string { return k }
+
+func (engine) GetContext(ctx context.Context, k string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	return k, nil
+}
+
+// mint detaches everything downstream from the caller's disconnect.
+func mint() context.Context {
+	return context.Background() // want "request path mints context.Background"
+}
+
+// lookup has a ctx in hand and drops it twice over.
+func lookup(ctx context.Context, e engine) string {
+	_ = context.TODO() // want "request path mints context.TODO"
+	return e.Get("k")  // want "call to Get drops the in-scope ctx"
+}

@@ -1,0 +1,28 @@
+// Package clean exercises nilrecv's passing shapes: guard-then-access
+// with either comparison direction, and field-free methods that need
+// no guard.
+package clean
+
+//rsmi:nilsafe
+type trace struct {
+	n int64
+}
+
+// Add no-ops on a nil receiver, the contract the annotation promises.
+func (t *trace) Add(d int64) {
+	if t == nil {
+		return
+	}
+	t.n += d
+}
+
+// Count guards with the != idiom.
+func (t *trace) Count() int64 {
+	if t != nil {
+		return t.n
+	}
+	return 0
+}
+
+// Name never touches a field: no guard needed.
+func (t *trace) Name() string { return "trace" }

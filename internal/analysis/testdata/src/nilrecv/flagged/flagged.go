@@ -1,0 +1,22 @@
+// Package flagged exercises nilrecv: methods on an //rsmi:nilsafe type
+// that touch a receiver field before (or without) the nil guard.
+package flagged
+
+//rsmi:nilsafe
+type trace struct {
+	n int64
+}
+
+// Add touches the field with no guard at all.
+func (t *trace) Add(d int64) {
+	t.n += d // want "accesses receiver field without a nil guard"
+}
+
+// Count guards, but only after the field access.
+func (t *trace) Count() int64 {
+	v := t.n // want "receiver field access precedes the nil guard"
+	if t == nil {
+		return 0
+	}
+	return v
+}

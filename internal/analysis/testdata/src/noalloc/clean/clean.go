@@ -1,0 +1,11 @@
+// Package clean exercises noalloc's passing shape: the marked function
+// is exercised by name inside a testing.AllocsPerRun closure in the
+// package's tests.
+package clean
+
+// encode is allocation-free and pinned in clean_test.go.
+//
+//rsmi:noalloc
+func encode(p []byte) int {
+	return len(p)
+}

@@ -1,0 +1,12 @@
+package clean
+
+import "testing"
+
+func TestEncodeAllocs(t *testing.T) {
+	p := []byte("payload")
+	if n := testing.AllocsPerRun(100, func() {
+		encode(p)
+	}); n != 0 {
+		t.Fatalf("encode allocates %v times, want 0", n)
+	}
+}

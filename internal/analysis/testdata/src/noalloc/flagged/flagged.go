@@ -1,0 +1,11 @@
+// Package flagged exercises noalloc: a function promised
+// allocation-free with no AllocsPerRun pin anywhere in the package's
+// tests.
+package flagged
+
+// encode claims the zero-alloc contract but nothing proves it.
+//
+//rsmi:noalloc
+func encode(p []byte) int { // want "has no testing.AllocsPerRun pin"
+	return len(p)
+}

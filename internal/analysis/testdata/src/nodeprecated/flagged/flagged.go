@@ -1,0 +1,16 @@
+// Package flagged exercises nodeprecated: a non-test, non-shim caller
+// of a function carrying the conventional Deprecated: marker.
+package flagged
+
+// OldGet is the legacy lookup.
+//
+// Deprecated: use Get.
+func OldGet(k string) string { return Get(k) }
+
+// Get is the replacement.
+func Get(k string) string { return k }
+
+// Lookup still reaches for the deprecated form.
+func Lookup(k string) string {
+	return OldGet(k) // want "use of deprecated OldGet"
+}

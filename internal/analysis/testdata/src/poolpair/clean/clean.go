@@ -1,0 +1,38 @@
+// Package clean exercises poolpair's sanctioned pairings: a deferred
+// Put covering every return path, ownership transfer to the caller,
+// and the conditional Put that drops oversized buffers for the GC.
+package clean
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() interface{} { return make([]byte, 0, 64) }}
+
+const maxKeep = 1 << 16
+
+// encode pairs its Get with a deferred Put covering every return path.
+func encode(p []byte) int {
+	b := bufPool.Get().([]byte)
+	defer bufPool.Put(b)
+	if len(p) == 0 {
+		return 0
+	}
+	b = append(b[:0], p...)
+	return len(p)
+}
+
+// acquire transfers ownership: the caller owns the Put.
+func acquire() []byte {
+	b := bufPool.Get().([]byte)
+	return b[:0]
+}
+
+// encodeSized declines to recycle oversized buffers; the conditional
+// Put still pairs the Get.
+func encodeSized(p []byte) int {
+	b := bufPool.Get().([]byte)
+	b = append(b[:0], p...)
+	if cap(b) <= maxKeep {
+		bufPool.Put(b)
+	}
+	return len(p)
+}

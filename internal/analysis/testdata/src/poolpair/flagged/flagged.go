@@ -1,0 +1,27 @@
+// Package flagged exercises poolpair's two finding shapes: a Get with
+// no Put anywhere in the function, and an early return slipped between
+// the Get and the Put.
+package flagged
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() interface{} { return make([]byte, 0, 64) }}
+
+// encode never puts the buffer back: it stops recycling entirely.
+func encode(p []byte) int {
+	b := bufPool.Get().([]byte) // want "sync.Pool Get without a matching Put"
+	b = append(b[:0], p...)
+	return len(p)
+}
+
+// encodeEarly leaks the buffer on its empty-input path.
+func encodeEarly(p []byte) int {
+	b := bufPool.Get().([]byte)
+	if len(p) == 0 {
+		return 0 // want "return path between sync.Pool Get and Put leaks"
+	}
+	b = append(b[:0], p...)
+	n := len(b)
+	bufPool.Put(b)
+	return n
+}

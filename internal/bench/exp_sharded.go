@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -182,13 +183,14 @@ func init() {
 				"Large-window latency (us/query), hash-partitioned S=%d, single client", cfg.Shards),
 				latHeader...)
 			big := workload.Windows(pts, cfg.Queries, 0.0016, 1, cfg.Seed+77)
+			ctx := context.Background()
 			var lVals []float64
 			for _, ww := range workerSweep {
 				s := shard.New(pts, shard.Options{
 					Shards: cfg.Shards, Workers: ww,
 					Partitioning: shard.Hash, Index: shardOpts,
 				})
-				lVals = append(lVals, timeQueriesUS(len(big), func(i int) { s.WindowQuery(big[i]) }))
+				lVals = append(lVals, timeQueriesUS(len(big), func(i int) { s.WindowQueryContext(ctx, big[i]) }))
 			}
 			lat.addf(fmt.Sprintf("Sharded S=%d", cfg.Shards), "%.1f", lVals...)
 			lat.write(w)

@@ -144,7 +144,7 @@ func RunRegression(w io.Writer) (Metrics, error) {
 		if slowdown > 0 {
 			time.Sleep(slowdown)
 		}
-		eng.BatchWindowQuery(wins)
+		eng.BatchWindowQueryContext(context.Background(), wins)
 		ops += len(wins)
 	}
 	m.ShardedWindowKQPS = float64(ops) / time.Since(start).Seconds() / 1e3

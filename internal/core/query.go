@@ -71,8 +71,9 @@ func (t *RSMI) scanRange(begin, end int, fn func(b *store.Block, base int) bool)
 // exact coordinates. It implements index.Index and never returns a false
 // negative for indexed points.
 //
-// Deprecated: use PointQueryContext instead; the context-free form wraps
-// it with context.Background().
+// This context-free form is the implementation layer: PointQueryContext is the
+// entry-checked wrapper that serving code reaches through the Engine
+// surface, and it delegates here after observing ctx.
 func (t *RSMI) PointQuery(q geom.Point) bool {
 	_, _, found := t.findPoint(q)
 	return found
@@ -151,8 +152,9 @@ func (t *RSMI) findPointIn(q geom.Point, lo, hi int) (baseID, slot int, found bo
 // positives; it may miss points whose blocks fall outside the predicted
 // range (the approximate behaviour evaluated in §6.2.3, recall > 87%).
 //
-// Deprecated: use WindowQueryContext instead; the context-free form wraps
-// it with context.Background().
+// This context-free form is the implementation layer: WindowQueryContext is the
+// entry-checked wrapper that serving code reaches through the Engine
+// surface, and it delegates here after observing ctx.
 func (t *RSMI) WindowQuery(q geom.Rect) []geom.Point {
 	return t.windowQueryAppend(nil, q)
 }
@@ -185,8 +187,9 @@ func (t *RSMI) windowQueryAppend(dst []geom.Point, q geom.Rect) []geom.Point {
 // learned per-dimension CDFs, probed with window queries. Results are
 // approximate (recall > 88% in §6.2.4) and sorted by distance.
 //
-// Deprecated: use KNNContext instead; the context-free form wraps
-// it with context.Background().
+// This context-free form is the implementation layer: KNNContext is the
+// entry-checked wrapper that serving code reaches through the Engine
+// surface, and it delegates here after observing ctx.
 func (t *RSMI) KNN(q geom.Point, k int) []geom.Point {
 	if k <= 0 || t.n == 0 {
 		return nil

@@ -16,8 +16,9 @@ import (
 // count towards the error bounds, and spliced after the chain. Ancestor
 // MBRs are extended recursively.
 //
-// Deprecated: use InsertContext instead; the context-free form wraps
-// it with context.Background().
+// This context-free form is the implementation layer: InsertContext is the
+// entry-checked wrapper that serving code reaches through the Engine
+// surface, and it delegates here after observing ctx.
 func (t *RSMI) Insert(p geom.Point) {
 	if t.root == nil || t.baseBlocks == 0 {
 		// Degenerate empty index: rebuild from a single point.
@@ -69,8 +70,9 @@ func (t *RSMI) Insert(p geom.Point) {
 // flagged deleted. Blocks are never deallocated, keeping the error bounds
 // valid. MBRs are left unshrunk (conservative: supersets stay correct).
 //
-// Deprecated: use DeleteContext instead; the context-free form wraps
-// it with context.Background().
+// This context-free form is the implementation layer: DeleteContext is the
+// entry-checked wrapper that serving code reaches through the Engine
+// surface, and it delegates here after observing ctx.
 func (t *RSMI) Delete(p geom.Point) bool {
 	blockID, slot, found := t.findPoint(p)
 	if !found {
@@ -129,8 +131,9 @@ func (t *RSMI) scanAll(fn func(b *store.Block)) {
 // full rebuild is used here because block ids must stay globally monotone
 // in curve order for window scans — see EXPERIMENTS.md for the impact.
 //
-// Deprecated: use RebuildContext instead; the context-free form wraps
-// it with context.Background().
+// This context-free form is the implementation layer: RebuildContext is the
+// entry-checked wrapper that serving code reaches through the Engine
+// surface, and it delegates here after observing ctx.
 func (t *RSMI) Rebuild() {
 	pts := t.AllPoints()
 	*t = *New(pts, t.opts)

@@ -69,6 +69,8 @@ func (s Stage) String() string {
 // the untraced request: every method no-ops, so call sites thread a
 // maybe-nil trace without branching. Fields written concurrently (a
 // shard fan-out runs AddShards from worker goroutines) are atomics.
+//
+//rsmi:nilsafe
 type Trace struct {
 	// ID is unique per process run; it correlates a slow-log line with
 	// an EXPLAIN response or a client-side record.
@@ -141,6 +143,8 @@ func (t *Trace) StartTime() time.Time {
 
 // ObserveStage adds d to a stage's span. Stages touched more than once
 // accumulate.
+//
+//rsmi:noalloc
 func (t *Trace) ObserveStage(s Stage, d time.Duration) {
 	if t == nil {
 		return
@@ -155,6 +159,8 @@ func (t *Trace) ObserveStage(s Stage, d time.Duration) {
 // boundary was never measured (a late trace created after the stage
 // ran, whose earlier marks hit a nil receiver): the stage is left
 // unrecorded rather than charged now-minus-epoch.
+//
+//rsmi:noalloc
 func (t *Trace) MarkSince(since time.Time, s Stage) time.Time {
 	if t == nil {
 		return time.Time{}
@@ -167,6 +173,8 @@ func (t *Trace) MarkSince(since time.Time, s Stage) time.Time {
 }
 
 // AddShards counts shards visited during execution.
+//
+//rsmi:noalloc
 func (t *Trace) AddShards(n int) {
 	if t != nil {
 		t.shards.Add(int64(n))
@@ -178,6 +186,8 @@ func (t *Trace) AddShards(n int) {
 // rode in (batch size is recorded alongside), and under concurrency it
 // may include accesses of overlapping engine calls; it is exact when
 // measured sequentially — the intended EXPLAIN debugging mode.
+//
+//rsmi:noalloc
 func (t *Trace) AddAccesses(n int64) {
 	if t != nil {
 		t.accesses.Add(n)
@@ -186,6 +196,8 @@ func (t *Trace) AddAccesses(n int64) {
 
 // SetBatchSize records the size of the coalescer micro-batch the
 // request executed in (0 = never coalesced, 1 = a batch of itself).
+//
+//rsmi:noalloc
 func (t *Trace) SetBatchSize(n int) {
 	if t != nil {
 		t.batchSize.Store(int64(n))
@@ -247,6 +259,8 @@ type ctxKey struct{}
 
 // With returns ctx carrying t. A nil trace returns ctx unchanged, so
 // the untraced path allocates nothing.
+//
+//rsmi:noalloc
 func With(ctx context.Context, t *Trace) context.Context {
 	if t == nil {
 		return ctx
@@ -258,6 +272,8 @@ func With(ctx context.Context, t *Trace) context.Context {
 // composes with the nil-receiver methods above: engine internals call
 // FromContext(ctx).AddShards(n) unconditionally and the untraced path
 // pays one Value lookup.
+//
+//rsmi:noalloc
 func FromContext(ctx context.Context) *Trace {
 	t, _ := ctx.Value(ctxKey{}).(*Trace)
 	return t
@@ -266,6 +282,8 @@ func FromContext(ctx context.Context) *Trace {
 // Observer decides which requests are traced and owns the slow-query
 // log. A nil *Observer never traces — servers built without one pay a
 // single nil check per request.
+//
+//rsmi:nilsafe
 type Observer struct {
 	sampleN int64
 	n       atomic.Int64
@@ -283,6 +301,8 @@ func NewObserver(sampleEvery int, slow *SlowLog) *Observer {
 
 // ShouldTrace makes the per-request tracing decision: true when the
 // slow-query log is on, or the atomic sample counter hits. Nil-safe.
+//
+//rsmi:noalloc
 func (o *Observer) ShouldTrace() bool {
 	if o == nil {
 		return false

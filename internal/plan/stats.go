@@ -409,16 +409,22 @@ const (
 	// hundred probes per call push the per-call term below the noise
 	// floor. Capped by the stride sample size (1024).
 	calPointCenters = 256
-	// calProbeDur is the base measurement window per probe grid point
-	// (windows probe at 2x and kNN at 6x: their per-call cost is three
-	// orders of magnitude above a point probe's, so an 8ms window only
-	// fits a handful of calls and the fitted ordering becomes a coin
-	// flip between closely-priced backends):
+	// calProbeDur is the floor measurement window per probe grid cell:
 	// duration-based probing makes the fitted coefficients repeatable
 	// where a fixed repetition count would hand the cheap probes — the
 	// ones routing decisions hinge on — only a few microseconds of
-	// signal.
+	// signal. Cells whose calls are expensive get a longer window (see
+	// probeDur): a large-k kNN batch can cost milliseconds per call, and
+	// a floor-sized window would fit only a handful of calls, making the
+	// fitted ordering a coin flip between closely-priced backends.
 	calProbeDur = 8 * time.Millisecond
+	// calProbeMinCalls is the number of timed calls a cell's window is
+	// sized to fit (across all workers) when one call costs more than
+	// the floor window can accommodate.
+	calProbeMinCalls = 24
+	// calProbeMaxDur caps one cell's window so a pathologically slow
+	// backend cannot stretch startup calibration unboundedly.
+	calProbeMaxDur = 120 * time.Millisecond
 	// calWorkers is how many goroutines drive each probe batch at once —
 	// deliberately a stand-in for serving concurrency, NOT capped at
 	// GOMAXPROCS. Probing under the same contention the server runs
@@ -428,14 +434,33 @@ const (
 	calWorkers = 4
 )
 
+// probeDur sizes one grid cell's measurement window from the measured
+// cost of a single probe call: the floor window for cheap cells, scaled
+// up so calProbeMinCalls timed calls fit across the workers for
+// expensive ones, capped at calProbeMaxDur. Scaling with per-call cost
+// gives every cell comparable statistical weight — under fixed windows
+// the expensive cells (large-k kNN, wide windows) got a handful of
+// calls while the cheap ones got thousands.
+func probeDur(warm time.Duration) time.Duration {
+	d := warm * calProbeMinCalls / calWorkers
+	if d < calProbeDur {
+		return calProbeDur
+	}
+	if d > calProbeMaxDur {
+		return calProbeMaxDur
+	}
+	return d
+}
+
 // runProbes drives one batch probe repeatedly from calWorkers
-// goroutines for calProbeDur and returns the mean cost of one query in
-// CPU-µs (workers × wall / queries) and the mean per-query result
-// count. Probes go through the batch call because that is how the
-// serving tier issues queries — batch execution amortises per-call
-// setup, and for the tree baselines that is several times cheaper per
-// query than the single-query path a sequential probe would measure.
-func runProbes(batchSize int, dur time.Duration, probe func() (int, error)) (usPerQuery, rowsPerQuery float64, err error) {
+// goroutines for a window scaled to the probe's per-call cost (see
+// probeDur) and returns the mean cost of one query in CPU-µs
+// (workers × wall / queries) and the mean per-query result count.
+// Probes go through the batch call because that is how the serving
+// tier issues queries — batch execution amortises per-call setup, and
+// for the tree baselines that is several times cheaper per query than
+// the single-query path a sequential probe would measure.
+func runProbes(batchSize int, probe func() (int, error)) (usPerQuery, rowsPerQuery float64, err error) {
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -445,10 +470,13 @@ func runProbes(batchSize int, dur time.Duration, probe func() (int, error)) (usP
 	)
 	// One untimed warm-up call so the first timed probe doesn't pay
 	// cold-cache cost — the smallest probes run first and are exactly
-	// the ones a constant error term distorts most.
+	// the ones a constant error term distorts most. Timing it also
+	// prices the cell: the warm-up's duration sizes the window.
+	warmStart := time.Now()
 	if _, err := probe(); err != nil {
 		return 0, 0, err
 	}
+	dur := probeDur(time.Since(warmStart))
 	start := time.Now()
 	deadline := start.Add(dur)
 	for w := 0; w < calWorkers; w++ {
@@ -538,7 +566,7 @@ func (s *Stats) Calibrate(ctx context.Context, eng rsmi.Engine) error {
 	var m Model
 
 	// Point probes: constant model, mean over the grid.
-	us, _, err := runProbes(len(pointCenters), calProbeDur, func() (int, error) {
+	us, _, err := runProbes(len(pointCenters), func() (int, error) {
 		_, err := eng.BatchPointQueryContext(ctx, pointCenters)
 		return 0, err
 	})
@@ -556,7 +584,7 @@ func (s *Stats) Calibrate(ctx context.Context, eng rsmi.Engine) error {
 		for i, c := range centers {
 			rects[i] = geom.RectAround(c, side*spanW, side*spanH)
 		}
-		us, rows, err := runProbes(len(rects), 2*calProbeDur, func() (int, error) {
+		us, rows, err := runProbes(len(rects), func() (int, error) {
 			rs, err := eng.BatchWindowQueryContext(ctx, rects)
 			if err != nil {
 				return 0, err
@@ -582,7 +610,7 @@ func (s *Stats) Calibrate(ctx context.Context, eng rsmi.Engine) error {
 		for i, c := range centers {
 			qs[i] = shard.KNNQuery{Q: c, K: k}
 		}
-		us, _, err := runProbes(len(qs), 6*calProbeDur, func() (int, error) {
+		us, _, err := runProbes(len(qs), func() (int, error) {
 			_, err := eng.BatchKNNContext(ctx, qs)
 			return 0, err
 		})

@@ -6,7 +6,9 @@ package plan
 
 import (
 	"math"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"rsmi/internal/geom"
 )
@@ -205,5 +207,62 @@ func TestChooseWithoutModels(t *testing.T) {
 	pl := s.Choose(Query{Kind: KindPoint, Point: geom.Pt(0.1, 0.1)})
 	if pl.Backend != "" || pl.Batch != 1 {
 		t.Fatalf("uncalibrated Choose = %+v, want empty fallback plan", pl)
+	}
+}
+
+// TestProbeDurScalesWithCost pins the calibration probe budget: a cell
+// whose calls are expensive (a large-k kNN batch) gets a longer
+// measurement window than a cheap cell (a point batch), bounded by the
+// floor and cap. The old fixed window handed every cell the same clock
+// regardless of per-call cost, so expensive cells fitted only a
+// handful of calls and their fitted ordering was a coin flip.
+func TestProbeDurScalesWithCost(t *testing.T) {
+	pointCell := probeDur(50 * time.Microsecond)
+	knnCell := probeDur(10 * time.Millisecond)
+	if pointCell != calProbeDur {
+		t.Errorf("probeDur(cheap point cell) = %v, want the %v floor", pointCell, calProbeDur)
+	}
+	if knnCell <= pointCell {
+		t.Errorf("probeDur(expensive kNN cell) = %v, not above the point cell's %v", knnCell, pointCell)
+	}
+	if want := 10 * time.Millisecond * calProbeMinCalls / calWorkers; knnCell != want {
+		t.Errorf("probeDur(10ms) = %v, want %v (fits %d calls across %d workers)", knnCell, want, calProbeMinCalls, calWorkers)
+	}
+	if d := probeDur(time.Second); d != calProbeMaxDur {
+		t.Errorf("probeDur(1s) = %v, want the %v cap", d, calProbeMaxDur)
+	}
+	if d := probeDur(0); d != calProbeDur {
+		t.Errorf("probeDur(0) = %v, want the %v floor", d, calProbeDur)
+	}
+}
+
+// TestRunProbesStretchesForExpensiveCalls is the integration half: a
+// probe costing ~5ms per call must hold the measurement window open
+// well past the floor (its window is sized to fit calProbeMinCalls),
+// and every worker must complete at least one timed call.
+func TestRunProbesStretchesForExpensiveCalls(t *testing.T) {
+	perCall := 5 * time.Millisecond
+	var calls atomic.Int64
+	start := time.Now()
+	us, _, err := runProbes(1, func() (int, error) {
+		calls.Add(1)
+		time.Sleep(perCall)
+		return 0, nil
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("runProbes: %v", err)
+	}
+	// Window = perCall·calProbeMinCalls/calWorkers = 30ms here; sleeps
+	// only ever overrun, so elapsed is a reliable lower bound.
+	if want := perCall * calProbeMinCalls / calWorkers; elapsed < want {
+		t.Errorf("expensive probe ran %v, want at least its %v scaled window (floor is %v)", elapsed, want, calProbeDur)
+	}
+	// Warm-up plus one unconditional timed call per worker.
+	if n := calls.Load(); n < calWorkers+1 {
+		t.Errorf("probe ran %d times, want at least %d", n, calWorkers+1)
+	}
+	if us <= 0 {
+		t.Errorf("usPerQuery = %v, want > 0", us)
 	}
 }

@@ -151,6 +151,8 @@ func wantsBinaryResponse(r *http.Request) bool {
 // ---- Encoding (append-style, allocation-free on a warm buffer) ----
 
 // appendBinHeader starts a frame.
+//
+//rsmi:noalloc
 func appendBinHeader(b []byte) []byte {
 	return append(b, binMagic[0], binMagic[1], BinVersion)
 }
@@ -294,6 +296,8 @@ type batchAnswer struct {
 
 // appendBatchAnswers encodes a whole batch response body (everything
 // after the frame header).
+//
+//rsmi:noalloc
 func appendBatchAnswers(b []byte, answers []batchAnswer) []byte {
 	b = appendUvarint(b, uint64(len(answers)))
 	for _, a := range answers {

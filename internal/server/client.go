@@ -716,8 +716,8 @@ func (c *Client) KNNExplain(ctx context.Context, q geom.Point, k int) ([]geom.Po
 
 // Rebuild triggers a rolling rebuild; it returns a *StatusError with code
 // 409 if one is already running.
-func (c *Client) Rebuild() error {
-	return c.post(context.Background(), "/v1/rebuild", struct{}{}, nil)
+func (c *Client) Rebuild(ctx context.Context) error {
+	return c.post(ctx, "/v1/rebuild", struct{}{}, nil)
 }
 
 // Stats fetches the serving counters.

@@ -243,8 +243,10 @@ func batchContext[Q, R any](batch []pending[Q, R]) (context.Context, context.Can
 		}
 	}
 	if earliest.IsZero() {
+		//rsmi:allow ctxflow -- batch ctx is deliberately detached: one member's cancel must not fail its peers
 		return context.Background(), nil
 	}
+	//rsmi:allow ctxflow -- batch ctx keeps only the earliest member deadline, never a member's cancel
 	return context.WithDeadline(context.Background(), earliest)
 }
 

@@ -57,6 +57,8 @@ func (s *Server) admit(w http.ResponseWriter) (func(), bool) {
 // queryExplain reports whether an HTTP request opted into an inline
 // EXPLAIN trace via ?explain=1 (or ?explain=true). The RawQuery check
 // keeps URL parsing off the common path.
+//
+//rsmi:noalloc
 func queryExplain(r *http.Request) bool {
 	if r.URL.RawQuery == "" {
 		return false
@@ -71,6 +73,8 @@ func queryExplain(r *http.Request) bool {
 // startHTTPTrace starts a trace for an HTTP request when it asked for
 // EXPLAIN or the sampler picked it. The untraced hot path returns
 // (nil, false) after two cheap checks and allocates nothing.
+//
+//rsmi:noalloc
 func (s *Server) startHTTPTrace(r *http.Request, op string) (*obs.Trace, bool) {
 	explain := queryExplain(r)
 	if !explain && !s.cfg.Observer.ShouldTrace() {
@@ -97,6 +101,8 @@ func (s *Server) upgradeExplain(tr *obs.Trace, op string) *obs.Trace {
 
 // traceJSON snapshots tr into its wire form; the caller serialises it
 // before Observer.Finish releases tr to the pool.
+//
+//rsmi:noalloc
 func traceJSON(tr *obs.Trace) *TraceJSON {
 	if tr == nil {
 		return nil

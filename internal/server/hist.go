@@ -39,6 +39,8 @@ func bucketOf(d time.Duration) int {
 // increment it sees has its bucket increment visible too, and the summed
 // buckets can only meet or exceed the rank derived from count — never
 // fall short of it.
+//
+//rsmi:noalloc
 func (h *histogram) observe(d time.Duration) {
 	h.buckets[bucketOf(d)].Add(1)
 	h.sumNS.Add(d.Nanoseconds())

@@ -47,6 +47,19 @@ func TestQuantileTornObserve(t *testing.T) {
 	}
 }
 
+// TestObserveAllocs pins observe at zero allocations: it runs on every
+// request for every op and transport, so a stray allocation here taxes
+// the whole serving tier.
+func TestObserveAllocs(t *testing.T) {
+	var h histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.observe(100 * time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("observe allocates %.1f times per sample, want 0", allocs)
+	}
+}
+
 // TestQuantileConcurrent hammers observe and quantile from concurrent
 // goroutines (run under -race in CI): every estimate must stay within the
 // range of values actually observed, whatever interleaving happens.

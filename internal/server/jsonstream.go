@@ -49,6 +49,8 @@ func appendJSONFloat(b []byte, v float64) []byte {
 // from the executed answers — the JSON twin of appendBatchAnswers.
 // Result objects mirror BatchResult's omitempty encoding: false bools and
 // empty point lists encode as {}.
+//
+//rsmi:noalloc
 func appendBatchAnswersJSON(b []byte, answers []batchAnswer) []byte {
 	b = append(b, `{"results":[`...)
 	for i, a := range answers {
@@ -105,6 +107,8 @@ func appendBatchAnswersJSON(b []byte, answers []batchAnswer) []byte {
 // has no omitempty fields, so an empty answer still encodes
 // {"count":0,"points":[]} exactly as encoding/json renders the
 // non-nil slice toPoints always produced.
+//
+//rsmi:noalloc
 func appendPointsJSON(b []byte, pts []geom.Point) []byte {
 	b = append(b, `{"count":`...)
 	b = strconv.AppendInt(b, int64(len(pts)), 10)

@@ -120,6 +120,13 @@ type Replica struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+
+	// lifeCtx is the replica's lifecycle context: every context the
+	// follow loop needs (bootstrap retries, replayed rebuilds, applied
+	// writes) derives from it, so Stop cancels in-flight work instead
+	// of waiting out its timeouts.
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
 }
 
 // NewReplica returns a replica of the primary serving HTTP at addr
@@ -131,12 +138,18 @@ func NewReplica(addr string, o ReplicaOptions) *Replica {
 		addr = "http://" + addr
 	}
 	addr = strings.TrimRight(addr, "/")
+	// The replica's lifecycle root: background work (bootstrap retries,
+	// oplog application) outlives any one request.
+	//rsmi:allow ctxflow -- lifecycle root, cancelled by Stop rather than a caller's ctx
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Replica{
-		primary: addr,
-		opts:    o,
-		fwd:     NewClient(addr, WithProto(ProtoBinary), WithTimeout(o.Timeout)),
-		hc:      &http.Client{Timeout: o.Timeout},
-		stop:    make(chan struct{}),
+		primary:    addr,
+		opts:       o,
+		fwd:        NewClient(addr, WithProto(ProtoBinary), WithTimeout(o.Timeout)),
+		hc:         &http.Client{Timeout: o.Timeout},
+		stop:       make(chan struct{}),
+		lifeCtx:    ctx,
+		lifeCancel: cancel,
 	}
 }
 
@@ -339,9 +352,13 @@ func (r *Replica) Start() {
 	go r.run()
 }
 
-// Stop terminates the follow loop and releases the forwarding client.
+// Stop terminates the follow loop, cancels in-flight bootstrap and
+// apply work, and releases the forwarding client.
 func (r *Replica) Stop() {
-	r.stopOnce.Do(func() { close(r.stop) })
+	r.stopOnce.Do(func() {
+		r.lifeCancel()
+		close(r.stop)
+	})
 	r.wg.Wait()
 	r.fwd.Close()
 	r.hc.CloseIdleConnections()
@@ -369,7 +386,7 @@ func (r *Replica) run() {
 		if errors.Is(err, errReplResync) {
 			r.resyncs.Add(1)
 			for !r.stopped() {
-				ctx, cancel := context.WithTimeout(context.Background(), r.opts.Timeout)
+				ctx, cancel := context.WithTimeout(r.lifeCtx, r.opts.Timeout)
 				err := r.Bootstrap(ctx)
 				cancel()
 				if err == nil {
@@ -499,14 +516,18 @@ func (r *Replica) applyFrame(payload []byte) error {
 			}
 			switch kind {
 			case shard.WriteInsert:
-				idx.Insert(p)
+				if err := idx.InsertContext(r.lifeCtx, p); err != nil {
+					return fmt.Errorf("repl: insert: %w", err)
+				}
 			case shard.WriteDelete:
-				idx.Delete(p)
+				if _, err := idx.DeleteContext(r.lifeCtx, p); err != nil {
+					return fmt.Errorf("repl: delete: %w", err)
+				}
 			case shard.WriteRebuild:
 				// Replaying the primary's rebuild keeps the replica's
 				// learned structure — and so its approximate answers —
 				// aligned with the primary's.
-				if err := idx.RebuildContext(context.Background()); err != nil {
+				if err := idx.RebuildContext(r.lifeCtx); err != nil {
 					return fmt.Errorf("repl: rebuild: %w", err)
 				}
 			default:
@@ -586,7 +607,7 @@ func (e replicaEngine) DeleteContext(ctx context.Context, p geom.Point) (bool, e
 func (e replicaEngine) RebuildContext(ctx context.Context) error {
 	// Forward: the primary rebuilds and the rebuild record reaches every
 	// replica through the oplog.
-	return e.r.fwd.Rebuild()
+	return e.r.fwd.Rebuild(ctx)
 }
 
 func (e replicaEngine) Len() int          { return e.idx().Len() }

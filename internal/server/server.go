@@ -291,6 +291,8 @@ func (s *Server) hist(op opIdx, tr transportIdx) *histogram {
 }
 
 // observeOp records one successful operation's latency.
+//
+//rsmi:noalloc
 func (s *Server) observeOp(op opIdx, tr transportIdx, d time.Duration) {
 	s.hists[op][tr].observe(d)
 }
@@ -366,6 +368,7 @@ func (s *Server) TriggerRebuild() bool {
 		// The rebuild is server-initiated, not tied to any request's
 		// lifetime; Shutdown waits for it rather than cancelling it.
 		start := time.Now()
+		//rsmi:allow ctxflow -- server-initiated maintenance; Shutdown waits for it rather than cancelling
 		if err := s.eng.RebuildContext(context.Background()); err == nil {
 			s.rebuilds.Add(1)
 			s.histRebuild.observe(time.Since(start))

@@ -322,7 +322,7 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	// A second trigger while running must 409 (unless the first already
 	// finished, which small engines can do).
-	if err := cl.Rebuild(); err != nil {
+	if err := cl.Rebuild(context.Background()); err != nil {
 		if se, ok := err.(*StatusError); !ok || se.Code != http.StatusConflict {
 			t.Fatalf("second rebuild: %v", err)
 		}

@@ -264,6 +264,7 @@ func (s *Server) serveStreamConn(conn net.Conn) {
 	}
 	defer conn.Close()
 	defer s.trackStreamConn(conn, false)
+	//rsmi:allow ctxflow -- connection-lifetime root: rsmistream requests derive from the conn, which has no parent ctx
 	connCtx, connCancel := context.WithCancel(context.Background())
 	defer connCancel()
 	sw := &streamWriter{conn: conn}

@@ -77,6 +77,7 @@ func (s *Sharded) batchPointQuery(ctx context.Context, qs []geom.Point) ([]bool,
 	obs.FromContext(ctx).AddShards(len(cands))
 	if err := s.fanOut(ctx, cands, func(i int, sh *state) {
 		for _, qi := range groups[i] {
+			//rsmi:allow ctxflow -- fanOut workers observe ctx between probes; one probe runs uninterrupted
 			if !found[qi].Load() && sh.idx.PointQuery(qs[qi]) {
 				found[qi].Store(true)
 			}
@@ -131,6 +132,7 @@ func (s *Sharded) batchWindowQuery(ctx context.Context, qs []geom.Rect) ([][]geo
 	obs.FromContext(ctx).AddShards(len(cands))
 	if err := s.fanOut(ctx, cands, func(i int, sh *state) {
 		for _, ref := range groups[i] {
+			//rsmi:allow ctxflow -- fanOut workers observe ctx between probes; one probe runs uninterrupted
 			parts[ref.qi][ref.slot] = sh.idx.WindowQuery(qs[ref.qi])
 		}
 	}); err != nil {
@@ -198,6 +200,7 @@ func (s *Sharded) batchKNN(ctx context.Context, qs []KNNQuery) ([][]geom.Point, 
 			if r.MinDist2(q.Q) >= b.worst() {
 				continue
 			}
+			//rsmi:allow ctxflow -- fanOut workers observe ctx between probes; one probe runs uninterrupted
 			b.merge(sh.idx.KNN(q.Q, q.K))
 		}
 	})

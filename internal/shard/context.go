@@ -55,6 +55,7 @@ func (s *Sharded) WindowQueryContext(ctx context.Context, q geom.Rect) ([]geom.P
 // across queries. On error dst is returned unextended.
 func (s *Sharded) WindowQueryAppend(ctx context.Context, dst []geom.Point, q geom.Rect) ([]geom.Point, error) {
 	return s.gatherWindow(ctx, dst, q,
+		//rsmi:allow ctxflow -- gatherWindow observes ctx between shard visits; one shard's probe runs uninterrupted
 		func(sh *state) []geom.Point { return sh.idx.WindowQuery(q) })
 }
 
