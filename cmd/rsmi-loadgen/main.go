@@ -73,6 +73,7 @@ func main() {
 		rate     = flag.Float64("rate", 0, "open-loop arrival rate in requests/s (0 = closed-loop)")
 		minOK    = flag.Float64("min-ok", -1, "exit 1 unless the 2xx rate reaches this fraction (e.g. 1.0)")
 		explainN = flag.Int("explain-sample", 0, "after the run, issue this many EXPLAIN queries and print the per-stage breakdown table")
+		subs     = flag.Int("subscribers", 0, "standing window queries held open for the run (tcp transport, single address); the report counts their notifications")
 	)
 	flag.Parse()
 	log.SetPrefix("rsmi-loadgen: ")
@@ -100,19 +101,20 @@ func main() {
 		log.Fatal("empty -addr")
 	}
 	rep, err := loadgen.Run(loadgen.Config{
-		Addrs:      addrs,
-		HedgeDelay: *hedge,
-		Clients:    *clients,
-		Duration:   *duration,
-		Mix:        m,
-		K:          *k,
-		WindowFrac: *window,
-		BatchSize:  *batch,
-		Seed:       *seed,
-		Proto:      p,
-		Transport:  tr,
-		Timeout:    *timeout,
-		Rate:       *rate,
+		Addrs:       addrs,
+		HedgeDelay:  *hedge,
+		Clients:     *clients,
+		Duration:    *duration,
+		Mix:         m,
+		K:           *k,
+		WindowFrac:  *window,
+		BatchSize:   *batch,
+		Seed:        *seed,
+		Proto:       p,
+		Transport:   tr,
+		Timeout:     *timeout,
+		Rate:        *rate,
+		Subscribers: *subs,
 	})
 	if err != nil {
 		log.Fatal(err)

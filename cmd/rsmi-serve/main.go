@@ -127,6 +127,9 @@ func main() {
 		slowRate    = flag.Float64("slow-query-rate", 10, "max slow-query log lines per second")
 		readyMaxLag = flag.Uint64("ready-max-lag", 0, "replica /readyz lag threshold in oplog records (default 1024)")
 		pprofFlag   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (exposes heap and symbol contents)")
+		subOutbox   = flag.Int("sub-outbox", 0, "per-connection standing-query outbox in notifications; a full outbox drops and marks (default 256)")
+		subGrid     = flag.Int("sub-grid-order", 0, "standing-query matcher grid order: 2^order cells per side (default 6)")
+		noSubs      = flag.Bool("no-subs", false, "disable standing-query subscriptions (SUB frames answer 501)")
 	)
 	flag.Parse()
 	log.SetPrefix("rsmi-serve: ")
@@ -227,6 +230,9 @@ func main() {
 		Observer:             observer,
 		ReadyMaxLag:          *readyMaxLag,
 		EnablePprof:          *pprofFlag,
+		SubOutbox:            *subOutbox,
+		SubGridOrder:         *subGrid,
+		DisableSubs:          *noSubs,
 	})
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

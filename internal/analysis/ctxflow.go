@@ -28,7 +28,7 @@ import (
 var AnalyzerCtxflow = &Analyzer{
 	Name: "ctxflow",
 	Doc: "flags context.Background()/TODO() and dropped-ctx engine calls " +
-		"in request-path packages (internal/server, internal/shard, internal/plan)",
+		"in request-path packages (internal/server, internal/shard, internal/plan, internal/sub)",
 	Run:      runCtxflow,
 	PkgScope: requestPathPkg,
 }
@@ -36,7 +36,7 @@ var AnalyzerCtxflow = &Analyzer{
 // requestPathPkg limits ctxflow to the packages where PR 5's
 // cancellation guarantees live.
 func requestPathPkg(importPath string) bool {
-	for _, p := range []string{"rsmi/internal/server", "rsmi/internal/shard", "rsmi/internal/plan"} {
+	for _, p := range []string{"rsmi/internal/server", "rsmi/internal/shard", "rsmi/internal/plan", "rsmi/internal/sub"} {
 		if importPath == p {
 			return true
 		}

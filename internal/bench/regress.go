@@ -26,7 +26,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
+	"sort"
 	"time"
 
 	"rsmi"
@@ -79,6 +81,12 @@ type Metrics struct {
 	// gated so per-query planning can never silently become expensive
 	// (additive field; absent pre-planner).
 	PlannerWindowOpsPerSec float64 `json:"planner_window_ops_per_sec,omitempty"`
+	// SubNotifyP50Us is the end-to-end standing-query notification
+	// latency: insert round-trip plus match, outbox, push frame, and
+	// client decode, measured with ~1000 live subscriptions on the
+	// connection. Gated upward like any latency (additive field; absent
+	// pre-subscriptions, and Compare skips a zero baseline).
+	SubNotifyP50Us float64 `json:"sub_notify_p50_us,omitempty"`
 }
 
 // metricsSchemaVersion guards baseline/current comparability (2: stream
@@ -295,6 +303,56 @@ func RunRegression(w io.Writer) (Metrics, error) {
 	m.PlannerWindowOpsPerSec = pRep.OpsPerSec
 	fmt.Fprintf(w, "  serving planner: %.0f ops/s, p50 %v (cost-routed windows)\n",
 		pRep.OpsPerSec, pRep.P50)
+
+	// Standing queries: end-to-end notify latency through the stream.
+	// This cell runs last because its inserts grow the dataset. One
+	// client holds ~1000 small window subscriptions plus a catch-all on
+	// the first serving instance; each loop turn inserts a fresh point
+	// and waits for the catch-all notification, so the measured span is
+	// insert round-trip plus match, outbox, push frame, and decode.
+	scl := server.NewClient(streamAddr, server.WithTransport(server.TransportTCP))
+	defer scl.Close()
+	notes, err := scl.Notifications()
+	if err != nil {
+		return Metrics{}, fmt.Errorf("sub cell: %w", err)
+	}
+	subRng := rand.New(rand.NewSource(7))
+	const subPop = 1000
+	for i := 1; i <= subPop; i++ {
+		win := geom.RectAround(geom.Pt(subRng.Float64(), subRng.Float64()), 0.02, 0.02)
+		if err := scl.SubscribeWindow(context.Background(), uint64(i), win); err != nil {
+			return Metrics{}, fmt.Errorf("sub cell: subscribe %d: %w", i, err)
+		}
+	}
+	const catchAll = subPop + 1
+	if err := scl.SubscribeWindow(context.Background(), catchAll, geom.Rect{MaxX: 1, MaxY: 1}); err != nil {
+		return Metrics{}, fmt.Errorf("sub cell: %w", err)
+	}
+	var lats []float64
+	start = time.Now()
+	for time.Since(start) < cell {
+		p := geom.Pt(subRng.Float64(), subRng.Float64())
+		t0 := time.Now()
+		if err := scl.Insert(context.Background(), p); err != nil {
+			return Metrics{}, fmt.Errorf("sub cell: insert: %w", err)
+		}
+		for {
+			var n server.SubNotification
+			select {
+			case n = <-notes:
+			case <-time.After(10 * time.Second):
+				return Metrics{}, fmt.Errorf("sub cell: notification for %v never arrived", p)
+			}
+			if n.SubID == catchAll && n.Point == p {
+				lats = append(lats, float64(time.Since(t0).Microseconds()))
+				break
+			}
+		}
+	}
+	sort.Float64s(lats)
+	m.SubNotifyP50Us = lats[len(lats)/2]
+	fmt.Fprintf(w, "  sub notify: p50 %.0fµs over %d inserts (%d subscriptions)\n",
+		m.SubNotifyP50Us, len(lats), catchAll)
 	return m, nil
 }
 
@@ -332,6 +390,7 @@ func Compare(baseline, current Metrics, tol float64) []string {
 	lower("hedged_p50_us", baseline.HedgedP50Us, current.HedgedP50Us)
 	higher("serving_traced_ops_per_sec", baseline.ServingTracedOpsPerSec, current.ServingTracedOpsPerSec)
 	higher("planner_window_ops_per_sec", baseline.PlannerWindowOpsPerSec, current.PlannerWindowOpsPerSec)
+	lower("sub_notify_p50_us", baseline.SubNotifyP50Us, current.SubNotifyP50Us)
 	return regressions
 }
 

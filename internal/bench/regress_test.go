@@ -78,6 +78,24 @@ func TestCompareDirections(t *testing.T) {
 	if regs := Compare(b, other, 0.25); len(regs) != 1 || !strings.Contains(regs[0], "schema") {
 		t.Fatalf("schema mismatch: %v", regs)
 	}
+
+	// Additive fields: a baseline that predates sub_notify_p50_us (zero
+	// value) never gates it; once baselined, it regresses upward like
+	// any latency.
+	cur := b
+	cur.SubNotifyP50Us = 40
+	if regs := Compare(b, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("sub notify gated against a pre-subscription baseline: %v", regs)
+	}
+	based := b
+	based.SubNotifyP50Us = 26
+	if regs := Compare(based, cur, 0.25); len(regs) != 1 || !strings.Contains(regs[0], "sub_notify_p50_us") {
+		t.Fatalf("54%% notify latency drift: %v", regs)
+	}
+	cur.SubNotifyP50Us = 30
+	if regs := Compare(based, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("15%% notify drift inside tolerance flagged: %v", regs)
+	}
 }
 
 // TestMetricsRoundTrip checks the JSON file format the CI job exchanges.

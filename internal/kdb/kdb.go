@@ -12,6 +12,7 @@ package kdb
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"rsmi/internal/geom"
@@ -35,13 +36,15 @@ type page struct {
 
 // Tree is the K-D-B-tree baseline.
 type Tree struct {
-	root     *page
-	fanout   int
-	size     int
-	pages    int
-	height   int
-	built    time.Duration
-	accesses int64
+	root   *page
+	fanout int
+	size   int
+	pages  int
+	height int
+	built  time.Duration
+	// accesses is atomic: the baseline engines allow concurrent readers
+	// (RWMutex read locks), and every query counts page visits.
+	accesses atomic.Int64
 }
 
 var _ index.Index = (*Tree)(nil)
@@ -178,7 +181,7 @@ func regionContains(r geom.Rect, p geom.Point) bool {
 func (t *Tree) PointQuery(q geom.Point) bool {
 	p := t.root
 	for {
-		t.accesses++
+		t.accesses.Add(1)
 		if p.leaf {
 			for _, pt := range p.pts {
 				if pt == q {
@@ -207,7 +210,7 @@ func (t *Tree) WindowQuery(q geom.Rect) []geom.Point {
 	var out []geom.Point
 	var walk func(p *page)
 	walk = func(p *page) {
-		t.accesses++
+		t.accesses.Add(1)
 		if p.leaf {
 			for _, pt := range p.pts {
 				if q.Contains(pt) {
@@ -287,7 +290,7 @@ func (t *Tree) KNN(q geom.Point, k int) []geom.Point {
 			out = append(out, e.pt)
 			continue
 		}
-		t.accesses++
+		t.accesses.Add(1)
 		if e.pg.leaf {
 			for _, p := range e.pg.pts {
 				push(entry{dist2: q.Dist2(p), pt: p, isPt: true})
@@ -548,7 +551,7 @@ func (t *Tree) Stats() index.Stats {
 }
 
 // Accesses implements index.Index.
-func (t *Tree) Accesses() int64 { return t.accesses }
+func (t *Tree) Accesses() int64 { return t.accesses.Load() }
 
 // ResetAccesses implements index.Index.
-func (t *Tree) ResetAccesses() { t.accesses = 0 }
+func (t *Tree) ResetAccesses() { t.accesses.Store(0) }

@@ -32,6 +32,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rsmi/internal/geom"
@@ -148,6 +149,11 @@ type Config struct {
 	// goroutines, regardless of completions (each request still carries
 	// BatchSize operations). 0 is closed-loop.
 	Rate float64
+	// Subscribers > 0 registers that many standing window queries
+	// (windows of WindowFrac area at uniform centres) before driving
+	// load, drains their notifications for the whole run, and reports
+	// the notification tally. Requires TransportTCP and a single Addr.
+	Subscribers int
 }
 
 func (c Config) withDefaults() Config {
@@ -218,6 +224,12 @@ type Report struct {
 	Targets   int
 	Hedges    int64
 	HedgeWins int64
+	// Subscribers is how many standing queries the run held open;
+	// Notifications counts push notifications drained and NotifyMissed
+	// how many of them carried the missed (dropped-before-me) flag.
+	Subscribers   int
+	Notifications int64
+	NotifyMissed  int64
 }
 
 // OKRate returns the fraction of requests answered 2xx (1.0 when no
@@ -248,6 +260,10 @@ func (r Report) String() string {
 	}
 	if r.Targets > 1 {
 		mode += fmt.Sprintf(" targets=%d hedges=%d wins=%d", r.Targets, r.Hedges, r.HedgeWins)
+	}
+	if r.Subscribers > 0 {
+		mode += fmt.Sprintf(" subscribers=%d notifications=%d missed=%d",
+			r.Subscribers, r.Notifications, r.NotifyMissed)
 	}
 	return fmt.Sprintf(
 		"clients=%d batch=%d proto=%s%s elapsed=%v\n"+
@@ -314,6 +330,47 @@ func Run(cfg Config) (Report, error) {
 			server.WithTimeout(cfg.Timeout))
 	}
 	defer cl.Close()
+
+	// Standing-query subscribers: register before load starts, drain for
+	// the whole run so the server's outboxes never mark this client slow.
+	var subNotes, subMissed atomic.Int64
+	if cfg.Subscribers > 0 {
+		sc, ok := cl.(*server.Client)
+		if !ok {
+			return Report{}, errors.New("loadgen: subscribers need a single target (not a hedged set)")
+		}
+		if cfg.Transport != server.TransportTCP {
+			return Report{}, errors.New("loadgen: subscribers need the tcp transport")
+		}
+		notes, err := sc.Notifications()
+		if err != nil {
+			return Report{}, err
+		}
+		subRng := rand.New(rand.NewSource(cfg.Seed + 104729))
+		sw := math.Sqrt(cfg.WindowFrac)
+		for i := 0; i < cfg.Subscribers; i++ {
+			q := geom.RectAround(geom.Pt(subRng.Float64(), subRng.Float64()), sw, sw)
+			if err := sc.SubscribeWindow(context.Background(), uint64(i+1), q); err != nil {
+				return Report{}, fmt.Errorf("loadgen: subscribe %d/%d: %w", i+1, cfg.Subscribers, err)
+			}
+		}
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			for {
+				select {
+				case n := <-notes:
+					subNotes.Add(1)
+					if n.Missed {
+						subMissed.Add(1)
+					}
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+
 	stats := make([]clientStats, cfg.Clients)
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
@@ -345,6 +402,9 @@ func Run(cfg Config) (Report, error) {
 		rep.Hedges = hc.Hedges()
 		rep.HedgeWins = hc.HedgeWins()
 	}
+	rep.Subscribers = cfg.Subscribers
+	rep.Notifications = subNotes.Load()
+	rep.NotifyMissed = subMissed.Load()
 	var all []time.Duration
 	for i := range stats {
 		rep.Requests += stats[i].requests

@@ -253,8 +253,19 @@ func estimate(m *model, q Query, rows float64) float64 {
 // plus the batching and coalescing hints its cost class implies. With
 // no calibrated models the plan is empty (callers fall back to their
 // primary backend).
-func (s *Stats) Choose(q Query) Plan {
-	s.planned.Add(1)
+func (s *Stats) Choose(q Query) Plan { return s.choose(q, true) }
+
+// Hint plans q without recording it: the same backend choice and
+// batching advice Choose would produce, for callers that only want the
+// coalescing hint (the serving tier's single-query read paths) and must
+// not inflate the planned/routed counters with queries the planner is
+// not routing.
+func (s *Stats) Hint(q Query) Plan { return s.choose(q, false) }
+
+func (s *Stats) choose(q Query, record bool) Plan {
+	if record {
+		s.planned.Add(1)
+	}
 	set := s.set.Load()
 	if set == nil {
 		return Plan{Batch: 1}
@@ -279,7 +290,9 @@ func (s *Stats) Choose(q Query) Plan {
 	if best == nil {
 		return Plan{Batch: 1}
 	}
-	best.routed.Add(1)
+	if record {
+		best.routed.Add(1)
+	}
 	// Cheap queries amortise well in large micro-batches; expensive
 	// scans should run directly, one at a time.
 	switch {

@@ -266,3 +266,59 @@ func TestRunProbesStretchesForExpensiveCalls(t *testing.T) {
 		t.Errorf("usPerQuery = %v, want > 0", us)
 	}
 }
+
+// TestHintMatchesChooseWithoutCounters pins the advisory surface the
+// serving tier's coalescer consults: Hint must produce exactly the plan
+// Choose would (both directions — cheap query coalesces, expensive scan
+// bypasses) while leaving the planned/routed counters untouched.
+func TestHintMatchesChooseWithoutCounters(t *testing.T) {
+	s := seededStats()
+	tiny := Query{Kind: KindWindow, Window: geom.Rect{MinX: 0.5, MinY: 0.5, MaxX: 0.501, MaxY: 0.501}}
+	huge := Query{Kind: KindWindow, Window: geom.Rect{MinX: 0, MinY: 0, MaxX: 0.7, MaxY: 0.7}}
+	knn := Query{Kind: KindKNN, Point: geom.Pt(0.5, 0.5), K: 10}
+
+	for _, tc := range []struct {
+		name         string
+		q            Query
+		wantCoalesce bool
+		wantBatch    int
+	}{
+		{"tiny-window-coalesces", tiny, true, 32},
+		{"huge-window-bypasses", huge, false, 1},
+		{"knn-coalesces", knn, true, 32},
+	} {
+		pl := s.Hint(tc.q)
+		if pl.Coalesce != tc.wantCoalesce || pl.Batch != tc.wantBatch {
+			t.Errorf("%s: Hint = %+v, want Coalesce=%v Batch=%d",
+				tc.name, pl, tc.wantCoalesce, tc.wantBatch)
+		}
+		if pl.Backend == "" {
+			t.Errorf("%s: Hint chose no backend", tc.name)
+		}
+	}
+
+	c := s.Counters()
+	if c.Planned != 0 {
+		t.Fatalf("Hint bumped Planned: %+v", c)
+	}
+	for name, n := range c.Routed {
+		if n != 0 {
+			t.Fatalf("Hint bumped Routed[%s] = %d", name, n)
+		}
+	}
+	// And Choose still counts.
+	s.Choose(tiny)
+	if c := s.Counters(); c.Planned != 1 || c.Routed["RSMI"] != 1 {
+		t.Fatalf("Choose counters after Hint calls: %+v", c)
+	}
+}
+
+// TestHintUncalibrated pins the no-models fallback: an empty plan with
+// no backend, which callers must treat as "ride the coalescer".
+func TestHintUncalibrated(t *testing.T) {
+	s := NewStats(nil)
+	pl := s.Hint(Query{Kind: KindWindow, Window: geom.Rect{MaxX: 1, MaxY: 1}})
+	if pl.Backend != "" || pl.Coalesce {
+		t.Fatalf("uncalibrated Hint = %+v, want empty plan", pl)
+	}
+}

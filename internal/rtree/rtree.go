@@ -12,6 +12,7 @@ package rtree
 
 import (
 	"container/heap"
+	"sync/atomic"
 
 	"rsmi/internal/geom"
 )
@@ -59,13 +60,15 @@ type Reinserter interface {
 
 // Tree is an R-tree with pluggable insertion policy.
 type Tree struct {
-	root       *Node
-	fanout     int
-	size       int
-	nodes      int
-	height     int
-	policy     Policy
-	accesses   int64
+	root   *Node
+	fanout int
+	size   int
+	nodes  int
+	height int
+	policy Policy
+	// accesses is atomic: the baseline engines allow concurrent readers
+	// (RWMutex read locks), and every query counts node visits.
+	accesses   atomic.Int64
 	inReinsert bool // latch: forced reinsertion happens once per insertion
 }
 
@@ -167,13 +170,13 @@ func (t *Tree) SizeBytes() int64 {
 }
 
 // Accesses returns node accesses since the last reset.
-func (t *Tree) Accesses() int64 { return t.accesses }
+func (t *Tree) Accesses() int64 { return t.accesses.Load() }
 
 // ResetAccesses zeroes the access counter.
-func (t *Tree) ResetAccesses() { t.accesses = 0 }
+func (t *Tree) ResetAccesses() { t.accesses.Store(0) }
 
 // visit counts one node access.
-func (t *Tree) visit(*Node) { t.accesses++ }
+func (t *Tree) visit(*Node) { t.accesses.Add(1) }
 
 // PointQuery reports whether a point with exactly q's coordinates is stored.
 func (t *Tree) PointQuery(q geom.Point) bool {

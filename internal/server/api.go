@@ -98,6 +98,22 @@ const (
 	// stream frame). It is rejected inside multi-op batches: a SQL
 	// statement is its own batch of work.
 	OpSQL = "sql"
+	// OpSub / OpUnsub register and remove standing queries (geo
+	// pub/sub). They exist only as single-op frames on the stream
+	// transport — the persistent connection is the push channel the
+	// notifications ride back on — and are rejected over HTTP and
+	// inside multi-op batches.
+	OpSub   = "sub"
+	OpUnsub = "unsub"
+)
+
+// Subscription kinds inside an OpSub operation.
+const (
+	// SubWindow notifies on writes inside a fixed rectangle
+	// (min_x…max_y).
+	SubWindow = "window"
+	// SubKNN notifies on changes to the k nearest neighbours of (x, y).
+	SubKNN = "knn"
 )
 
 // BatchOp is one operation inside a /v1/batch request. Op selects the
@@ -114,6 +130,12 @@ type BatchOp struct {
 	MaxX float64 `json:"max_x,omitempty"`
 	MaxY float64 `json:"max_y,omitempty"`
 	SQL  string  `json:"sql,omitempty"`
+	// SubID and SubKind drive the sub/unsub ops (stream transport
+	// only): SubID is the client-chosen subscription id, SubKind the
+	// subscription shape (SubWindow uses the window fields, SubKNN the
+	// x/y/k fields).
+	SubID   uint64 `json:"sub_id,omitempty"`
+	SubKind string `json:"sub_kind,omitempty"`
 }
 
 // SQLRequest is the POST /v1/sql body: one statement in the spatial SQL
@@ -214,6 +236,18 @@ type PlannerStatsJSON struct {
 	Routed      map[string]int64 `json:"routed"`
 }
 
+// SubStats reports the standing-query layer in /v1/stats: live
+// subscription count, lifetime registration churn, and the
+// notification fan-out tallies (Dropped counts notifications refused by
+// a full per-connection outbox under drop-and-mark semantics).
+type SubStats struct {
+	Active       int64 `json:"active"`
+	Subscribed   int64 `json:"subscribed"`
+	Unsubscribed int64 `json:"unsubscribed"`
+	Notified     int64 `json:"notified"`
+	Dropped      int64 `json:"dropped"`
+}
+
 // StatsResponse answers /v1/stats.
 type StatsResponse struct {
 	// Engine is the backend's display name ("Sharded", "RR*", "Grid", …),
@@ -231,4 +265,5 @@ type StatsResponse struct {
 	Coalesce       CoalesceStats      `json:"coalesce"`
 	Replication    *ReplicationStats  `json:"replication,omitempty"`
 	Planner        *PlannerStatsJSON  `json:"planner,omitempty"`
+	Subs           *SubStats          `json:"subs,omitempty"`
 }

@@ -29,6 +29,8 @@ package server
 //	  window               minX f64, minY f64, maxX f64, maxY f64
 //	  knn                  x f64, y f64, uvarint k
 //	  sql                  uvarint len, query bytes
+//	  sub                  uvarint id, kind byte, window rect | knn x y k
+//	  unsub                uvarint id
 //	response (per-op)    header, result [, trace]
 //	response (/v1/batch) header, uvarint n, n × result [, trace]
 //	result               tag byte, payload
@@ -81,6 +83,19 @@ const (
 	binOpInsert
 	binOpDelete
 	binOpSQL
+	// binOpSub / binOpUnsub register and remove standing queries. They
+	// are only meaningful on the stream transport (the push channel the
+	// notifications ride back on), and only as single-op frames — HTTP
+	// and multi-op batches reject them in validateOps.
+	binOpSub
+	binOpUnsub
+)
+
+// Subscription kind bytes inside a binOpSub entry (the wire form of
+// sub.KindWindow / sub.KindKNN).
+const (
+	binSubWindow byte = 1
+	binSubKNN    byte = 2
 )
 
 // binOpExplain is the op-byte flag bit requesting an inline EXPLAIN
@@ -114,6 +129,10 @@ func opByte(op string) (byte, bool) {
 		return binOpDelete, true
 	case OpSQL:
 		return binOpSQL, true
+	case OpSub:
+		return binOpSub, true
+	case OpUnsub:
+		return binOpUnsub, true
 	}
 	return 0, false
 }
@@ -133,6 +152,10 @@ func opName(b byte) (string, bool) {
 		return OpDelete, true
 	case binOpSQL:
 		return OpSQL, true
+	case binOpSub:
+		return OpSub, true
+	case binOpUnsub:
+		return OpUnsub, true
 	}
 	return "", false
 }
@@ -183,6 +206,29 @@ func appendOp(b []byte, op BatchOp) ([]byte, error) {
 	case binOpSQL:
 		b = appendUvarint(b, uint64(len(op.SQL)))
 		b = append(b, op.SQL...)
+	case binOpSub:
+		b = appendUvarint(b, op.SubID)
+		switch op.SubKind {
+		case SubWindow:
+			b = append(b, binSubWindow)
+			b = appendF64(b, op.MinX)
+			b = appendF64(b, op.MinY)
+			b = appendF64(b, op.MaxX)
+			b = appendF64(b, op.MaxY)
+		case SubKNN:
+			b = append(b, binSubKNN)
+			b = appendF64(b, op.X)
+			b = appendF64(b, op.Y)
+			k := op.K
+			if k < 0 {
+				k = 0
+			}
+			b = appendUvarint(b, uint64(k))
+		default:
+			return b, fmt.Errorf("rsmibin: unknown subscription kind %q", op.SubKind)
+		}
+	case binOpUnsub:
+		b = appendUvarint(b, op.SubID)
 	case binOpWindow:
 		b = appendF64(b, op.MinX)
 		b = appendF64(b, op.MinY)
@@ -453,6 +499,30 @@ func (r *binReader) entry() BatchOp {
 	}
 	op := BatchOp{Op: name}
 	switch kind {
+	case binOpSub:
+		op.SubID = r.uvarint()
+		switch sk := r.byte(); sk {
+		case binSubWindow:
+			op.SubKind = SubWindow
+			op.MinX, op.MinY = r.f64(), r.f64()
+			op.MaxX, op.MaxY = r.f64(), r.f64()
+		case binSubKNN:
+			op.SubKind = SubKNN
+			op.X, op.Y = r.f64(), r.f64()
+			k := r.uvarint()
+			if k > binMaxK {
+				r.fail(fmt.Errorf("rsmibin: k %d exceeds %d", k, binMaxK))
+				return BatchOp{}
+			}
+			op.K = int(k)
+		default:
+			if r.err == nil {
+				r.fail(fmt.Errorf("rsmibin: unknown subscription kind byte 0x%02x", sk))
+			}
+			return BatchOp{}
+		}
+	case binOpUnsub:
+		op.SubID = r.uvarint()
 	case binOpSQL:
 		n := r.uvarint()
 		if r.err == nil && n > uint64(len(r.data)) {

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"rsmi/internal/geom"
@@ -91,6 +92,10 @@ type Client struct {
 	hc     *http.Client
 	proto  Proto
 	stream *streamClient
+
+	// subMu guards the lazily-created standing-query state (subclient.go).
+	subMu sync.Mutex
+	subc  *subClient
 }
 
 // Option configures a Client at construction; pass any combination to
@@ -198,6 +203,13 @@ func (c *Client) Transport() Transport {
 // fails subsequent calls; a closed HTTP client only drops idle
 // connections.
 func (c *Client) Close() {
+	c.subMu.Lock()
+	sc := c.subc
+	c.subc = nil
+	c.subMu.Unlock()
+	if sc != nil {
+		sc.close()
+	}
 	if c.stream != nil {
 		c.stream.close()
 	}

@@ -93,6 +93,10 @@ type pending[Q, R any] struct {
 	reply chan answer[R]
 	tr    *obs.Trace
 	enq   time.Time
+	// cap, when > 0, is the planner's batch-size hint for this query: a
+	// batch it opens collects at most min(cap, maxBatch) members. 0 (no
+	// planner, or no hint) leaves maxBatch in charge.
+	cap int
 }
 
 // answer is one query's outcome: its result or its batch's error.
@@ -127,11 +131,19 @@ func (c *coalescer[Q, R]) do(ctx context.Context, q Q) (R, error) {
 // its batch executes. tr == nil is the untraced hot path and adds no
 // work beyond two nil stores in the pending struct.
 func (c *coalescer[Q, R]) doTraced(ctx context.Context, q Q, tr *obs.Trace) (R, error) {
+	return c.doHinted(ctx, q, tr, 0)
+}
+
+// doHinted is doTraced with the planner's batch-size hint: when this
+// query opens a batch, the batch collects at most batchCap members
+// (0 = no hint). Only the opener's hint applies — followers joined a
+// batch already sized by whoever opened it.
+func (c *coalescer[Q, R]) doHinted(ctx context.Context, q Q, tr *obs.Trace, batchCap int) (R, error) {
 	var zero R
 	if err := ctx.Err(); err != nil {
 		return zero, err
 	}
-	p := pending[Q, R]{q: q, ctx: ctx, reply: make(chan answer[R], 1)}
+	p := pending[Q, R]{q: q, ctx: ctx, reply: make(chan answer[R], 1), cap: batchCap}
 	if tr != nil {
 		p.tr = tr
 		p.enq = time.Now()
@@ -253,12 +265,16 @@ func batchContext[Q, R any](batch []pending[Q, R]) (context.Context, context.Can
 // collectAndRun grows a batch from first, executes it, and distributes
 // the answers.
 func (c *coalescer[Q, R]) collectAndRun(first pending[Q, R]) {
-	batch := make([]pending[Q, R], 1, c.maxBatch)
+	max := c.maxBatch
+	if first.cap > 0 && first.cap < max {
+		max = first.cap
+	}
+	batch := make([]pending[Q, R], 1, max)
 	batch[0] = first
 	if c.window > 0 {
 		timer := time.NewTimer(c.window)
 	fill:
-		for len(batch) < c.maxBatch {
+		for len(batch) < max {
 			select {
 			case p := <-c.in:
 				batch = append(batch, p)
@@ -273,7 +289,7 @@ func (c *coalescer[Q, R]) collectAndRun(first pending[Q, R]) {
 		// Opportunistic: drain whatever queued while the previous batch
 		// executed, without waiting on the clock.
 	drain:
-		for len(batch) < c.maxBatch {
+		for len(batch) < max {
 			select {
 			case p := <-c.in:
 				batch = append(batch, p)

@@ -348,7 +348,18 @@ func (s *Server) queryPoint(ctx context.Context, p geom.Point, tr *obs.Trace) (b
 
 func (s *Server) queryWindow(ctx context.Context, q geom.Rect, tr *obs.Trace) ([]geom.Point, error) {
 	if s.coWindow != nil {
-		return s.coWindow.doTraced(ctx, q, tr)
+		if s.hinter == nil {
+			return s.coWindow.doTraced(ctx, q, tr)
+		}
+		// The planner's per-query hint decides ride-the-batch versus
+		// direct: a cheap window amortises in a micro-batch, an expensive
+		// scan would stall its batch peers for no amortisation win. An
+		// empty plan (uncalibrated stats) rides — bypassing is the planner
+		// speaking, not the default.
+		if pl := s.hinter.PlanHint(plan.Query{Kind: plan.KindWindow, Window: q}); pl.Coalesce || pl.Backend == "" {
+			return s.coWindow.doHinted(ctx, q, tr, pl.Batch)
+		}
+		s.planBypass.Add(1)
 	}
 	if tr == nil {
 		return s.eng.WindowQueryContext(ctx, q)
@@ -361,7 +372,13 @@ func (s *Server) queryWindow(ctx context.Context, q geom.Rect, tr *obs.Trace) ([
 
 func (s *Server) queryKNN(ctx context.Context, q shard.KNNQuery, tr *obs.Trace) ([]geom.Point, error) {
 	if s.coKNN != nil {
-		return s.coKNN.doTraced(ctx, q, tr)
+		if s.hinter == nil {
+			return s.coKNN.doTraced(ctx, q, tr)
+		}
+		if pl := s.hinter.PlanHint(plan.Query{Kind: plan.KindKNN, Point: q.Q, K: q.K}); pl.Coalesce || pl.Backend == "" {
+			return s.coKNN.doHinted(ctx, q, tr, pl.Batch)
+		}
+		s.planBypass.Add(1)
 	}
 	if tr == nil {
 		return s.eng.KNNContext(ctx, q.Q, q.K)
@@ -640,6 +657,12 @@ func validateOps(ops []BatchOp) error {
 			} else {
 				_, err = sqlfe.Parse(op.SQL)
 			}
+		case OpSub, OpUnsub:
+			// Standing queries exist only as single-op stream frames (the
+			// stream path dispatches them before this check): the push
+			// channel is the connection itself, so there is nothing for
+			// HTTP — or a multi-op batch — to subscribe.
+			err = errors.New("sub/unsub ride only single-op stream frames")
 		default:
 			err = fmt.Errorf("unknown op %q", op.Op)
 		}
@@ -820,6 +843,15 @@ type plannerEngine interface {
 	PlannerStats() plan.Counters
 }
 
+// planHinter is the advisory planning surface the single-query read
+// paths consult before riding the coalescer (plan.MultiEngine.PlanHint):
+// the plan's Coalesce/Batch hints steer the micro-batcher without the
+// counter side effects of a full PlanQuery. Cached on the Server at
+// construction so the hot path pays no type assertion.
+type planHinter interface {
+	PlanHint(q plan.Query) plan.Plan
+}
+
 // executeSQL runs one parsed SQL query and records the plan decision —
 // chosen backend, estimated vs actual cost — on the trace for EXPLAIN.
 // It observes the plan and execute stages itself (the two are disjoint,
@@ -995,6 +1027,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Replication = s.cfg.Replicator.stats()
 	} else if s.cfg.Replica != nil {
 		resp.Replication = s.cfg.Replica.stats()
+	}
+	if s.subs != nil {
+		c := s.subs.Counters()
+		resp.Subs = &SubStats{
+			Active:       c.Active,
+			Subscribed:   c.Subscribed,
+			Unsubscribed: c.Unsubscribed,
+			Notified:     c.Notified,
+			Dropped:      c.Dropped,
+		}
 	}
 	if s.coPoint != nil {
 		for _, c := range []interface {

@@ -25,6 +25,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"rsmi/internal/sub"
 )
 
 // metricsContentType is the Prometheus text exposition content type.
@@ -271,6 +273,8 @@ func (s *Server) writeMetrics(b *bytes.Buffer) {
 	promInt(b, "rsmi_plan_queries_total", "", planned)
 	promHead(b, "rsmi_plan_mispredicts_total", "counter", "Planned queries whose actual cost fell outside [est/2, 2*est].")
 	promInt(b, "rsmi_plan_mispredicts_total", "", mispredicts)
+	promHead(b, "rsmi_plan_bypass_total", "counter", "Single queries sent around the coalescer on the planner's hint (expensive scans that would stall their batch peers).")
+	promInt(b, "rsmi_plan_bypass_total", "", s.planBypass.Load())
 	if len(routed) > 0 {
 		promHead(b, "rsmi_plan_routed_total", "counter", "Planned queries by chosen backend.")
 		names := make([]string, 0, len(routed))
@@ -282,6 +286,27 @@ func (s *Server) writeMetrics(b *bytes.Buffer) {
 			promInt(b, "rsmi_plan_routed_total", `backend="`+promEscape(name)+`"`, routed[name])
 		}
 	}
+
+	// Standing queries (internal/sub). Zero-valued when the engine has no
+	// write hooks (s.subs == nil) so the series set is scrape-stable.
+	var subs sub.Counters
+	if s.subs != nil {
+		subs = s.subs.Counters()
+	}
+	promHead(b, "rsmi_sub_active", "gauge", "Standing queries currently registered.")
+	promInt(b, "rsmi_sub_active", "", subs.Active)
+	promHead(b, "rsmi_sub_subscribed_total", "counter", "SUB registrations accepted.")
+	promInt(b, "rsmi_sub_subscribed_total", "", subs.Subscribed)
+	promHead(b, "rsmi_sub_unsubscribed_total", "counter", "Standing queries removed by UNSUB or connection teardown.")
+	promInt(b, "rsmi_sub_unsubscribed_total", "", subs.Unsubscribed)
+	promHead(b, "rsmi_sub_notified_total", "counter", "Notifications enqueued to subscriber outboxes.")
+	promInt(b, "rsmi_sub_notified_total", "", subs.Notified)
+	promHead(b, "rsmi_sub_dropped_total", "counter", "Notifications dropped on full outboxes (the next delivered one carries the missed flag).")
+	promInt(b, "rsmi_sub_dropped_total", "", subs.Dropped)
+	promHead(b, "rsmi_sub_notify_duration_seconds", "histogram", "Queue-to-push latency of delivered notifications.")
+	var sns histSnapshot
+	s.subNotifyHist.snapshotInto(&sns)
+	writeOctaveHist(b, "rsmi_sub_notify_duration_seconds", "", &sns)
 
 	// Client-side hedging, when the embedder wired a source.
 	var hedges, hedgeWins int64

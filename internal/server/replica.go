@@ -114,6 +114,11 @@ type Replica struct {
 	frameLocal   atomic.Int64
 	appliedAt    atomic.Int64
 
+	// writeTap, when set, observes every applied oplog record — the
+	// replica-side standing-query feed. Unlike a hook on the engine
+	// itself, the tap survives the atomic engine swap of a re-bootstrap.
+	writeTap atomic.Pointer[shard.WriteHook]
+
 	mu         sync.Mutex
 	streamAddr string
 
@@ -156,6 +161,19 @@ func NewReplica(addr string, o ReplicaOptions) *Replica {
 // Engine returns the replica's serving view: reads answered locally,
 // writes forwarded to the primary.
 func (r *Replica) Engine() Engine { return replicaEngine{r} }
+
+// SetWriteTap installs h as the observer of every oplog record this
+// replica applies (nil uninstalls), called with the record after it is
+// applied locally. It is how read replicas serve standing queries: the
+// same feed that keeps the engine current drives the matcher. The tap
+// runs on the single follow goroutine — keep it short.
+func (r *Replica) SetWriteTap(h shard.WriteHook) {
+	if h == nil {
+		r.writeTap.Store(nil)
+		return
+	}
+	r.writeTap.Store(&h)
+}
 
 // AppliedSeq reports the last oplog sequence applied locally.
 func (r *Replica) AppliedSeq() uint64 { return r.applied.Load() }
@@ -536,6 +554,9 @@ func (r *Replica) applyFrame(payload []byte) error {
 			r.applied.Store(seq)
 			r.appliedAt.Store(at)
 			r.observeClock(at)
+			if tap := r.writeTap.Load(); tap != nil {
+				(*tap)(shard.WriteOp{Kind: kind, P: p})
+			}
 		}
 		if len(br.data) != 0 {
 			return errors.New("repl: trailing bytes in ops frame")

@@ -103,15 +103,23 @@ type Replicator struct {
 }
 
 // NewReplicator wraps idx for replication. logCap sets oplog retention
-// in records (0 means the default 65536). It installs idx's write hook;
-// a sharded engine has at most one Replicator.
+// in records (0 means the default 65536). It registers the oplog as one
+// of idx's write hooks (other consumers — the subscription matcher —
+// may fan in beside it); a sharded engine has at most one Replicator.
 func NewReplicator(idx *rsmi.Sharded, logCap int) *Replicator {
 	r := &Replicator{idx: idx, log: newOpLog(logCap)}
 	r.eng = gatedEngine{Engine: idx, gate: &r.gate}
-	idx.SetWriteHook(func(op shard.WriteOp) {
+	idx.AddWriteHook(func(op shard.WriteOp) {
 		r.log.append(op.Kind, op.P)
 	})
 	return r
+}
+
+// AddWriteHook registers one more write observer on the replicated
+// index (the subscription registry's tap point on a primary, where the
+// served Engine is the gated wrapper and hides the index).
+func (r *Replicator) AddWriteHook(h shard.WriteHook) func() {
+	return r.idx.AddWriteHook(h)
 }
 
 // Engine returns the write-gated engine view the server must serve:

@@ -64,6 +64,7 @@ import (
 	"rsmi/internal/geom"
 	"rsmi/internal/obs"
 	"rsmi/internal/shard"
+	"rsmi/internal/sub"
 )
 
 // Engine is the index surface the server serves: the public context-aware
@@ -126,6 +127,17 @@ type Config struct {
 	// reports ready only while primarySeq - appliedSeq <= ReadyMaxLag
 	// (default 1024). Primaries and standalone servers are always ready.
 	ReadyMaxLag uint64
+	// SubOutbox caps each stream connection's standing-query notification
+	// outbox (default 256). A subscriber that stops reading fills it and
+	// loses notifications under drop-and-mark semantics — the write path
+	// is never blocked by a slow consumer.
+	SubOutbox int
+	// SubGridOrder sets the subscription matcher's grid resolution to
+	// 2^order cells per side (default 6: a 64×64 grid).
+	SubGridOrder int
+	// DisableSubs turns the standing-query layer off even when the
+	// engine could support it; SUB frames then answer 501.
+	DisableSubs bool
 	// EnablePprof registers net/http/pprof under /debug/pprof/ on this
 	// server's mux. Off by default: profiling endpoints leak heap and
 	// symbol contents, so exposure is an explicit operator decision
@@ -215,6 +227,11 @@ type Server struct {
 	coPoint  *coalescer[geom.Point, bool]
 	coWindow *coalescer[geom.Rect, []geom.Point]
 	coKNN    *coalescer[shard.KNNQuery, []geom.Point]
+	// hinter, when the engine plans (plan.MultiEngine), advises the
+	// single-query read paths per query: coalesce or bypass, and at what
+	// batch size. planBypass counts queries sent direct on its advice.
+	hinter     planHinter
+	planBypass atomic.Int64
 
 	// Rolling-rebuild coordination.
 	rebuildRunning atomic.Bool
@@ -231,6 +248,15 @@ type Server struct {
 	streamStop     chan struct{}
 	streamStopOnce sync.Once
 	streamWG       sync.WaitGroup
+
+	// Standing-query state (subserve.go): the subscription registry (nil
+	// when the engine has no write hooks or Config.DisableSubs is set),
+	// its write-tap removal, the per-connection id source, and the
+	// matcher-to-wire notify latency histogram.
+	subs          *sub.Registry
+	subRemove     func()
+	subConnID     atomic.Uint64
+	subNotifyHist histogram
 }
 
 // New builds a Server around cfg.Engine and starts its batch dispatchers.
@@ -257,6 +283,12 @@ func New(cfg Config) *Server {
 		s.coPoint.accesses = s.eng.Accesses
 		s.coWindow.accesses = s.eng.Accesses
 		s.coKNN.accesses = s.eng.Accesses
+		if ph, ok := cfg.Engine.(planHinter); ok {
+			s.hinter = ph
+		}
+	}
+	if !cfg.DisableSubs {
+		s.initSubs()
 	}
 	s.mux.HandleFunc("/v1/point", s.handlePoint)
 	s.mux.HandleFunc("/v1/window", s.handleWindow)
@@ -338,6 +370,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.coWindow.shutdown()
 		s.coKNN.shutdown()
 	}
+	s.closeSubs()
 	if done := s.rebuildDoneChan(); done != nil {
 		select {
 		case <-done:

@@ -24,11 +24,17 @@ package server
 //	              when an entry carried the rsmibin explain flag bit)
 //	  status 1    uvarint code (HTTP status semantics: 400, 429, 503),
 //	              uvarint msg length, msg bytes
+//	push        request id 0, status 2, uvarint n, n × (uvarint sub id,
+//	            kind byte (1 insert, 2 delete), flags byte (bit 0: one or
+//	            more notifications were missed), x f64, y f64) — a
+//	            server-initiated standing-query notification batch
+//	            (subserve.go; registered with a single-op sub frame)
 //
 // The request id tags each frame so clients may pipeline: many requests
 // can be in flight on one connection and responses are matched by id, in
 // whatever order the server finishes them. Ids need only be unique among
-// a connection's in-flight requests.
+// a connection's in-flight requests — and never 0, which tags
+// server-initiated push frames.
 //
 // # Semantics
 //
@@ -60,6 +66,7 @@ import (
 	"rsmi/internal/obs"
 	"rsmi/internal/shard"
 	"rsmi/internal/sqlfe"
+	"rsmi/internal/sub"
 )
 
 const (
@@ -89,7 +96,21 @@ const (
 const (
 	streamStatusOK    byte = 0
 	streamStatusError byte = 1
+	// streamStatusPush tags a server-initiated frame: a standing-query
+	// notification batch, pushed without any request. Push frames always
+	// carry request id streamPushID, which clients never assign, so a
+	// pipelined client can route them before its pending-request lookup.
+	streamStatusPush byte = 2
 )
+
+// streamPushID is the reserved request id of server-initiated push
+// frames; client-assigned ids start at 1.
+const streamPushID = 0
+
+// subFlagMissed is the push-entry flag bit marking that one or more
+// earlier notifications for the subscription were lost (full outbox or
+// client reconnect): the subscriber should re-run its query.
+const subFlagMissed byte = 1
 
 // errStreamFrameTooBig reports a frame whose declared length exceeds the
 // receiver's bound; the connection is unrecoverable.
@@ -164,6 +185,26 @@ func (w *streamWriter) writeAnswers(id uint64, answers []batchAnswer, tj *TraceJ
 	w.writeFrame(id, func(b []byte) []byte {
 		b = append(b, streamStatusOK)
 		return appendBinTrace(appendBatchAnswers(appendBinHeader(b), answers), tj)
+	})
+}
+
+// writePush writes one server-initiated push frame carrying a batch of
+// standing-query notifications, on the reserved request id 0.
+func (w *streamWriter) writePush(ns []sub.Notification) {
+	w.writeFrame(streamPushID, func(b []byte) []byte {
+		b = append(b, streamStatusPush)
+		b = appendUvarint(b, uint64(len(ns)))
+		for _, n := range ns {
+			b = appendUvarint(b, n.SubID)
+			var flags byte
+			if n.Missed {
+				flags |= subFlagMissed
+			}
+			b = append(b, byte(n.Kind), flags)
+			b = appendF64(b, n.P.X)
+			b = appendF64(b, n.P.Y)
+		}
+		return b
 	})
 }
 
@@ -268,6 +309,12 @@ func (s *Server) serveStreamConn(conn net.Conn) {
 	connCtx, connCancel := context.WithCancel(context.Background())
 	defer connCancel()
 	sw := &streamWriter{conn: conn}
+	cs := s.newConnSubs(sw)
+	if cs != nil {
+		// Teardown before conn.Close (LIFO): the pusher must stop writing
+		// before the connection goes away.
+		defer cs.close()
+	}
 	br := bufio.NewReaderSize(conn, streamReadBuf)
 	var reqWG sync.WaitGroup
 	pipeline := make(chan struct{}, streamMaxPipeline)
@@ -294,7 +341,7 @@ func (s *Server) serveStreamConn(conn net.Conn) {
 				<-pipeline
 				reqWG.Done()
 			}()
-			s.handleStreamRequest(connCtx, sw, id, payload)
+			s.handleStreamRequest(connCtx, sw, cs, id, payload)
 		}(id, payload)
 	}
 	// The read loop is done. If this is a graceful shutdown the client is
@@ -315,7 +362,7 @@ func (s *Server) serveStreamConn(conn net.Conn) {
 // (stream transport column). ctx is the connection's context,
 // additionally bounded by the per-request deadline when
 // Config.StreamRequestTimeout is set.
-func (s *Server) handleStreamRequest(ctx context.Context, sw *streamWriter, id uint64, payload []byte) {
+func (s *Server) handleStreamRequest(ctx context.Context, sw *streamWriter, cs *connSubs, id uint64, payload []byte) {
 	// The op kind is only known after decode; a sampled trace starts with
 	// an empty op and is labelled once the frame is decoded.
 	var tr *obs.Trace
@@ -323,10 +370,10 @@ func (s *Server) handleStreamRequest(ctx context.Context, sw *streamWriter, id u
 		tr = obs.StartTrace("", "stream")
 		tr.Backend = s.eng.Name()
 	}
-	s.cfg.Observer.Finish(s.serveStreamRequest(ctx, sw, id, payload, tr))
+	s.cfg.Observer.Finish(s.serveStreamRequest(ctx, sw, cs, id, payload, tr))
 }
 
-func (s *Server) serveStreamRequest(ctx context.Context, sw *streamWriter, id uint64, payload []byte, tr *obs.Trace) *obs.Trace {
+func (s *Server) serveStreamRequest(ctx context.Context, sw *streamWriter, cs *connSubs, id uint64, payload []byte, tr *obs.Trace) *obs.Trace {
 	release, ok := s.admitSlot()
 	if !ok {
 		sw.writeError(id, http.StatusTooManyRequests, "server saturated; retry")
@@ -357,6 +404,19 @@ func (s *Server) serveStreamRequest(ctx context.Context, sw *streamWriter, id ui
 		} else {
 			tr.Op = "batch"
 		}
+	}
+	// SUB/UNSUB are stream-only single-op frames, dispatched to the
+	// subscription registry before batch validation (which rejects them
+	// everywhere else — HTTP bodies and multi-op batches).
+	if len(ops) == 1 && (ops[0].Op == OpSub || ops[0].Op == OpUnsub) {
+		tr.MarkSince(t1, obs.StageDecode)
+		flag, serr := s.serveSubOp(cs, ops[0])
+		if serr != nil {
+			sw.writeError(id, engineErrorCode(serr), serr.Error())
+			return tr
+		}
+		sw.writeAnswers(id, []batchAnswer{{op: ops[0].Op, flag: flag}}, nil)
+		return tr
 	}
 	if err := validateOps(ops); err != nil {
 		sw.writeError(id, http.StatusBadRequest, err.Error())

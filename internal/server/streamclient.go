@@ -123,6 +123,15 @@ type streamConn struct {
 	// everything.
 	abandoned map[uint64]struct{}
 	err       error
+
+	// onPush, when set, receives decoded server-initiated push frames
+	// (standing-query notifications, request id 0). The pooled data-plane
+	// connections leave it nil — the server only pushes on connections
+	// that subscribed — and a nil-onPush connection discards pushes.
+	onPush func(ns []SubNotification)
+	// deadCh, when non-nil, is closed by fail: the subscription keeper
+	// watches it to redial and re-subscribe.
+	deadCh chan struct{}
 }
 
 func (c *streamConn) dead() bool {
@@ -144,6 +153,9 @@ func (c *streamConn) fail(err error) {
 	c.abandoned = nil
 	c.mu.Unlock()
 	c.c.Close()
+	if c.deadCh != nil {
+		close(c.deadCh)
+	}
 	for _, ch := range pending {
 		ch <- streamAnswer{err: err}
 	}
@@ -157,6 +169,20 @@ func (c *streamConn) readLoop() {
 		if err != nil {
 			c.fail(fmt.Errorf("stream: %w", err))
 			return
+		}
+		if id == streamPushID {
+			// Server-initiated push (standing-query notifications): routed
+			// before the pending-request lookup — id 0 is never assigned to
+			// a request.
+			ns, perr := decodePushPayload(payload)
+			if perr != nil {
+				c.fail(perr)
+				return
+			}
+			if c.onPush != nil {
+				c.onPush(ns)
+			}
+			continue
 		}
 		results, trace, rerr := decodeStreamResponse(payload)
 		if rerr != nil && !isStatusError(rerr) {

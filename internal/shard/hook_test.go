@@ -63,6 +63,66 @@ func TestWriteHook(t *testing.T) {
 	}
 }
 
+// TestAddWriteHookFanIn checks the multi-consumer contract the
+// standing-query matcher rides on: AddWriteHook registers one more
+// observer beside the existing ones, every applied mutation notifies
+// all of them in registration order, the returned remove function
+// detaches exactly its own hook, and SetWriteHook still replaces the
+// whole set.
+func TestAddWriteHookFanIn(t *testing.T) {
+	pts := dataset.Generate(dataset.Uniform, 500, 11)
+	s := New(pts, Options{
+		Shards: 3,
+		Index: core.Options{
+			BlockCapacity:      50,
+			PartitionThreshold: 200,
+			Epochs:             5,
+			LearningRate:       0.1,
+			Seed:               1,
+		},
+	})
+
+	var a, b []WriteOp
+	removeA := s.AddWriteHook(func(op WriteOp) { a = append(a, op) })
+	removeB := s.AddWriteHook(func(op WriteOp) { b = append(b, op) })
+
+	p1 := geom.Pt(0.111, 0.222)
+	s.Insert(p1)
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] || a[0] != (WriteOp{Kind: WriteInsert, P: p1}) {
+		t.Fatalf("fan-in after insert: a=%+v b=%+v", a, b)
+	}
+
+	// Removing A leaves B attached; removing twice is a no-op.
+	removeA()
+	removeA()
+	p2 := geom.Pt(0.333, 0.444)
+	s.Insert(p2)
+	if len(a) != 1 {
+		t.Fatalf("removed hook still fired: %+v", a)
+	}
+	if len(b) != 2 || b[1] != (WriteOp{Kind: WriteInsert, P: p2}) {
+		t.Fatalf("surviving hook missed the write: %+v", b)
+	}
+
+	// SetWriteHook replaces everything added so far.
+	var c []WriteOp
+	s.SetWriteHook(func(op WriteOp) { c = append(c, op) })
+	p3 := geom.Pt(0.555, 0.666)
+	s.Insert(p3)
+	if len(b) != 2 {
+		t.Fatalf("SetWriteHook did not replace added hooks: %+v", b)
+	}
+	if len(c) != 1 || c[0] != (WriteOp{Kind: WriteInsert, P: p3}) {
+		t.Fatalf("replacement hook: %+v", c)
+	}
+	// Removing an already-replaced hook must not disturb the new set.
+	removeB()
+	s.Insert(geom.Pt(0.777, 0.888))
+	if len(c) != 2 {
+		t.Fatalf("stale remove broke the replacement hook: %+v", c)
+	}
+}
+
 // TestWriteHookKindValues pins the wire values replication serialises.
 func TestWriteHookKindValues(t *testing.T) {
 	if WriteInsert != 1 || WriteDelete != 2 || WriteRebuild != 3 {

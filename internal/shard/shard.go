@@ -131,9 +131,12 @@ type Sharded struct {
 	opts      Options
 	shards    []*state
 	buildTime time.Duration
-	// hook, when installed, observes applied mutations (hook.go); the
-	// serving layer's replication oplog taps writes here.
-	hook atomic.Pointer[WriteHook]
+	// hook holds the copy-on-write list of write observers (hook.go);
+	// the serving layer's replication oplog and the standing-query
+	// matcher both tap writes here. hookMu serialises list mutation
+	// only — the write path reads the list with one atomic load.
+	hook   atomic.Pointer[[]*hookEntry]
+	hookMu sync.Mutex
 }
 
 var _ index.Index = (*Sharded)(nil)
